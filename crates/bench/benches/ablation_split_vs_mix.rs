@@ -1,0 +1,108 @@
+//! **Design-choice ablation** — where the optimal split point falls and
+//! which organizations win as the workload mix and fan-out change; the
+//! crossover structure behind Example 5.1.
+
+use oic_core::Advisor;
+use oic_cost::{ClassStats, CostParams, PathCharacteristics};
+use oic_workload::{LoadDistribution, Triplet};
+
+fn main() {
+    let (schema, _) = oic_schema::fixtures::paper_schema();
+    let (path, chars) = oic_cost::characteristics::example51(&schema);
+    let params = CostParams::paper();
+
+    println!("(a) workload-mix sweep on the Figure 7 database\n");
+    println!(
+        "{:>12}  {:>10}  {:<64} {:>8}",
+        "query:update", "best cost", "optimal configuration", "vs NIX"
+    );
+    for pct in [100, 90, 75, 50, 25, 10, 0] {
+        let q = pct as f64 / 100.0;
+        let u = (100 - pct) as f64 / 100.0;
+        let ld = LoadDistribution::uniform(&schema, &path, Triplet::new(q, u / 2.0, u / 2.0));
+        let rec = Advisor::new(&schema, &path, &chars, &ld)
+            .with_params(params)
+            .verify_exhaustively(true)
+            .recommend();
+        let nix = rec
+            .whole_path
+            .iter()
+            .find(|(o, _)| *o == oic_cost::Org::Nix)
+            .unwrap()
+            .1;
+        println!(
+            "{:>5}%:{:>4}%  {:>10.2}  {:<64} {:>7.2}x",
+            pct,
+            100 - pct,
+            rec.selection.cost,
+            rec.config_rendering,
+            nix / rec.selection.cost
+        );
+    }
+
+    println!("\n(b) fan-out sweep: multiplying every nin by f (paper workload)\n");
+    let ld = oic_workload::example51_load(&schema, &path);
+    println!(
+        "{:>4}  {:>10}  {:<64}",
+        "f", "best cost", "optimal configuration"
+    );
+    for f in [1.0, 2.0, 4.0] {
+        let scaled = {
+            let mut positions = Vec::new();
+            for l in 1..=chars.len() {
+                positions.push(
+                    chars
+                        .classes_at(l)
+                        .iter()
+                        .map(|&(c, s)| (c, ClassStats::new(s.n, s.d, (s.nin * f).max(1.0))))
+                        .collect(),
+                );
+            }
+            PathCharacteristics::from_parts(
+                positions,
+                (1..=chars.len()).map(|l| chars.is_multi(l)),
+            )
+        };
+        let rec = Advisor::new(&schema, &path, &scaled, &ld)
+            .with_params(params)
+            .recommend();
+        println!(
+            "{:>4}  {:>10.2}  {:<64}",
+            f, rec.selection.cost, rec.config_rendering
+        );
+    }
+
+    println!("\n(c) selectivity sweep: scaling the ending attribute's d\n");
+    println!(
+        "{:>8}  {:>10}  {:<64}",
+        "d(name)", "best cost", "optimal configuration"
+    );
+    for d in [100.0, 1_000.0, 10_000.0] {
+        let scaled = {
+            let mut positions = Vec::new();
+            for l in 1..=chars.len() {
+                positions.push(
+                    chars
+                        .classes_at(l)
+                        .iter()
+                        .map(|&(c, s)| {
+                            let dd = if l == chars.len() { d } else { s.d };
+                            (c, ClassStats::new(s.n, dd, s.nin))
+                        })
+                        .collect(),
+                );
+            }
+            PathCharacteristics::from_parts(
+                positions,
+                (1..=chars.len()).map(|l| chars.is_multi(l)),
+            )
+        };
+        let rec = Advisor::new(&schema, &path, &scaled, &ld)
+            .with_params(params)
+            .recommend();
+        println!(
+            "{:>8}  {:>10.2}  {:<64}",
+            d as u64, rec.selection.cost, rec.config_rendering
+        );
+    }
+}

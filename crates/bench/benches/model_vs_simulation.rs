@@ -1,0 +1,45 @@
+//! **Section 3 validation (ours)** — the analytic cost model against
+//! measured page accesses of the real index structures, per organization
+//! and operation, on a scaled Figure 7 database.
+
+use oic_cost::CostParams;
+use oic_schema::fixtures;
+use oic_sim::{scale_chars, validate, GenSpec};
+
+fn main() {
+    let (schema, _) = fixtures::paper_schema();
+    let (path, chars) = oic_cost::characteristics::example51(&schema);
+    let small = scale_chars(&chars, 0.02);
+    let params = CostParams::calibrated(1024.0);
+    let spec = GenSpec {
+        page_size: 1024,
+        seed: 99,
+    };
+
+    println!(
+        "analytic model vs measured distinct page accesses \
+         (2% Figure 7 database, whole-path indexes)\n"
+    );
+    println!(
+        "{:<5} {:<10} {:>10} {:>10} {:>7}",
+        "org", "operation", "predicted", "measured", "ratio"
+    );
+    let mut worst: f64 = 1.0;
+    for org in oic_cost::Org::ALL {
+        let rows = validate::validate_org(&schema, &path, &small, params, org, &spec, 16);
+        for r in &rows {
+            println!(
+                "{:<5} {:<10} {:>10.2} {:>10.2} {:>7.2}",
+                r.org.to_string(),
+                r.op,
+                r.predicted,
+                r.measured,
+                r.ratio()
+            );
+            worst = worst.max(r.ratio().max(1.0 / r.ratio()));
+        }
+        println!();
+    }
+    println!("worst-case disagreement factor: {worst:.2}x");
+    assert!(worst < 8.0, "model should track measurements");
+}

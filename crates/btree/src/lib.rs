@@ -1,0 +1,34 @@
+//! Disk-style B+-tree with chained leaves and overflow records.
+//!
+//! All index organizations of Choenni et al. (ICDE 1994) assume indices
+//! “organized as B+-trees \[whose\] leaf nodes are chained” (Section 3.1).
+//! Non-leaf records are `(attribute value, pointer)` pairs; leaf nodes hold
+//! the index records, and an index record may occupy **more than one page**
+//! (NIX primary records and inherited-index records routinely do). This
+//! crate provides exactly that structure:
+//!
+//! * keys are opaque ordered byte strings (see `oic_storage::encode_key`);
+//! * an index *record* is a key plus a posting list of opaque entries;
+//! * records longer than a page live in a dedicated overflow chain of
+//!   `⌈ln/p⌉` pages, and partial reads count only the pages actually
+//!   containing the requested entries (the paper's `pr_X < ⌈ln/p⌉` case);
+//! * every node visit is accounted against the backing
+//!   [`PageStore`](oic_storage::PageStore), so a descent costs `h` page
+//!   reads for in-page records and `h − 1 + pr` for spanning records —
+//!   matching the paper's `CRL`.
+//!
+//! Node payloads are materialized in memory (this is a cost-model
+//! validation substrate, not a durable engine); capacity and split decisions
+//! are made against the real byte sizes of keys and entries, so heights,
+//! leaf counts and level profiles are those of a genuine disk tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layout;
+mod node;
+mod tree;
+
+pub use layout::Layout;
+pub use node::LevelProfile;
+pub use tree::BTreeIndex;

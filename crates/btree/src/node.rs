@@ -1,0 +1,98 @@
+//! Node arena and record representation.
+
+use crate::Layout;
+use oic_storage::PageId;
+
+pub(crate) type NodeId = usize;
+
+/// One index record: a key with its posting list of opaque entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Record {
+    pub key: Vec<u8>,
+    pub entries: Vec<Vec<u8>>,
+}
+
+impl Record {
+    pub fn len_bytes(&self, layout: &Layout) -> usize {
+        layout.record_len(self.key.len(), self.entries.iter().map(Vec::len))
+    }
+
+    /// Byte offset of entry `i` within the record body (record header and
+    /// key first, then entries in order). Used to map entries to overflow
+    /// chain pages for partial reads.
+    pub fn entry_offset(&self, layout: &Layout, i: usize) -> usize {
+        layout.record_overhead
+            + self.key.len()
+            + self.entries[..i]
+                .iter()
+                .map(|e| e.len() + layout.entry_overhead)
+                .sum::<usize>()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum Node {
+    Internal {
+        /// `keys[i]` separates `children[i]` (keys < `keys[i]`) from
+        /// `children[i+1]`.
+        keys: Vec<Vec<u8>>,
+        children: Vec<NodeId>,
+        page: PageId,
+    },
+    Leaf {
+        records: Vec<Record>,
+        next: Option<NodeId>,
+        prev: Option<NodeId>,
+        /// In-page leaves own exactly one page; a leaf holding a single
+        /// oversized record owns its `⌈ln/p⌉`-page chain.
+        pages: Vec<PageId>,
+    },
+}
+
+/// Per-level shape of the tree, root first: `(records, pages)` where
+/// `records` is the number of routing entries (internal) or index records
+/// (leaf level) and `pages` the pages occupied. This is the `(n_k, p_k)`
+/// profile consumed by the paper's `CRT`/`CMT` via Yao's formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelProfile {
+    /// `(n_k, p_k)` per level, index 0 = root level.
+    pub levels: Vec<(u64, u64)>,
+}
+
+impl LevelProfile {
+    /// Height of the tree (number of levels, leaves included).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `(n, p)` of the leaf level.
+    pub fn leaf_level(&self) -> (u64, u64) {
+        *self.levels.last().expect("trees have at least one level")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_size_and_offsets() {
+        let layout = Layout::for_page_size(4096);
+        let r = Record {
+            key: vec![0; 9],
+            entries: vec![vec![0; 8], vec![0; 16]],
+        };
+        assert_eq!(r.len_bytes(&layout), 8 + 9 + (8 + 2) + (16 + 2));
+        assert_eq!(r.entry_offset(&layout, 0), 8 + 9);
+        assert_eq!(r.entry_offset(&layout, 1), 8 + 9 + 10);
+    }
+
+    #[test]
+    fn level_profile_accessors() {
+        let p = LevelProfile {
+            levels: vec![(2, 1), (100, 10)],
+        };
+        assert_eq!(p.height(), 2);
+        assert_eq!(p.leaf_level(), (100, 10));
+    }
+}

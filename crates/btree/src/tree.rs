@@ -1,0 +1,1033 @@
+//! The B+-tree proper.
+
+use crate::node::{Node, NodeId, Record};
+use crate::{Layout, LevelProfile};
+use oic_storage::PageStore;
+
+/// A B+-tree index with chained leaves over a [`PageStore`].
+///
+/// Records are `(key, posting list)`; oversized records (longer than a page)
+/// own a dedicated chain of `⌈ln/p⌉` pages, giving the paper's `CRL/CML`
+/// access profile. All reads and writes are accounted against the store.
+#[derive(Debug)]
+pub struct BTreeIndex {
+    layout: Layout,
+    nodes: Vec<Option<Node>>,
+    root: NodeId,
+    height: usize,
+    record_count: u64,
+    entry_count: u64,
+}
+
+impl BTreeIndex {
+    /// Creates an empty tree (a single empty leaf).
+    pub fn new(store: &mut PageStore, layout: Layout) -> Self {
+        assert_eq!(
+            layout.page_size,
+            store.page_size(),
+            "layout and store must agree on the page size"
+        );
+        let page = store.alloc();
+        let root = 0;
+        BTreeIndex {
+            layout,
+            nodes: vec![Some(Node::Leaf {
+                records: Vec::new(),
+                next: None,
+                prev: None,
+                pages: vec![page],
+            })],
+            root,
+            height: 1,
+            record_count: 0,
+            entry_count: 0,
+        }
+    }
+
+    /// The layout in force.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// `h_X` — number of levels including the leaf level.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of index records (distinct keys).
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Number of posting entries across all records.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    // ---- node arena ----------------------------------------------------
+
+    fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id].as_mut().expect("live node")
+    }
+
+    fn add_node(&mut self, n: Node) -> NodeId {
+        self.nodes.push(Some(n));
+        self.nodes.len() - 1
+    }
+
+    fn drop_node(&mut self, store: &mut PageStore, id: NodeId) {
+        if let Some(n) = self.nodes[id].take() {
+            match n {
+                Node::Internal { page, .. } => store.free(page),
+                Node::Leaf { pages, .. } => {
+                    for p in pages {
+                        store.free(p);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- descent ---------------------------------------------------------
+
+    /// Walks from the root to the leaf responsible for `key`, counting one
+    /// page read per level (the leaf's *first* page only; chain pages are
+    /// charged by the record accessors). Returns the internal path with the
+    /// child index taken at each internal node, plus the leaf id.
+    fn descend(&self, store: &PageStore, key: &[u8]) -> (Vec<(NodeId, usize)>, NodeId) {
+        let mut path = Vec::with_capacity(self.height.saturating_sub(1));
+        let mut cur = self.root;
+        loop {
+            match self.node(cur) {
+                Node::Internal {
+                    keys,
+                    children,
+                    page,
+                } => {
+                    store.touch_read(*page);
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    path.push((cur, idx));
+                    cur = children[idx];
+                }
+                Node::Leaf { pages, .. } => {
+                    store.touch_read(pages[0]);
+                    return (path, cur);
+                }
+            }
+        }
+    }
+
+    // ---- read operations ---------------------------------------------------
+
+    /// Full retrieval of the record for `key`: clones the posting list.
+    /// Counts the whole overflow chain for oversized records.
+    pub fn lookup(&self, store: &PageStore, key: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let (_, leaf) = self.descend(store, key);
+        let Node::Leaf { records, pages, .. } = self.node(leaf) else {
+            unreachable!()
+        };
+        let rec = records.iter().find(|r| r.key == key)?;
+        // Chain pages beyond the first.
+        for p in pages.iter().skip(1) {
+            store.touch_read(*p);
+        }
+        Some(rec.entries.clone())
+    }
+
+    /// Partial retrieval: returns entries matching `pred`, counting only the
+    /// chain pages that contain matching entries (plus the descent). This is
+    /// the paper's `pr_X` fraction for NIX/IIX records spanning pages.
+    pub fn lookup_filtered(
+        &self,
+        store: &PageStore,
+        key: &[u8],
+        mut pred: impl FnMut(&[u8]) -> bool,
+    ) -> Vec<Vec<u8>> {
+        let (_, leaf) = self.descend(store, key);
+        let Node::Leaf { records, pages, .. } = self.node(leaf) else {
+            unreachable!()
+        };
+        let Some(rec) = records.iter().find(|r| r.key == key) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut touched = vec![false; pages.len()];
+        touched[0] = true; // descent already read the first page
+        for (i, e) in rec.entries.iter().enumerate() {
+            if pred(e) {
+                let off = rec.entry_offset(&self.layout, i);
+                let pg = (off / self.layout.page_size).min(pages.len() - 1);
+                if !touched[pg] {
+                    touched[pg] = true;
+                    store.touch_read(pages[pg]);
+                }
+                out.push(e.clone());
+            }
+        }
+        out
+    }
+
+    /// Whether a record for `key` exists (no accounting; catalog use).
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        let mut cur = self.root;
+        loop {
+            match self.node(cur) {
+                Node::Internal { keys, children, .. } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    cur = children[idx];
+                }
+                Node::Leaf { records, .. } => {
+                    return records.iter().any(|r| r.key == key);
+                }
+            }
+        }
+    }
+
+    /// Posting-list length for `key` (no accounting; assertions/tests).
+    pub fn peek_entry_count(&self, key: &[u8]) -> usize {
+        let mut cur = self.root;
+        loop {
+            match self.node(cur) {
+                Node::Internal { keys, children, .. } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    cur = children[idx];
+                }
+                Node::Leaf { records, .. } => {
+                    return records
+                        .iter()
+                        .find(|r| r.key == key)
+                        .map_or(0, |r| r.entries.len());
+                }
+            }
+        }
+    }
+
+    // ---- write operations -------------------------------------------------
+
+    /// Inserts one posting entry under `key`, creating the record if absent.
+    pub fn insert_entry(&mut self, store: &mut PageStore, key: &[u8], entry: Vec<u8>) {
+        let (path, leaf) = self.descend(store, key);
+        let layout = self.layout;
+        let Node::Leaf { records, pages, .. } = self.node_mut(leaf) else {
+            unreachable!()
+        };
+        let pos = records.partition_point(|r| r.key.as_slice() < key);
+        let is_new = pos >= records.len() || records[pos].key != key;
+        if is_new {
+            records.insert(
+                pos,
+                Record {
+                    key: key.to_vec(),
+                    entries: vec![entry],
+                },
+            );
+            store.touch_write(pages[0]);
+        } else {
+            let old_len = records[pos].len_bytes(&layout);
+            records[pos].entries.push(entry);
+            let new_len = records[pos].len_bytes(&layout);
+            if pages.len() > 1 {
+                // Oversized record: the append lands on the tail page(s).
+                let first_dirty = ((old_len.saturating_sub(1)) / layout.page_size).min(pages.len() - 1);
+                store.touch_write(pages[first_dirty]);
+                let need = layout.chain_pages(new_len).max(1);
+                while pages.len() < need {
+                    let p = store.alloc();
+                    store.touch_write(p);
+                    pages.push(p);
+                }
+            } else {
+                store.touch_write(pages[0]);
+            }
+        }
+        if is_new {
+            self.record_count += 1;
+        }
+        self.entry_count += 1;
+        self.rebalance_after_growth(store, path, leaf);
+    }
+
+    /// Removes all entries matching `pred` under `key`; removes the record
+    /// when its posting list becomes empty. Returns the number of entries
+    /// removed. Counts reads/writes of the chain pages containing the
+    /// matching entries.
+    pub fn remove_entries(
+        &mut self,
+        store: &mut PageStore,
+        key: &[u8],
+        mut pred: impl FnMut(&[u8]) -> bool,
+    ) -> usize {
+        let (path, leaf) = self.descend(store, key);
+        let layout = self.layout;
+        let Node::Leaf { records, pages, .. } = self.node_mut(leaf) else {
+            unreachable!()
+        };
+        let Some(pos) = records.iter().position(|r| r.key == key) else {
+            return 0;
+        };
+        let rec = &mut records[pos];
+        let mut matched: Vec<usize> = Vec::new();
+        for (i, e) in rec.entries.iter().enumerate() {
+            if pred(e) {
+                matched.push(i);
+            }
+        }
+        if matched.is_empty() {
+            return 0;
+        }
+        // Account the pages holding the matched entries (page 0 is covered
+        // by the descent read).
+        let mut dirty = vec![false; pages.len()];
+        for &i in &matched {
+            let off = rec.entry_offset(&layout, i);
+            let pg = (off / layout.page_size).min(pages.len() - 1);
+            dirty[pg] = true;
+        }
+        for (pg, d) in dirty.iter().enumerate() {
+            if *d {
+                if pg > 0 {
+                    store.touch_read(pages[pg]);
+                }
+                store.touch_write(pages[pg]);
+            }
+        }
+        for &i in matched.iter().rev() {
+            rec.entries.remove(i);
+        }
+        let removed = matched.len();
+        let now_empty = rec.entries.is_empty();
+        if now_empty {
+            records.remove(pos);
+        } else {
+            // Shrink the chain if the record no longer needs all pages.
+            let new_len = records[pos].len_bytes(&layout);
+            let need = layout.chain_pages(new_len).max(1);
+            while pages.len() > need {
+                let p = pages.pop().expect("checked above");
+                store.free(p);
+            }
+        }
+        self.entry_count -= removed as u64;
+        if now_empty {
+            self.record_count -= 1;
+        }
+        self.rebalance_after_shrink(store, path, leaf);
+        removed
+    }
+
+    /// Deletes the whole record for `key`, counting a write per chain page
+    /// (the paper's `CML` with `⌈ln/p⌉` pages: “all these pages should be
+    /// deleted”). Returns the number of entries the record held.
+    pub fn remove_record(&mut self, store: &mut PageStore, key: &[u8]) -> Option<usize> {
+        let (path, leaf) = self.descend(store, key);
+        let Node::Leaf { records, pages, .. } = self.node_mut(leaf) else {
+            unreachable!()
+        };
+        let pos = records.iter().position(|r| r.key == key)?;
+        for p in pages.clone() {
+            store.touch_write(p);
+        }
+        let rec = records.remove(pos);
+        let n = rec.entries.len();
+        self.record_count -= 1;
+        self.entry_count -= n as u64;
+        // Oversized chains shrink back to a single page.
+        let Node::Leaf { pages, .. } = self.node_mut(leaf) else {
+            unreachable!()
+        };
+        while pages.len() > 1 {
+            let p = pages.pop().expect("len checked");
+            store.free(p);
+        }
+        self.rebalance_after_shrink(store, path, leaf);
+        Some(n)
+    }
+
+    /// Replaces the first entry matching `pred` with `new_entry` in place
+    /// (read + rewrite of the page holding it). Returns whether a
+    /// replacement happened. Intended for same-size updates such as the NIX
+    /// `numchild` counter.
+    pub fn replace_entry(
+        &mut self,
+        store: &mut PageStore,
+        key: &[u8],
+        mut pred: impl FnMut(&[u8]) -> bool,
+        new_entry: Vec<u8>,
+    ) -> bool {
+        let (_, leaf) = self.descend(store, key);
+        let layout = self.layout;
+        let Node::Leaf { records, pages, .. } = self.node_mut(leaf) else {
+            unreachable!()
+        };
+        let Some(rec) = records.iter_mut().find(|r| r.key == key) else {
+            return false;
+        };
+        let Some(i) = rec.entries.iter().position(|e| pred(e)) else {
+            return false;
+        };
+        let off = rec.entry_offset(&layout, i);
+        let pg = (off / layout.page_size).min(pages.len() - 1);
+        if pg > 0 {
+            store.touch_read(pages[pg]);
+        }
+        store.touch_write(pages[pg]);
+        rec.entries[i] = new_entry;
+        true
+    }
+
+    // ---- structure maintenance -------------------------------------------
+
+    fn leaf_small_total(&self, leaf: NodeId) -> usize {
+        let Node::Leaf { records, .. } = self.node(leaf) else {
+            unreachable!()
+        };
+        records.iter().map(|r| r.len_bytes(&self.layout)).sum()
+    }
+
+    fn rebalance_after_growth(
+        &mut self,
+        store: &mut PageStore,
+        mut path: Vec<(NodeId, usize)>,
+        leaf: NodeId,
+    ) {
+        let layout = self.layout;
+        let nrec = match self.node(leaf) {
+            Node::Leaf { records, .. } => records.len(),
+            _ => unreachable!(),
+        };
+        if nrec == 1 {
+            // A single record may legitimately exceed the page: it owns an
+            // overflow chain instead of splitting.
+            let ln = match self.node(leaf) {
+                Node::Leaf { records, .. } => records[0].len_bytes(&layout),
+                _ => unreachable!(),
+            };
+            let need = layout.chain_pages(ln).max(1);
+            let Node::Leaf { pages, .. } = self.node_mut(leaf) else {
+                unreachable!()
+            };
+            while pages.len() < need {
+                let p = store.alloc();
+                store.touch_write(p);
+                pages.push(p);
+            }
+            return;
+        }
+        if self.leaf_small_total(leaf) <= layout.node_capacity() {
+            return;
+        }
+        // Split the leaf: move the upper half (by cumulative size) out.
+        let (right_records, sep) = {
+            let Node::Leaf { records, .. } = self.node_mut(leaf) else {
+                unreachable!()
+            };
+            let total: usize = records
+                .iter()
+                .map(|r| layout.record_len(r.key.len(), r.entries.iter().map(Vec::len)))
+                .sum();
+            let mut acc = 0usize;
+            let mut cut = records.len() - 1;
+            for (i, r) in records.iter().enumerate() {
+                acc += layout.record_len(r.key.len(), r.entries.iter().map(Vec::len));
+                if acc * 2 >= total && i + 1 < records.len() {
+                    cut = i + 1;
+                    break;
+                }
+            }
+            let right: Vec<Record> = records.split_off(cut);
+            let sep = right[0].key.clone();
+            (right, sep)
+        };
+        let page = store.alloc();
+        store.touch_write(page);
+        let (old_next, _) = match self.node(leaf) {
+            Node::Leaf { next, prev, .. } => (*next, *prev),
+            _ => unreachable!(),
+        };
+        let right_id = self.add_node(Node::Leaf {
+            records: right_records,
+            next: old_next,
+            prev: Some(leaf),
+            pages: vec![page],
+        });
+        if let Some(n) = old_next {
+            if let Node::Leaf { prev, .. } = self.node_mut(n) {
+                *prev = Some(right_id);
+            }
+        }
+        let Node::Leaf { next, pages, .. } = self.node_mut(leaf) else {
+            unreachable!()
+        };
+        *next = Some(right_id);
+        store.touch_write(pages[0]);
+        // The new right node might itself hold a now-oversized single record.
+        self.ensure_chain(store, right_id);
+        self.ensure_chain(store, leaf);
+        self.insert_into_parent(store, &mut path, leaf, sep, right_id);
+    }
+
+    fn ensure_chain(&mut self, store: &mut PageStore, leaf: NodeId) {
+        let layout = self.layout;
+        let (nrec, ln) = match self.node(leaf) {
+            Node::Leaf { records, .. } => (
+                records.len(),
+                records.first().map_or(0, |r| r.len_bytes(&layout)),
+            ),
+            _ => unreachable!(),
+        };
+        let need = if nrec == 1 {
+            layout.chain_pages(ln).max(1)
+        } else {
+            1
+        };
+        let Node::Leaf { pages, .. } = self.node_mut(leaf) else {
+            unreachable!()
+        };
+        while pages.len() < need {
+            let p = store.alloc();
+            store.touch_write(p);
+            pages.push(p);
+        }
+        while pages.len() > need {
+            let p = pages.pop().expect("len checked");
+            store.free(p);
+        }
+    }
+
+    fn insert_into_parent(
+        &mut self,
+        store: &mut PageStore,
+        path: &mut Vec<(NodeId, usize)>,
+        left: NodeId,
+        sep: Vec<u8>,
+        right: NodeId,
+    ) {
+        let layout = self.layout;
+        match path.pop() {
+            None => {
+                // Grow a new root.
+                let page = store.alloc();
+                store.touch_write(page);
+                let new_root = self.add_node(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![left, right],
+                    page,
+                });
+                self.root = new_root;
+                self.height += 1;
+            }
+            Some((parent, idx)) => {
+                let Node::Internal {
+                    keys,
+                    children,
+                    page,
+                } = self.node_mut(parent)
+                else {
+                    unreachable!()
+                };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                store.touch_write(*page);
+                // Split the internal node if its serialized size overflows.
+                let size: usize =
+                    keys.iter().map(Vec::len).sum::<usize>() + children.len() * layout.child_ptr;
+                if size > layout.node_capacity() {
+                    let mid = keys.len() / 2;
+                    let promoted = keys[mid].clone();
+                    let right_keys: Vec<Vec<u8>> = keys.split_off(mid + 1);
+                    keys.pop(); // `promoted` moves up
+                    let right_children: Vec<NodeId> = children.split_off(mid + 1);
+                    let new_page = store.alloc();
+                    store.touch_write(new_page);
+                    let right_id = self.add_node(Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                        page: new_page,
+                    });
+                    self.insert_into_parent(store, path, parent, promoted, right_id);
+                }
+            }
+        }
+    }
+
+    fn rebalance_after_shrink(
+        &mut self,
+        store: &mut PageStore,
+        mut path: Vec<(NodeId, usize)>,
+        leaf: NodeId,
+    ) {
+        let empty = match self.node(leaf) {
+            Node::Leaf { records, .. } => records.is_empty(),
+            _ => unreachable!(),
+        };
+        if !empty {
+            self.ensure_chain(store, leaf);
+            return;
+        }
+        if path.is_empty() {
+            // The tree is a single empty leaf: keep it.
+            return;
+        }
+        // Unlink from the leaf chain.
+        let (prev, next) = match self.node(leaf) {
+            Node::Leaf { prev, next, .. } => (*prev, *next),
+            _ => unreachable!(),
+        };
+        if let Some(p) = prev {
+            if let Node::Leaf { next: pn, .. } = self.node_mut(p) {
+                *pn = next;
+            }
+        }
+        if let Some(n) = next {
+            if let Node::Leaf { prev: np, .. } = self.node_mut(n) {
+                *np = prev;
+            }
+        }
+        self.drop_node(store, leaf);
+        // Remove from the parent, cascading if internals empty out.
+        let mut child = leaf;
+        while let Some((parent, idx)) = path.pop() {
+            let Node::Internal {
+                keys,
+                children,
+                page,
+            } = self.node_mut(parent)
+            else {
+                unreachable!()
+            };
+            debug_assert_eq!(children[idx], child);
+            children.remove(idx);
+            if idx > 0 {
+                keys.remove(idx - 1);
+            } else if !keys.is_empty() {
+                keys.remove(0);
+            }
+            store.touch_write(*page);
+            if !children.is_empty() {
+                break;
+            }
+            self.drop_node(store, parent);
+            child = parent;
+        }
+        // Collapse single-child roots.
+        loop {
+            let only = match self.node(self.root) {
+                Node::Internal { children, .. } if children.len() == 1 => Some(children[0]),
+                _ => None,
+            };
+            match only {
+                Some(c) => {
+                    self.drop_node(store, self.root);
+                    self.root = c;
+                    self.height -= 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    // ---- statistics --------------------------------------------------------
+
+    /// `(n_k, p_k)` per level, root first — for feeding the analytic
+    /// `CRT/CMT` and for validating the estimator in `oic-cost`.
+    pub fn level_profile(&self) -> LevelProfile {
+        let mut levels = Vec::new();
+        let mut frontier = vec![self.root];
+        loop {
+            let mut records = 0u64;
+            let mut pages = 0u64;
+            let mut next = Vec::new();
+            let mut is_leaf = false;
+            for &id in &frontier {
+                match self.node(id) {
+                    Node::Internal { children, .. } => {
+                        records += children.len() as u64;
+                        pages += 1;
+                        next.extend_from_slice(children);
+                    }
+                    Node::Leaf {
+                        records: recs,
+                        pages: pgs,
+                        ..
+                    } => {
+                        is_leaf = true;
+                        records += recs.len() as u64;
+                        pages += pgs.len() as u64;
+                    }
+                }
+            }
+            levels.push((records, pages));
+            if is_leaf || next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        LevelProfile { levels }
+    }
+
+    /// Total leaf-level pages (`pl`), counting overflow chains.
+    pub fn leaf_pages(&self) -> u64 {
+        self.level_profile().leaf_level().1
+    }
+
+    /// Iterates `(key, entries)` in key order without accounting (used by
+    /// validation and rebuild paths).
+    pub fn iter_records(&self) -> impl Iterator<Item = (&[u8], &[Vec<u8>])> {
+        // Find the leftmost leaf, then follow the chain.
+        let mut cur = self.root;
+        while let Node::Internal { children, .. } = self.node(cur) {
+            cur = children[0];
+        }
+        LeafIter {
+            tree: self,
+            leaf: Some(cur),
+            idx: 0,
+        }
+    }
+
+    /// Scans every leaf page in chain order, counting a read per page.
+    /// Returns the number of records visited. Models the paper's `SA1`
+    /// (“the leaf nodes of the auxiliary index can be scanned”).
+    pub fn scan_leaves(&self, store: &PageStore) -> u64 {
+        let mut cur = self.root;
+        while let Node::Internal { children, .. } = self.node(cur) {
+            cur = children[0];
+        }
+        let mut visited = 0u64;
+        let mut leaf = Some(cur);
+        while let Some(id) = leaf {
+            let Node::Leaf {
+                records,
+                pages,
+                next,
+                ..
+            } = self.node(id)
+            else {
+                unreachable!()
+            };
+            for p in pages {
+                store.touch_read(*p);
+            }
+            visited += records.len() as u64;
+            leaf = *next;
+        }
+        visited
+    }
+
+    /// Structural invariants; used by tests and fuzzing. Checks key order
+    /// within and across leaves, separator consistency, chain-page sizing
+    /// and record/entry counters.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut rec_total = 0u64;
+        let mut entry_total = 0u64;
+        let mut last_key: Option<Vec<u8>> = None;
+        for (k, entries) in self.iter_records() {
+            if let Some(prev) = &last_key {
+                if prev.as_slice() >= k {
+                    return Err(format!("keys out of order: {prev:?} !< {k:?}"));
+                }
+            }
+            last_key = Some(k.to_vec());
+            rec_total += 1;
+            entry_total += entries.len() as u64;
+        }
+        if rec_total != self.record_count {
+            return Err(format!(
+                "record_count {} != visited {}",
+                self.record_count, rec_total
+            ));
+        }
+        if entry_total != self.entry_count {
+            return Err(format!(
+                "entry_count {} != visited {}",
+                self.entry_count, entry_total
+            ));
+        }
+        self.check_node(self.root, None, None)?;
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        id: NodeId,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+    ) -> Result<(), String> {
+        match self.node(id) {
+            Node::Internal { keys, children, .. } => {
+                if children.len() != keys.len() + 1 {
+                    return Err("children/keys arity mismatch".into());
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err("separators out of order".into());
+                    }
+                }
+                for (i, &c) in children.iter().enumerate() {
+                    let lo = if i == 0 {
+                        low
+                    } else {
+                        Some(keys[i - 1].as_slice())
+                    };
+                    let hi = if i == keys.len() {
+                        high
+                    } else {
+                        Some(keys[i].as_slice())
+                    };
+                    self.check_node(c, lo, hi)?;
+                }
+                Ok(())
+            }
+            Node::Leaf { records, pages, .. } => {
+                for r in records {
+                    if let Some(lo) = low {
+                        if r.key.as_slice() < lo {
+                            return Err("leaf key below separator".into());
+                        }
+                    }
+                    if let Some(hi) = high {
+                        if r.key.as_slice() >= hi {
+                            return Err("leaf key not below upper separator".into());
+                        }
+                    }
+                }
+                if records.len() == 1 {
+                    let need = self
+                        .layout
+                        .chain_pages(records[0].len_bytes(&self.layout))
+                        .max(1);
+                    if pages.len() != need {
+                        return Err(format!(
+                            "chain pages {} != required {}",
+                            pages.len(),
+                            need
+                        ));
+                    }
+                } else if pages.len() != 1 {
+                    return Err("multi-record leaf must own exactly one page".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+struct LeafIter<'a> {
+    tree: &'a BTreeIndex,
+    leaf: Option<NodeId>,
+    idx: usize,
+}
+
+impl<'a> Iterator for LeafIter<'a> {
+    type Item = (&'a [u8], &'a [Vec<u8>]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let id = self.leaf?;
+            let Node::Leaf { records, next, .. } = self.tree.node(id) else {
+                unreachable!()
+            };
+            if self.idx < records.len() {
+                let r = &records[self.idx];
+                self.idx += 1;
+                return Some((r.key.as_slice(), r.entries.as_slice()));
+            }
+            self.leaf = *next;
+            self.idx = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    fn small_tree(page: usize) -> (PageStore, BTreeIndex) {
+        let mut store = PageStore::new(page);
+        let t = BTreeIndex::new(&mut store, Layout::for_page_size(page));
+        (store, t)
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let (mut store, mut t) = small_tree(4096);
+        for i in 0..100u64 {
+            t.insert_entry(&mut store, &key(i), vec![i as u8]);
+        }
+        assert_eq!(t.record_count(), 100);
+        for i in 0..100u64 {
+            let e = t.lookup(&store, &key(i)).unwrap();
+            assert_eq!(e, vec![vec![i as u8]]);
+        }
+        assert!(t.lookup(&store, &key(1000)).is_none());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn splits_grow_height() {
+        let (mut store, mut t) = small_tree(256);
+        for i in 0..500u64 {
+            t.insert_entry(&mut store, &key(i), vec![0u8; 8]);
+        }
+        assert!(t.height() >= 3, "height {} too small", t.height());
+        t.check_invariants().unwrap();
+        // Every key still reachable.
+        for i in (0..500u64).step_by(37) {
+            assert!(t.lookup(&store, &key(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn descent_read_cost_is_height_for_in_page_records() {
+        let (mut store, mut t) = small_tree(256);
+        for i in 0..500u64 {
+            t.insert_entry(&mut store, &key(i), vec![0u8; 8]);
+        }
+        let h = t.height() as u64;
+        store.begin_op();
+        t.lookup(&store, &key(123)).unwrap();
+        let op = store.end_op();
+        assert_eq!(op.reads, h, "CRL = h for ln <= p");
+    }
+
+    #[test]
+    fn oversized_record_builds_overflow_chain() {
+        let (mut store, mut t) = small_tree(256);
+        // One key, many entries: the record grows past one page.
+        for i in 0..200u64 {
+            t.insert_entry(&mut store, &key(7), i.to_be_bytes().to_vec());
+        }
+        t.check_invariants().unwrap();
+        assert!(t.leaf_pages() > 1, "record should span pages");
+        let chain = t.leaf_pages();
+        // Full lookup reads the whole chain: h-1 internals + chain pages.
+        let h = t.height() as u64;
+        store.begin_op();
+        let entries = t.lookup(&store, &key(7)).unwrap();
+        let op = store.end_op();
+        assert_eq!(entries.len(), 200);
+        assert_eq!(op.reads, h - 1 + chain, "CRL = h - 1 + pr");
+    }
+
+    #[test]
+    fn filtered_lookup_reads_fewer_pages() {
+        let (mut store, mut t) = small_tree(256);
+        for i in 0..400u64 {
+            t.insert_entry(&mut store, &key(7), i.to_be_bytes().to_vec());
+        }
+        let h = t.height() as u64;
+        let chain = t.leaf_pages();
+        assert!(chain > 3);
+        // Match a single early entry: only one chain page (the first) needed.
+        store.begin_op();
+        let hits = t.lookup_filtered(&store, &key(7), |e| e == 0u64.to_be_bytes());
+        let full_op = store.end_op();
+        assert_eq!(hits.len(), 1);
+        assert!(
+            full_op.reads < h - 1 + chain,
+            "partial read {} should undercut full {}",
+            full_op.reads,
+            h - 1 + chain
+        );
+    }
+
+    #[test]
+    fn remove_entries_and_records() {
+        let (mut store, mut t) = small_tree(4096);
+        for i in 0..50u64 {
+            t.insert_entry(&mut store, &key(i % 10), i.to_be_bytes().to_vec());
+        }
+        assert_eq!(t.record_count(), 10);
+        assert_eq!(t.entry_count(), 50);
+        let removed = t.remove_entries(&mut store, &key(3), |e| {
+            u64::from_be_bytes(e.try_into().unwrap()) < 20
+        });
+        assert_eq!(removed, 2); // 3 and 13
+        assert_eq!(t.peek_entry_count(&key(3)), 3);
+        let n = t.remove_record(&mut store, &key(3)).unwrap();
+        assert_eq!(n, 3);
+        assert!(t.lookup(&store, &key(3)).is_none());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn removing_all_records_collapses_to_empty_leaf() {
+        let (mut store, mut t) = small_tree(256);
+        for i in 0..300u64 {
+            t.insert_entry(&mut store, &key(i), vec![0u8; 16]);
+        }
+        assert!(t.height() > 1);
+        for i in 0..300u64 {
+            t.remove_record(&mut store, &key(i));
+        }
+        assert_eq!(t.record_count(), 0);
+        assert_eq!(t.height(), 1, "root collapses back to a leaf");
+        t.check_invariants().unwrap();
+        // Store leaks nothing: only the root leaf page lives.
+        assert_eq!(store.live_pages(), 1);
+    }
+
+    #[test]
+    fn replace_entry_in_place() {
+        let (mut store, mut t) = small_tree(4096);
+        t.insert_entry(&mut store, &key(1), vec![1, 0]);
+        t.insert_entry(&mut store, &key(1), vec![2, 0]);
+        assert!(t.replace_entry(&mut store, &key(1), |e| e[0] == 2, vec![2, 9]));
+        let entries = t.lookup(&store, &key(1)).unwrap();
+        assert!(entries.contains(&vec![2, 9]));
+        assert!(!t.replace_entry(&mut store, &key(9), |_| true, vec![]));
+    }
+
+    #[test]
+    fn level_profile_shape() {
+        let (mut store, mut t) = small_tree(256);
+        for i in 0..500u64 {
+            t.insert_entry(&mut store, &key(i), vec![0u8; 8]);
+        }
+        let prof = t.level_profile();
+        assert_eq!(prof.height(), t.height());
+        assert_eq!(prof.levels[0].1, 1, "one root page");
+        assert_eq!(prof.leaf_level().0, 500);
+        // Pages increase monotonically towards the leaves.
+        for w in prof.levels.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn leaf_scan_counts_all_leaf_pages() {
+        let (mut store, mut t) = small_tree(256);
+        for i in 0..300u64 {
+            t.insert_entry(&mut store, &key(i), vec![0u8; 8]);
+        }
+        store.begin_op();
+        let n = t.scan_leaves(&store);
+        let op = store.end_op();
+        assert_eq!(n, 300);
+        assert_eq!(op.reads, t.leaf_pages());
+    }
+
+    #[test]
+    fn iter_records_in_key_order() {
+        let (mut store, mut t) = small_tree(256);
+        let mut keys: Vec<u64> = (0..200).map(|i| (i * 977) % 1000).collect();
+        for &i in &keys {
+            t.insert_entry(&mut store, &key(i), vec![1]);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let seen: Vec<u64> = t
+            .iter_records()
+            .map(|(k, _)| u64::from_be_bytes(k.try_into().unwrap()))
+            .collect();
+        assert_eq!(seen, keys);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests: the B+-tree behaves like a sorted multimap and
+//! never violates its structural invariants, for arbitrary interleavings of
+//! inserts, entry removals and record removals, across page sizes.
+
+use oic_btree::{BTreeIndex, Layout};
+use oic_storage::PageStore;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u8),
+    RemoveEntry(u16, u8),
+    RemoveRecord(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 64, v % 8)),
+        1 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::RemoveEntry(k % 64, v % 8)),
+        1 => any::<u16>().prop_map(|k| Op::RemoveRecord(k % 64)),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    k.to_be_bytes().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_matches_model(ops in prop::collection::vec(op_strategy(), 1..200),
+                          page_size in prop::sample::select(vec![128usize, 256, 1024])) {
+        let mut store = PageStore::new(page_size);
+        let mut tree = BTreeIndex::new(&mut store, Layout::for_page_size(page_size));
+        let mut model: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    tree.insert_entry(&mut store, &key(k), vec![v]);
+                    model.entry(k).or_default().push(v);
+                }
+                Op::RemoveEntry(k, v) => {
+                    let removed = tree.remove_entries(&mut store, &key(k), |e| e == [v]);
+                    if let Some(list) = model.get_mut(&k) {
+                        let before = list.len();
+                        list.retain(|&x| x != v);
+                        prop_assert_eq!(removed, before - list.len());
+                        if list.is_empty() {
+                            model.remove(&k);
+                        }
+                    } else {
+                        prop_assert_eq!(removed, 0);
+                    }
+                }
+                Op::RemoveRecord(k) => {
+                    let n = tree.remove_record(&mut store, &key(k));
+                    match model.remove(&k) {
+                        Some(list) => prop_assert_eq!(n, Some(list.len())),
+                        None => prop_assert_eq!(n, None),
+                    }
+                }
+            }
+        }
+
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(tree.record_count() as usize, model.len());
+        let model_entries: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(tree.entry_count() as usize, model_entries);
+
+        // Every record's multiset of entries agrees with the model.
+        for (k, list) in &model {
+            let mut got: Vec<u8> = tree
+                .lookup(&store, &key(*k))
+                .expect("record present in model")
+                .into_iter()
+                .map(|e| e[0])
+                .collect();
+            let mut want = list.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        // Iteration yields strictly ascending keys equal to the model's.
+        let keys: Vec<u16> = tree
+            .iter_records()
+            .map(|(k, _)| u16::from_be_bytes([k[0], k[1]]))
+            .collect();
+        let want: Vec<u16> = model.keys().copied().collect();
+        prop_assert_eq!(keys, want);
+    }
+
+    #[test]
+    fn mass_delete_releases_pages(n in 1usize..300) {
+        let mut store = PageStore::new(256);
+        let mut tree = BTreeIndex::new(&mut store, Layout::for_page_size(256));
+        for i in 0..n {
+            tree.insert_entry(&mut store, &key(i as u16), vec![0u8; 8]);
+        }
+        for i in 0..n {
+            tree.remove_record(&mut store, &key(i as u16));
+        }
+        prop_assert_eq!(tree.record_count(), 0);
+        prop_assert_eq!(store.live_pages(), 1, "only the empty root leaf remains");
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}

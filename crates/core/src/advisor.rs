@@ -1,0 +1,208 @@
+//! One-call advisor API over the whole pipeline.
+
+use crate::select::{exhaustive, opt_ind_con, SelectionResult};
+use crate::{pc, CostMatrix};
+use oic_cost::{CostModel, CostParams, Org, PathCharacteristics};
+use oic_schema::{Path, Schema};
+use oic_workload::LoadDistribution;
+use std::fmt;
+
+/// High-level entry point: bind a schema, path, characteristics and
+/// workload; get back the optimal index configuration with diagnostics.
+///
+/// ```
+/// use oic_core::Advisor;
+/// use oic_cost::{characteristics, CostParams};
+/// use oic_schema::fixtures;
+/// use oic_workload::example51_load;
+///
+/// let (schema, _) = fixtures::paper_schema();
+/// let (path, chars) = characteristics::example51(&schema);
+/// let ld = example51_load(&schema, &path);
+/// let rec = Advisor::new(&schema, &path, &chars, &ld)
+///     .with_params(CostParams::default())
+///     .recommend();
+/// assert!(rec.selection.cost <= rec.best_single_cost);
+/// ```
+pub struct Advisor<'a> {
+    schema: &'a Schema,
+    path: &'a Path,
+    chars: &'a PathCharacteristics,
+    ld: &'a LoadDistribution,
+    params: CostParams,
+    allow_no_index: bool,
+    verify_exhaustively: bool,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The branch-and-bound selection (optimal configuration + counters).
+    pub selection: SelectionResult,
+    /// Whole-path cost per organization, `(org, cost)` — the baselines the
+    /// paper compares against in Example 5.1.
+    pub whole_path: Vec<(Org, f64)>,
+    /// The cheapest single-organization whole-path cost.
+    pub best_single_cost: f64,
+    /// `best_single_cost / selection.cost` — the paper reports 2.7 for
+    /// Example 5.1 against the whole-path NIX.
+    pub improvement_factor: f64,
+    /// Estimated total index pages of the recommended configuration
+    /// (unindexed subpaths contribute nothing).
+    pub config_size_pages: f64,
+    /// Rendered cost matrix (Figure 8 style).
+    pub matrix_rendering: String,
+    /// Human-readable optimal configuration.
+    pub config_rendering: String,
+}
+
+impl<'a> Advisor<'a> {
+    /// Binds the inputs with default physical parameters.
+    pub fn new(
+        schema: &'a Schema,
+        path: &'a Path,
+        chars: &'a PathCharacteristics,
+        ld: &'a LoadDistribution,
+    ) -> Self {
+        Advisor {
+            schema,
+            path,
+            chars,
+            ld,
+            params: CostParams::default(),
+            allow_no_index: false,
+            verify_exhaustively: false,
+        }
+    }
+
+    /// Overrides the physical parameters.
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Enables the Section 6 no-index option.
+    pub fn allow_no_index(mut self, yes: bool) -> Self {
+        self.allow_no_index = yes;
+        self
+    }
+
+    /// Cross-checks branch and bound against the exhaustive enumeration
+    /// (debug builds assert equality).
+    pub fn verify_exhaustively(mut self, yes: bool) -> Self {
+        self.verify_exhaustively = yes;
+        self
+    }
+
+    /// Runs the full pipeline.
+    pub fn recommend(&self) -> Recommendation {
+        let model = CostModel::new(self.schema, self.path, self.chars, self.params);
+        let matrix = if self.allow_no_index {
+            CostMatrix::build_with_no_index(&model, self.ld)
+        } else {
+            CostMatrix::build(&model, self.ld)
+        };
+        let selection = opt_ind_con(&matrix);
+        if self.verify_exhaustively {
+            let ex = exhaustive(&matrix);
+            debug_assert!(
+                (ex.cost - selection.cost).abs() < 1e-9,
+                "branch and bound disagrees with exhaustive: {} vs {}",
+                selection.cost,
+                ex.cost
+            );
+        }
+        let whole_path: Vec<(Org, f64)> = Org::ALL
+            .iter()
+            .map(|&org| (org, pc::whole_path_cost(&model, self.ld, org)))
+            .collect();
+        let best_single_cost = whole_path
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(f64::INFINITY, f64::min);
+        let improvement_factor = best_single_cost / selection.cost;
+        let config_size_pages = selection
+            .best
+            .pairs()
+            .iter()
+            .map(|&(sub, choice)| match choice {
+                crate::Choice::Index(org) => model.size_pages(org, sub),
+                crate::Choice::NoIndex => 0.0,
+            })
+            .sum();
+        Recommendation {
+            config_rendering: selection.best.render(self.schema, self.path),
+            matrix_rendering: matrix.render(self.schema, self.path),
+            selection,
+            whole_path,
+            best_single_cost,
+            improvement_factor,
+            config_size_pages,
+        }
+    }
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cost matrix (row minima marked with *):")?;
+        writeln!(f, "{}", self.matrix_rendering)?;
+        writeln!(
+            f,
+            "optimal configuration: {} with processing cost {:.2}",
+            self.config_rendering, self.selection.cost
+        )?;
+        for (org, c) in &self.whole_path {
+            writeln!(f, "  whole-path {org}: {c:.2}")?;
+        }
+        writeln!(
+            f,
+            "improvement over best single index: {:.2}x; \
+             evaluated {} of {} configurations ({} pruned)",
+            self.improvement_factor,
+            self.selection.evaluated,
+            self.selection.candidate_space,
+            self.selection.pruned
+        )?;
+        writeln!(
+            f,
+            "estimated index size: {:.0} pages",
+            self.config_size_pages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_cost::characteristics::example51;
+    use oic_schema::fixtures;
+    use oic_workload::example51_load;
+
+    #[test]
+    fn recommendation_is_self_consistent() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let ld = example51_load(&schema, &path);
+        let rec = Advisor::new(&schema, &path, &chars, &ld)
+            .verify_exhaustively(true)
+            .recommend();
+        assert!(rec.selection.cost > 0.0);
+        assert!(rec.best_single_cost >= rec.selection.cost);
+        assert!(rec.improvement_factor >= 1.0);
+        assert!(rec.matrix_rendering.contains("NIX"));
+        let display = rec.to_string();
+        assert!(display.contains("optimal configuration"));
+    }
+
+    #[test]
+    fn no_index_option_flows_through() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let ld = example51_load(&schema, &path);
+        let a = Advisor::new(&schema, &path, &chars, &ld).recommend();
+        let b = Advisor::new(&schema, &path, &chars, &ld)
+            .allow_no_index(true)
+            .recommend();
+        assert!(b.selection.cost <= a.selection.cost + 1e-9);
+    }
+}

@@ -1,0 +1,8 @@
+//! Section 6 extensions: the no-index subpath option and multi-path
+//! configuration selection (“a topic for further research is the extension
+//! of the algorithm such that it may generate index configurations for n
+//! paths … furthermore, we will incorporate in the algorithm the
+//! possibility that no index will be allocated on a subpath”).
+
+pub mod multipath;
+pub mod noindex;

@@ -1,0 +1,294 @@
+//! Multi-path index configuration (Section 6 future work).
+//!
+//! Several database operations lead to several paths, which may overlap: a
+//! path may be a subpath of another, or they may share a middle segment.
+//! This extension selects an optimal configuration per path and then
+//! *consolidates*: subpaths that are physically identical across paths —
+//! same class/attribute step sequence, same organization — become a single
+//! index, whose maintenance is paid once instead of once per path.
+//!
+//! Processing cost is linear in the workload triplets (every `PC` term is
+//! `frequency × unit cost`), so the maintenance share of a duplicated index
+//! can be computed exactly by re-pricing the subpath under a
+//! maintenance-only load; consolidation subtracts that share for all but
+//! one owner of each physical index.
+
+use crate::select::{opt_ind_con, SelectionResult};
+use crate::{pc, Choice, CostMatrix};
+use oic_cost::{CostModel, Org};
+use oic_schema::{ClassId, Path, Schema, SubpathId};
+use oic_workload::{LoadDistribution, Triplet};
+
+/// Physical identity of an index allocation: the organization plus the
+/// exact `(class, attribute)` steps it covers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndexSignature {
+    /// The allocation choice.
+    pub choice: Choice,
+    /// `(class, attribute)` per step.
+    pub steps: Vec<(ClassId, String)>,
+}
+
+/// Computes the signature of `sub` within `path`.
+pub fn signature(path: &Path, sub: SubpathId, choice: Choice) -> IndexSignature {
+    let steps = (sub.start..=sub.end)
+        .map(|l| {
+            let st = path.step(l);
+            (st.class, st.attr_name.clone())
+        })
+        .collect();
+    IndexSignature { choice, steps }
+}
+
+/// One path's inputs for the multi-path selection.
+pub struct PathCase<'a> {
+    /// The path.
+    pub path: &'a Path,
+    /// The analytic model bound to the path.
+    pub model: CostModel<'a>,
+    /// The workload on the path.
+    pub ld: &'a LoadDistribution,
+}
+
+/// A consolidated physical index shared by several paths.
+#[derive(Debug, Clone)]
+pub struct SharedIndex {
+    /// Physical identity.
+    pub signature: IndexSignature,
+    /// Indices into the input `cases` slice.
+    pub owners: Vec<usize>,
+    /// Maintenance cost saved by keeping one copy (sum over all owners but
+    /// the most update-loaded one).
+    pub saving: f64,
+}
+
+/// The multi-path plan.
+#[derive(Debug)]
+pub struct MultiPathPlan {
+    /// Per-path optimal selection, independent of the others.
+    pub per_path: Vec<SelectionResult>,
+    /// Consolidated shared indexes.
+    pub shared: Vec<SharedIndex>,
+    /// Σ of the independent costs.
+    pub independent_cost: f64,
+    /// Independent cost minus consolidation savings.
+    pub consolidated_cost: f64,
+}
+
+/// Maintenance-only variant of a load distribution (queries zeroed).
+fn maintenance_only(ld: &LoadDistribution) -> LoadDistribution {
+    let mut out = ld.clone();
+    for l in 1..=out.len() {
+        for x in 0..out.nc(l) {
+            let t = *out.triplet_mut(l, x);
+            *out.triplet_mut(l, x) = Triplet::new(0.0, t.insert, t.delete);
+        }
+    }
+    out
+}
+
+/// Selects per-path optima, then consolidates: subpaths spanning identical
+/// `(class, attribute)` steps across paths are *harmonized* — for each
+/// candidate organization the combined cost (duplicated maintenance paid
+/// once) is compared against the independent choices, and the cheapest
+/// option wins. Harmonization can overrule a path's locally optimal
+/// organization when sharing pays for the difference.
+pub fn optimize(_schema: &Schema, cases: &[PathCase<'_>]) -> MultiPathPlan {
+    let mut per_path = Vec::with_capacity(cases.len());
+    for case in cases {
+        let matrix = CostMatrix::build(&case.model, case.ld);
+        per_path.push(opt_ind_con(&matrix));
+    }
+    let independent_cost: f64 = per_path.iter().map(|r| r.cost).sum();
+
+    // Group allocations by step sequence (organization-agnostic).
+    use std::collections::HashMap;
+    type Owners = Vec<(usize, SubpathId, Choice)>;
+    let mut groups: HashMap<Vec<(ClassId, String)>, Owners> = HashMap::new();
+    for (i, (case, result)) in cases.iter().zip(&per_path).enumerate() {
+        for &(sub, choice) in result.best.pairs() {
+            if choice == Choice::NoIndex {
+                continue;
+            }
+            let steps = signature(case.path, sub, choice).steps;
+            groups.entry(steps).or_default().push((i, sub, choice));
+        }
+    }
+
+    let mut shared = Vec::new();
+    let mut total_saving = 0.0;
+    for (steps, owners) in groups {
+        if owners.len() < 2 {
+            continue;
+        }
+        let independent: f64 = owners
+            .iter()
+            .map(|&(i, sub, choice)| pc::processing_cost(&cases[i].model, cases[i].ld, sub, choice))
+            .sum();
+        // Best harmonized organization: everyone adopts `org`; the
+        // duplicated maintenance shares are paid only by the heaviest owner.
+        let mut best: Option<(Org, f64)> = None;
+        for org in Org::ALL {
+            let choice = Choice::Index(org);
+            let full: f64 = owners
+                .iter()
+                .map(|&(i, sub, _)| {
+                    pc::processing_cost(&cases[i].model, cases[i].ld, sub, choice)
+                })
+                .sum();
+            let mut maint: Vec<f64> = owners
+                .iter()
+                .map(|&(i, sub, _)| {
+                    let m = maintenance_only(cases[i].ld);
+                    pc::processing_cost(&cases[i].model, &m, sub, choice)
+                })
+                .collect();
+            maint.sort_by(|a, b| b.total_cmp(a));
+            let duplicated: f64 = maint[1..].iter().sum();
+            let harmonized = full - duplicated;
+            if best.is_none_or(|(_, c)| harmonized < c) {
+                best = Some((org, harmonized));
+            }
+        }
+        let (org, harmonized) = best.expect("three organizations evaluated");
+        if harmonized < independent - 1e-12 {
+            let saving = independent - harmonized;
+            total_saving += saving;
+            shared.push(SharedIndex {
+                signature: IndexSignature {
+                    choice: Choice::Index(org),
+                    steps,
+                },
+                owners: owners.iter().map(|&(i, _, _)| i).collect(),
+                saving,
+            });
+        }
+    }
+
+    MultiPathPlan {
+        per_path,
+        shared,
+        independent_cost,
+        consolidated_cost: independent_cost - total_saving,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_cost::characteristics::{example51, ClassStats, PathCharacteristics};
+    use oic_cost::CostParams;
+    use oic_schema::fixtures;
+    use oic_workload::example51_load;
+
+    #[test]
+    fn overlapping_paths_consolidate() {
+        let (schema, _) = fixtures::paper_schema();
+        // Pexa = Per.owns.man.divs.name and Pe = Per.owns.man.name share the
+        // Per.owns.man prefix (positions 1–2 in both).
+        let (pexa, chars_a) = example51(&schema);
+        let ld_a = example51_load(&schema, &pexa);
+        let pe = fixtures::paper_path_pe(&schema);
+        let chars_b = PathCharacteristics::build(&schema, &pe, |c| {
+            // Reuse the Figure 7 statistics for the shared classes; Company's
+            // ending attribute (name) has 1000 distinct values.
+            let name = schema.class_name(c).to_string();
+            match name.as_str() {
+                "Person" => ClassStats::new(200_000.0, 20_000.0, 1.0),
+                "Vehicle" => ClassStats::new(10_000.0, 5_000.0, 3.0),
+                "Bus" | "Truck" => ClassStats::new(5_000.0, 2_500.0, 2.0),
+                "Company" => ClassStats::new(1_000.0, 1_000.0, 1.0),
+                _ => ClassStats::new(1.0, 1.0, 1.0),
+            }
+        });
+        let ld_b = example51_load(&schema, &pe);
+        let model_a = CostModel::new(&schema, &pexa, &chars_a, CostParams::default());
+        let model_b = CostModel::new(&schema, &pe, &chars_b, CostParams::default());
+        let cases = vec![
+            PathCase {
+                path: &pexa,
+                model: model_a,
+                ld: &ld_a,
+            },
+            PathCase {
+                path: &pe,
+                model: model_b,
+                ld: &ld_b,
+            },
+        ];
+        let plan = optimize(&schema, &cases);
+        assert_eq!(plan.per_path.len(), 2);
+        assert!(plan.independent_cost > 0.0);
+        assert!(plan.consolidated_cost <= plan.independent_cost + 1e-9);
+        // Whether consolidation fires depends on both optima choosing the
+        // same physical prefix; when it does, the saving must be positive.
+        for s in &plan.shared {
+            assert!(s.owners.len() >= 2);
+            assert!(s.saving >= 0.0);
+        }
+    }
+
+    #[test]
+    fn disjoint_paths_share_nothing() {
+        let (schema, _) = fixtures::paper_schema();
+        let (pexa, chars_a) = example51(&schema);
+        let ld_a = example51_load(&schema, &pexa);
+        // Comp.divs.name is disjoint from Veh.man.name's prefix... use two
+        // different single-class paths to guarantee disjoint signatures.
+        let p_div = oic_schema::Path::parse(&schema, "Division", &["name"]).unwrap();
+        let chars_d =
+            PathCharacteristics::build(&schema, &p_div, |_| ClassStats::new(1_000.0, 1_000.0, 1.0));
+        let ld_d = example51_load(&schema, &pexa); // reuse triplets? needs matching positions
+        // Build a proper LD for the one-position path.
+        let ld_d = {
+            let _ = ld_d;
+            oic_workload::LoadDistribution::uniform(
+                &schema,
+                &p_div,
+                oic_workload::Triplet::new(0.5, 0.1, 0.1),
+            )
+        };
+        let model_a = CostModel::new(&schema, &pexa, &chars_a, CostParams::default());
+        let model_d = CostModel::new(&schema, &p_div, &chars_d, CostParams::default());
+        let cases = vec![
+            PathCase {
+                path: &pexa,
+                model: model_a,
+                ld: &ld_a,
+            },
+            PathCase {
+                path: &p_div,
+                model: model_d,
+                ld: &ld_d,
+            },
+        ];
+        let plan = optimize(&schema, &cases);
+        // Pexa's optimum may include a Division.name piece — in that case
+        // they legitimately share it. Just verify consistency.
+        assert!(plan.consolidated_cost <= plan.independent_cost + 1e-9);
+    }
+
+    #[test]
+    fn signature_equality_is_structural() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let pe = fixtures::paper_path_pe(&schema);
+        let a = signature(
+            &pexa,
+            SubpathId { start: 1, end: 2 },
+            Choice::Index(oic_cost::Org::Nix),
+        );
+        let b = signature(
+            &pe,
+            SubpathId { start: 1, end: 2 },
+            Choice::Index(oic_cost::Org::Nix),
+        );
+        assert_eq!(a, b, "same classes and attributes ⇒ same physical index");
+        let c = signature(
+            &pe,
+            SubpathId { start: 1, end: 2 },
+            Choice::Index(oic_cost::Org::Mx),
+        );
+        assert_ne!(a, c, "different organization ⇒ different index");
+    }
+}

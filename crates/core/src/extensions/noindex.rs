@@ -1,0 +1,95 @@
+//! The “no index on a subpath” extension (Section 6).
+//!
+//! An unindexed subpath costs nothing to maintain but forces every query
+//! that crosses it to scan the class heaps in its scope. For read-light,
+//! update-heavy boundary classes this can beat every index organization;
+//! the extension simply adds a fourth column to the cost matrix and lets
+//! `Opt_Ind_Con` choose.
+
+use crate::select::{opt_ind_con, SelectionResult};
+use crate::{Choice, CostMatrix};
+use oic_cost::CostModel;
+use oic_workload::LoadDistribution;
+
+/// Result of comparing selection with and without the no-index option.
+#[derive(Debug, Clone)]
+pub struct NoIndexAnalysis {
+    /// Optimum restricted to real indexes (the paper's algorithm).
+    pub indexed_only: SelectionResult,
+    /// Optimum with the no-index column available.
+    pub with_no_index: SelectionResult,
+}
+
+impl NoIndexAnalysis {
+    /// Whether the extension changed the optimum.
+    pub fn helps(&self) -> bool {
+        self.with_no_index.cost < self.indexed_only.cost - 1e-12
+    }
+
+    /// Subpaths the extended optimum leaves unindexed.
+    pub fn unindexed_subpaths(&self) -> Vec<oic_schema::SubpathId> {
+        self.with_no_index
+            .best
+            .pairs()
+            .iter()
+            .filter(|(_, c)| *c == Choice::NoIndex)
+            .map(|(s, _)| *s)
+            .collect()
+    }
+}
+
+/// Runs the selection twice — with and without the no-index column.
+pub fn analyze(model: &CostModel<'_>, ld: &LoadDistribution) -> NoIndexAnalysis {
+    let plain = CostMatrix::build(model, ld);
+    let extended = CostMatrix::build_with_no_index(model, ld);
+    NoIndexAnalysis {
+        indexed_only: opt_ind_con(&plain),
+        with_no_index: opt_ind_con(&extended),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_cost::characteristics::example51;
+    use oic_cost::CostParams;
+    use oic_schema::fixtures;
+    use oic_workload::{example51_load, LoadDistribution, Triplet};
+
+    #[test]
+    fn extension_never_hurts() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let ld = example51_load(&schema, &path);
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        let a = analyze(&model, &ld);
+        assert!(a.with_no_index.cost <= a.indexed_only.cost + 1e-9);
+    }
+
+    #[test]
+    fn update_only_workload_drops_indexes() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        // No queries at all: any index is pure overhead.
+        let ld = LoadDistribution::uniform(&schema, &path, Triplet::new(0.0, 1.0, 1.0));
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        let a = analyze(&model, &ld);
+        assert!(a.helps());
+        assert!(
+            !a.unindexed_subpaths().is_empty(),
+            "some subpath should go unindexed"
+        );
+        assert!(a.with_no_index.cost.abs() < 1e-9, "no queries → zero cost");
+    }
+
+    #[test]
+    fn query_only_workload_keeps_indexes() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let ld = LoadDistribution::uniform(&schema, &path, Triplet::new(1.0, 0.0, 0.0));
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        let a = analyze(&model, &ld);
+        assert!(!a.helps(), "scans are far worse than any index");
+        assert!(a.unindexed_subpaths().is_empty());
+    }
+}

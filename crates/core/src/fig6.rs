@@ -1,0 +1,109 @@
+//! The paper's Figure 6: the hypothetical cost matrix for
+//! `Pex = C1.A1.A2.A3.A4` driving the Section 5 walkthrough.
+//!
+//! Only the row *minima* are recoverable from (and used by) the paper — the
+//! walkthrough reads exactly one underlined value per row — and three rows
+//! are printed in full. The remaining filler entries below are arbitrary
+//! values strictly above their row minimum; `Opt_Ind_Con` never reads them.
+//!
+//! Row minima implied by the walkthrough text:
+//!
+//! | row  | min | org | evidence |
+//! |------|-----|-----|----------|
+//! | S1,1 | 3   | MX  | printed row “3 4 6”; `PC(S1,1) = 3` |
+//! | S2,2 | 4   | MX  | printed row “4 4 4” (tie → first column) |
+//! | S3,3 | 2   | MX  | printed row “2 3 4”; `PC(S3,3) = 2` |
+//! | S4,4 | 4   | MX  | `(S4,4, MX)`, `PC = 4` |
+//! | S1,2 | 6   | MIX | `(S1,2, MIX)`, `PC = 6` |
+//! | S2,3 | 5   | —   | `PC(S2,3) = 5` (org not named) |
+//! | S3,4 | 6   | NIX | `(S3,4, NIX)`, `PC = 6` |
+//! | S1,3 | 8   | MIX | `(S1,3, MIX)`, `PC = 8` |
+//! | S2,4 | 5   | NIX | optimal pairs `(C2.A2.A3.A4, NIX)`, `PC = 5` |
+//! | S1,4 | 9   | NIX | initial `{P, NIX}`, `PC = 9` |
+
+use crate::CostMatrix;
+use oic_schema::SubpathId;
+
+fn sid(s: usize, e: usize) -> SubpathId {
+    SubpathId { start: s, end: e }
+}
+
+/// Builds the Figure 6 matrix.
+pub fn fig6_matrix() -> CostMatrix {
+    CostMatrix::from_values(
+        4,
+        &[
+            // Length 1 — the first three rows are printed in the paper.
+            (sid(1, 1), [3.0, 4.0, 6.0]),
+            (sid(2, 2), [4.0, 4.0, 4.0]),
+            (sid(3, 3), [2.0, 3.0, 4.0]),
+            (sid(4, 4), [4.0, 5.0, 5.0]),
+            // Length 2.
+            (sid(1, 2), [7.0, 6.0, 8.0]),
+            (sid(2, 3), [6.0, 5.0, 7.0]),
+            (sid(3, 4), [7.0, 7.0, 6.0]),
+            // Length 3.
+            (sid(1, 3), [9.0, 8.0, 10.0]),
+            (sid(2, 4), [7.0, 6.0, 5.0]),
+            // Length 4.
+            (sid(1, 4), [12.0, 10.0, 9.0]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{exhaustive, opt_ind_con};
+    use crate::Choice;
+    use oic_cost::Org;
+
+    #[test]
+    fn row_minima_match_the_walkthrough() {
+        let m = fig6_matrix();
+        let expect = [
+            (sid(1, 1), 3.0),
+            (sid(2, 2), 4.0),
+            (sid(3, 3), 2.0),
+            (sid(4, 4), 4.0),
+            (sid(1, 2), 6.0),
+            (sid(2, 3), 5.0),
+            (sid(3, 4), 6.0),
+            (sid(1, 3), 8.0),
+            (sid(2, 4), 5.0),
+            (sid(1, 4), 9.0),
+        ];
+        for (sub, want) in expect {
+            let (_, got) = m.min_cost(sub);
+            assert_eq!(got, want, "row {sub}");
+        }
+    }
+
+    #[test]
+    fn walkthrough_optimum() {
+        // “Thus the optimal configuration for Pex results
+        //  {(C1.A1, MX), (C2.A2.A3.A4, NIX)} with processing cost 8.”
+        let m = fig6_matrix();
+        let r = opt_ind_con(&m);
+        assert_eq!(r.cost, 8.0);
+        assert_eq!(r.best.degree(), 2);
+        assert_eq!(r.best.pairs()[0], (sid(1, 1), Choice::Index(Org::Mx)));
+        assert_eq!(r.best.pairs()[1], (sid(2, 4), Choice::Index(Org::Nix)));
+    }
+
+    #[test]
+    fn walkthrough_evaluation_counts() {
+        // The paper's walkthrough computes the totals of six candidates —
+        // [4], [3,1], [2,2], [2,1,1], [1,3], [1,1,2] — and prunes two —
+        // [1,2,1] at prefix {S1,1, S2,3} and [1,1,1,1] at {S1,1, S2,2, S3,3}.
+        let m = fig6_matrix();
+        let r = opt_ind_con(&m);
+        assert_eq!(r.candidate_space, 8);
+        assert_eq!(r.evaluated, 6);
+        assert_eq!(r.pruned, 2);
+        // And the exhaustive baseline agrees on the optimum.
+        let e = exhaustive(&m);
+        assert_eq!(e.cost, r.cost);
+        assert_eq!(e.evaluated, 8);
+    }
+}

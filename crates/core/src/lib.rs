@@ -1,0 +1,41 @@
+//! Optimal index-configuration selection (Sections 4–5 of Choenni et al.,
+//! ICDE 1994) — the paper's primary contribution.
+//!
+//! Pipeline:
+//!
+//! 1. [`pc::processing_cost`] — the processing cost of one subpath under one
+//!    organization: searching costs for the derived workload plus
+//!    maintenance, including the Section 4 cross-subpath deletion term
+//!    `CMD` (Definition 4.2). Costs are additive across the subpaths of a
+//!    configuration (Propositions 4.1/4.2).
+//! 2. [`CostMatrix`] — the `Cost_Matrix` procedure: all `n(n+1)/2` subpaths
+//!    × the three organizations (Figure 6's layout), with `Min_Cost` row
+//!    minima.
+//! 3. [`select::opt_ind_con`] — the `Opt_Ind_Con` procedure: branch-and-
+//!    bound over the `2^(n-1)` recombinations, counting evaluated
+//!    configurations; [`select::exhaustive`] is the brute-force baseline
+//!    used for verification and for the complexity experiment.
+//! 4. Section 6 extensions: a *no-index* choice per subpath
+//!    ([`extensions::noindex`]) and a *multi-path* advisor
+//!    ([`extensions::multipath`]).
+//!
+//! [`fig6`] reproduces the paper's hypothetical walkthrough matrix;
+//! [`Advisor`] is the one-call user-facing API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod advisor;
+mod config;
+pub mod extensions;
+pub mod fig6;
+mod matrix;
+pub mod pc;
+pub mod select;
+pub mod trace;
+
+pub use advisor::{Advisor, Recommendation};
+pub use config::{Choice, IndexConfiguration};
+pub use matrix::CostMatrix;
+pub use select::{exhaustive, opt_ind_con, SelectionResult};
+pub use trace::{opt_ind_con_traced, TraceEvent};

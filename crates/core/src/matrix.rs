@@ -1,0 +1,239 @@
+//! The `Cost_Matrix` and `Min_Cost` procedures (Section 5).
+
+use crate::{pc, Choice};
+use oic_cost::{CostModel, Org};
+use oic_schema::SubpathId;
+use oic_workload::LoadDistribution;
+use std::collections::HashMap;
+
+/// The cost matrix: one row per subpath (`n(n+1)/2` rows, ordered by length
+/// then start, exactly as the paper numbers `S_1 … S_{n(n+1)/2}`), one
+/// column per organization, plus an optional no-index column (Section 6
+/// extension, disabled by default).
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    path_len: usize,
+    rows: Vec<SubpathId>,
+    costs: HashMap<(SubpathId, Org), f64>,
+    no_index: Option<HashMap<SubpathId, f64>>,
+}
+
+impl CostMatrix {
+    /// Builds the matrix from the analytic model and a workload.
+    pub fn build(model: &CostModel<'_>, ld: &LoadDistribution) -> Self {
+        Self::build_inner(model, ld, false)
+    }
+
+    /// Builds the matrix including the no-index option per subpath.
+    pub fn build_with_no_index(model: &CostModel<'_>, ld: &LoadDistribution) -> Self {
+        Self::build_inner(model, ld, true)
+    }
+
+    fn build_inner(model: &CostModel<'_>, ld: &LoadDistribution, no_index: bool) -> Self {
+        let path = model.path();
+        let rows = path.subpath_ids();
+        let mut costs = HashMap::with_capacity(rows.len() * 3);
+        let mut ni = no_index.then(HashMap::new);
+        for &sub in &rows {
+            for org in Org::ALL {
+                costs.insert(
+                    (sub, org),
+                    pc::processing_cost(model, ld, sub, Choice::Index(org)),
+                );
+            }
+            if let Some(map) = ni.as_mut() {
+                map.insert(sub, pc::processing_cost(model, ld, sub, Choice::NoIndex));
+            }
+        }
+        CostMatrix {
+            path_len: path.len(),
+            rows,
+            costs,
+            no_index: ni,
+        }
+    }
+
+    /// Builds a matrix from explicit values (used for the paper's Figure 6
+    /// hypothetical matrix and for tests). `values` maps each subpath to its
+    /// `[MX, MIX, NIX]` costs.
+    pub fn from_values(path_len: usize, values: &[(SubpathId, [f64; 3])]) -> Self {
+        let mut costs = HashMap::new();
+        let mut rows = Vec::new();
+        for &(sub, v) in values {
+            rows.push(sub);
+            costs.insert((sub, Org::Mx), v[0]);
+            costs.insert((sub, Org::Mix), v[1]);
+            costs.insert((sub, Org::Nix), v[2]);
+        }
+        CostMatrix {
+            path_len,
+            rows,
+            costs,
+            no_index: None,
+        }
+    }
+
+    /// Length of the underlying path.
+    pub fn path_len(&self) -> usize {
+        self.path_len
+    }
+
+    /// Rows in matrix order.
+    pub fn rows(&self) -> &[SubpathId] {
+        &self.rows
+    }
+
+    /// `a_{ij}` — the processing cost of subpath `sub` under `org`.
+    pub fn cost(&self, sub: SubpathId, org: Org) -> f64 {
+        self.costs[&(sub, org)]
+    }
+
+    /// The no-index cost for `sub`, if the column was built.
+    pub fn no_index_cost(&self, sub: SubpathId) -> Option<f64> {
+        self.no_index.as_ref().map(|m| m[&sub])
+    }
+
+    /// `Min_Cost` — the best choice and cost for one row (the underlined
+    /// entry in Figure 6/8). Considers the no-index column when present.
+    pub fn min_cost(&self, sub: SubpathId) -> (Choice, f64) {
+        let mut best = (Choice::Index(Org::Mx), f64::INFINITY);
+        for org in Org::ALL {
+            let c = self.cost(sub, org);
+            if c < best.1 {
+                best = (Choice::Index(org), c);
+            }
+        }
+        if let Some(c) = self.no_index_cost(sub) {
+            if c < best.1 {
+                best = (Choice::NoIndex, c);
+            }
+        }
+        best
+    }
+
+    /// Renders the matrix as an aligned text table (Figure 6/8 style), with
+    /// the row minima marked by `*` (the paper underlines them).
+    pub fn render(&self, schema: &oic_schema::Schema, path: &oic_schema::Path) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .rows
+            .iter()
+            .map(|&s| {
+                path.subpath(schema, s)
+                    .map(|p| p.display().len())
+                    .unwrap_or(6)
+            })
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        out.push_str(&format!(
+            "{:<w$}  {:>12} {:>12} {:>12}\n",
+            "subpath",
+            "MX",
+            "MIX",
+            "NIX",
+            w = name_w
+        ));
+        for &sub in &self.rows {
+            let name = path
+                .subpath(schema, sub)
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|_| sub.to_string());
+            let (best, _) = self.min_cost(sub);
+            let cell = |org: Org| {
+                let v = self.cost(sub, org);
+                let mark = if Choice::Index(org) == best { "*" } else { " " };
+                format!("{v:>11.2}{mark}")
+            };
+            out.push_str(&format!(
+                "{:<w$}  {} {} {}\n",
+                name,
+                cell(Org::Mx),
+                cell(Org::Mix),
+                cell(Org::Nix),
+                w = name_w
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_cost::characteristics::example51;
+    use oic_cost::CostParams;
+    use oic_schema::fixtures;
+    use oic_workload::example51_load;
+
+    fn sid(s: usize, e: usize) -> SubpathId {
+        SubpathId { start: s, end: e }
+    }
+
+    #[test]
+    fn build_covers_all_subpaths() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let ld = example51_load(&schema, &path);
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        let m = CostMatrix::build(&model, &ld);
+        assert_eq!(m.rows().len(), 10);
+        assert_eq!(m.path_len(), 4);
+        for &sub in m.rows() {
+            let (_, best) = m.min_cost(sub);
+            assert!(best.is_finite() && best > 0.0);
+        }
+        // Matrix-row ordering matches the paper's numbering.
+        assert_eq!(m.rows()[0], sid(1, 1));
+        assert_eq!(m.rows()[9], sid(1, 4));
+    }
+
+    #[test]
+    fn from_values_and_min_cost() {
+        let m = CostMatrix::from_values(
+            2,
+            &[
+                (sid(1, 1), [3.0, 4.0, 6.0]),
+                (sid(2, 2), [4.0, 4.0, 4.0]),
+                (sid(1, 2), [9.0, 8.0, 7.0]),
+            ],
+        );
+        let (c, v) = m.min_cost(sid(1, 1));
+        assert_eq!(c, Choice::Index(Org::Mx));
+        assert_eq!(v, 3.0);
+        // Ties go to the first column (MX), like the paper's walkthrough
+        // which picks MX for C2.A2's all-equal row.
+        let (c, v) = m.min_cost(sid(2, 2));
+        assert_eq!(c, Choice::Index(Org::Mx));
+        assert_eq!(v, 4.0);
+        let (c, _) = m.min_cost(sid(1, 2));
+        assert_eq!(c, Choice::Index(Org::Nix));
+    }
+
+    #[test]
+    fn no_index_column_participates_in_min() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        // Zero workload: indexes still cost maintenance? No — zero load
+        // means zero cost everywhere; check the column exists.
+        let ld = example51_load(&schema, &path);
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        let m = CostMatrix::build_with_no_index(&model, &ld);
+        for &sub in m.rows() {
+            assert!(m.no_index_cost(sub).is_some());
+        }
+    }
+
+    #[test]
+    fn render_marks_minima() {
+        let m = CostMatrix::from_values(
+            1,
+            &[(sid(1, 1), [3.0, 4.0, 6.0])],
+        );
+        let (schema, _) = fixtures::paper_schema();
+        let path = fixtures::paper_path_pe(&schema);
+        let s = m.render(&schema, &path);
+        assert!(s.contains("3.00*"));
+        assert!(s.contains("MX"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Per-subpath processing cost (Definition 4.2 and Propositions 4.1/4.2).
+
+use crate::Choice;
+use oic_cost::{CostModel, Org};
+use oic_schema::SubpathId;
+use oic_workload::{derive_subpath_load, LoadDistribution};
+
+/// `PC(S, X)` — the expected page accesses per unit time for subpath `S`
+/// indexed by `X`, under the derived subpath workload:
+///
+/// ```text
+/// PC = Σ_{(l,x) ∈ scope(S)} [ α·CR_X(C_{l,x}) + β·CMI_X(C_{l,x}) + γ·CMD_X(C_{l,x}) ]
+///    + (Σ upstream α) · CR⁺_X(position s)
+///    + (Σ_x γ_{e+1,x}) · CMD_X(A_e)          (when A_e ≠ A_n)
+/// ```
+///
+/// The first line is the native load; the second charges traversals caused
+/// by queries targeting upstream classes (Section 3.2's folded load); the
+/// third is the Section 4 cross-subpath deletion adjustment, assigned to
+/// this (the preceding) subpath so that configuration costs stay additive.
+pub fn processing_cost(
+    model: &CostModel<'_>,
+    ld: &LoadDistribution,
+    sub: SubpathId,
+    choice: Choice,
+) -> f64 {
+    let n = model.path().len();
+    let load = derive_subpath_load(ld, sub, n);
+    match choice {
+        Choice::Index(org) => {
+            let mut total = 0.0;
+            for &(l, x, t) in &load.native {
+                if t.query > 0.0 {
+                    total += t.query * model.retrieval(org, sub, l, x);
+                }
+                if t.insert > 0.0 {
+                    total += t.insert * model.maint_insert(org, sub, l, x);
+                }
+                if t.delete > 0.0 {
+                    total += t.delete * model.maint_delete(org, sub, l, x);
+                }
+            }
+            if load.traversal_query > 0.0 {
+                total += load.traversal_query * model.retrieval_traversal(org, sub);
+            }
+            if load.boundary_delete > 0.0 {
+                total += load.boundary_delete * model.boundary_delete(org, sub);
+            }
+            total
+        }
+        Choice::NoIndex => {
+            // Queries pay a scan of the subpath's scope; maintenance is free.
+            let query_mass = load.native_query_mass() + load.traversal_query;
+            query_mass * model.no_index_retrieval(sub)
+        }
+    }
+}
+
+/// Total processing cost of a configuration — by Proposition 4.2 the sum of
+/// its subpaths' processing costs.
+pub fn configuration_cost(
+    model: &CostModel<'_>,
+    ld: &LoadDistribution,
+    config: &crate::IndexConfiguration,
+) -> f64 {
+    config
+        .pairs()
+        .iter()
+        .map(|&(sub, choice)| processing_cost(model, ld, sub, choice))
+        .sum()
+}
+
+/// Convenience: cost of indexing the whole path with a single organization
+/// (the baseline the paper compares against in Example 5.1).
+pub fn whole_path_cost(model: &CostModel<'_>, ld: &LoadDistribution, org: Org) -> f64 {
+    let n = model.path().len();
+    processing_cost(
+        model,
+        ld,
+        SubpathId { start: 1, end: n },
+        Choice::Index(org),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexConfiguration;
+    use oic_cost::characteristics::example51;
+    use oic_cost::CostParams;
+    use oic_schema::fixtures;
+    use oic_workload::example51_load;
+
+    struct Fx {
+        schema: oic_schema::Schema,
+        path: oic_schema::Path,
+        chars: oic_cost::PathCharacteristics,
+        ld: LoadDistribution,
+    }
+
+    fn fx() -> Fx {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let ld = example51_load(&schema, &path);
+        Fx {
+            schema,
+            path,
+            chars,
+            ld,
+        }
+    }
+
+    fn sid(s: usize, e: usize) -> SubpathId {
+        SubpathId { start: s, end: e }
+    }
+
+    #[test]
+    fn all_subpath_costs_positive_and_finite() {
+        let f = fx();
+        let m = CostModel::new(&f.schema, &f.path, &f.chars, CostParams::default());
+        for sub in f.path.subpath_ids() {
+            for org in Org::ALL {
+                let c = processing_cost(&m, &f.ld, sub, Choice::Index(org));
+                assert!(c.is_finite() && c > 0.0, "{org} on {sub}: {c}");
+            }
+            let c = processing_cost(&m, &f.ld, sub, Choice::NoIndex);
+            assert!(c.is_finite() && c >= 0.0);
+        }
+    }
+
+    #[test]
+    fn configuration_cost_is_additive() {
+        let f = fx();
+        let m = CostModel::new(&f.schema, &f.path, &f.chars, CostParams::default());
+        let config = IndexConfiguration::new(
+            vec![
+                (sid(1, 2), Choice::Index(Org::Nix)),
+                (sid(3, 4), Choice::Index(Org::Mx)),
+            ],
+            4,
+        )
+        .unwrap();
+        let total = configuration_cost(&m, &f.ld, &config);
+        let a = processing_cost(&m, &f.ld, sid(1, 2), Choice::Index(Org::Nix));
+        let b = processing_cost(&m, &f.ld, sid(3, 4), Choice::Index(Org::Mx));
+        assert!((total - (a + b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_path_equals_degree_one_configuration() {
+        let f = fx();
+        let m = CostModel::new(&f.schema, &f.path, &f.chars, CostParams::default());
+        for org in Org::ALL {
+            let direct = whole_path_cost(&m, &f.ld, org);
+            let via = configuration_cost(
+                &m,
+                &f.ld,
+                &IndexConfiguration::whole_path(org, f.path.len()),
+            );
+            assert!((direct - via).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_index_subpath_costs_scans_per_query() {
+        let f = fx();
+        let m = CostModel::new(&f.schema, &f.path, &f.chars, CostParams::default());
+        // S_{3,4} sees native queries (Comp 0.1, Div 0.2) + upstream 0.65.
+        let c = processing_cost(&m, &f.ld, sid(3, 4), Choice::NoIndex);
+        let per_scan = m.no_index_retrieval(sid(3, 4));
+        assert!((c - 0.95 * per_scan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_only_load_prefers_nix_update_only_prefers_mx() {
+        // The trade-off driving the whole paper, at PC level.
+        let f = fx();
+        let m = CostModel::new(&f.schema, &f.path, &f.chars, CostParams::default());
+        let full = sid(1, 4);
+        let queries = LoadDistribution::uniform(
+            &f.schema,
+            &f.path,
+            oic_workload::Triplet::new(1.0, 0.0, 0.0),
+        );
+        let updates = LoadDistribution::uniform(
+            &f.schema,
+            &f.path,
+            oic_workload::Triplet::new(0.0, 0.5, 0.5),
+        );
+        let nix_q = processing_cost(&m, &queries, full, Choice::Index(Org::Nix));
+        let mx_q = processing_cost(&m, &queries, full, Choice::Index(Org::Mx));
+        assert!(nix_q < mx_q, "queries: NIX {nix_q:.1} < MX {mx_q:.1}");
+        let nix_u = processing_cost(&m, &updates, full, Choice::Index(Org::Nix));
+        let mx_u = processing_cost(&m, &updates, full, Choice::Index(Org::Mx));
+        assert!(mx_u < nix_u, "updates: MX {mx_u:.1} < NIX {nix_u:.1}");
+    }
+}

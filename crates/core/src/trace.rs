@@ -1,0 +1,237 @@
+//! Traced selection: the `Opt_Ind_Con` search as a narratable event stream,
+//! mirroring the step-by-step exploration the paper walks through in
+//! Section 5 (“We start with the index configuration {P, NIX} … Then the
+//! path will be split into S1,n−1 and Sn,n …”).
+
+use crate::select::SelectionResult;
+use crate::{Choice, CostMatrix, IndexConfiguration};
+use oic_schema::SubpathId;
+use std::fmt;
+
+/// One step of the branch-and-bound search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A complete configuration's total cost was computed.
+    Evaluated {
+        /// The pieces (subpath, chosen organization).
+        pieces: Vec<(SubpathId, Choice)>,
+        /// Its total processing cost.
+        cost: f64,
+        /// Whether it became the best configuration so far.
+        new_best: bool,
+    },
+    /// A partial prefix was abandoned: its accumulated cost already
+    /// reached `PC_min`.
+    Pruned {
+        /// The prefix pieces.
+        pieces: Vec<(SubpathId, Choice)>,
+        /// Accumulated cost at the cut-off.
+        accumulated: f64,
+        /// The bound it failed against.
+        bound: f64,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let render = |pieces: &[(SubpathId, Choice)]| -> String {
+            let parts: Vec<String> = pieces
+                .iter()
+                .map(|(s, c)| format!("({s}, {c})"))
+                .collect();
+            format!("{{{}}}", parts.join(", "))
+        };
+        match self {
+            TraceEvent::Evaluated {
+                pieces,
+                cost,
+                new_best,
+            } => {
+                write!(f, "evaluate {} = {cost}", render(pieces))?;
+                if *new_best {
+                    write!(f, "   ← new best")?;
+                }
+                Ok(())
+            }
+            TraceEvent::Pruned {
+                pieces,
+                accumulated,
+                bound,
+            } => write!(
+                f,
+                "prune    {}… ({accumulated} ≥ PC_min {bound})",
+                render(pieces)
+            ),
+        }
+    }
+}
+
+/// Runs `Opt_Ind_Con` while recording every evaluation and pruning decision
+/// in search order. Returns the selection result together with the trace.
+pub fn opt_ind_con_traced(matrix: &CostMatrix) -> (SelectionResult, Vec<TraceEvent>) {
+    let n = matrix.path_len();
+    let mut state = Traced {
+        matrix,
+        n,
+        best: Vec::new(),
+        best_cost: f64::INFINITY,
+        events: Vec::new(),
+    };
+    state.descend(1, 0.0, &mut Vec::new());
+    let evaluated = state
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Evaluated { .. }))
+        .count() as u64;
+    let pruned = state
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Pruned { .. }))
+        .count() as u64;
+    let result = SelectionResult {
+        best: IndexConfiguration::new(state.best.clone(), n)
+            .expect("search finds a covering configuration"),
+        cost: state.best_cost,
+        evaluated,
+        pruned,
+        candidate_space: 1u64 << (n - 1),
+    };
+    (result, state.events)
+}
+
+struct Traced<'a> {
+    matrix: &'a CostMatrix,
+    n: usize,
+    best: Vec<(SubpathId, Choice)>,
+    best_cost: f64,
+    events: Vec<TraceEvent>,
+}
+
+impl Traced<'_> {
+    fn descend(&mut self, start: usize, acc: f64, prefix: &mut Vec<(SubpathId, Choice)>) {
+        for end in (start..=self.n).rev() {
+            let sub = SubpathId { start, end };
+            let (choice, cost) = self.matrix.min_cost(sub);
+            let total = acc + cost;
+            if end == self.n {
+                let pieces: Vec<(SubpathId, Choice)> = prefix
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once((sub, choice)))
+                    .collect();
+                let new_best = total < self.best_cost;
+                if new_best {
+                    self.best_cost = total;
+                    self.best = pieces.clone();
+                }
+                self.events.push(TraceEvent::Evaluated {
+                    pieces,
+                    cost: total,
+                    new_best,
+                });
+            } else if total >= self.best_cost {
+                let pieces: Vec<(SubpathId, Choice)> = prefix
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once((sub, choice)))
+                    .collect();
+                self.events.push(TraceEvent::Pruned {
+                    pieces,
+                    accumulated: total,
+                    bound: self.best_cost,
+                });
+            } else {
+                prefix.push((sub, choice));
+                self.descend(end + 1, total, prefix);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig6::fig6_matrix;
+    use crate::select::opt_ind_con;
+    use oic_cost::Org;
+
+    fn sid(s: usize, e: usize) -> SubpathId {
+        SubpathId { start: s, end: e }
+    }
+
+    #[test]
+    fn trace_reproduces_the_section5_narration() {
+        // The paper narrates, in order: {P,NIX}=9 → {S13,S44}=12 →
+        // {S12,S34}=12 → {S12,S33,S44}=12 → {S11,S24}=8 (best) →
+        // prune {S11,S23} → {S11,S22,S34}=13 → prune {S11,S22,S33}.
+        let (result, trace) = opt_ind_con_traced(&fig6_matrix());
+        assert_eq!(result.cost, 8.0);
+        let costs: Vec<(bool, f64)> = trace
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Evaluated { cost, .. } => (true, *cost),
+                TraceEvent::Pruned { accumulated, .. } => (false, *accumulated),
+            })
+            .collect();
+        assert_eq!(
+            costs,
+            vec![
+                (true, 9.0),
+                (true, 12.0),
+                (true, 12.0),
+                (true, 12.0),
+                (true, 8.0),
+                (false, 8.0),  // {S11, S23} pruned at 3 + 5 = 8 ≥ 8
+                (true, 13.0),
+                (false, 9.0),  // {S11, S22, S33} pruned at 3 + 4 + 2 = 9 ≥ 8
+            ]
+        );
+        // The new-best flags: first candidate and the optimum.
+        let best_flags: Vec<bool> = trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Evaluated { new_best, .. } => Some(*new_best),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(best_flags, vec![true, false, false, false, true, false]);
+    }
+
+    #[test]
+    fn traced_and_plain_agree() {
+        let m = fig6_matrix();
+        let plain = opt_ind_con(&m);
+        let (traced, events) = opt_ind_con_traced(&m);
+        assert_eq!(plain.cost, traced.cost);
+        assert_eq!(plain.best.pairs(), traced.best.pairs());
+        assert_eq!(plain.evaluated, traced.evaluated);
+        assert_eq!(plain.pruned, traced.pruned);
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn trace_events_render() {
+        let (_, trace) = opt_ind_con_traced(&fig6_matrix());
+        let first = trace[0].to_string();
+        assert!(first.contains("evaluate"));
+        assert!(first.contains("new best"));
+        let pruned = trace
+            .iter()
+            .find(|e| matches!(e, TraceEvent::Pruned { .. }))
+            .unwrap()
+            .to_string();
+        assert!(pruned.contains("prune"));
+        assert!(pruned.contains("PC_min"));
+    }
+
+    #[test]
+    fn first_evaluated_piece_is_whole_path() {
+        let (_, trace) = opt_ind_con_traced(&fig6_matrix());
+        let TraceEvent::Evaluated { pieces, .. } = &trace[0] else {
+            panic!("first event must be an evaluation");
+        };
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0], (sid(1, 4), Choice::Index(Org::Nix)));
+    }
+}

@@ -1,0 +1,200 @@
+//! Database characteristics along a path (the inputs of Figure 7).
+
+use oic_schema::{ClassId, Path, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics of one class with respect to its path attribute (Table 2):
+/// `n` objects, `d` distinct values of the indexed attribute, `nin` average
+/// values per object (1 for single-valued attributes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// `n_{l,x}` — number of objects in the class.
+    pub n: f64,
+    /// `d_{l,x}` — number of distinct values of the path attribute `A_l`.
+    pub d: f64,
+    /// `nin_{l,x}` — average number of values the attribute holds.
+    pub nin: f64,
+}
+
+impl ClassStats {
+    /// Convenience constructor.
+    pub fn new(n: f64, d: f64, nin: f64) -> Self {
+        ClassStats { n, d, nin }
+    }
+
+    /// `k_{l,x} = n · nin / d` — average objects sharing one value.
+    pub fn k(&self) -> f64 {
+        if self.d <= 0.0 {
+            0.0
+        } else {
+            self.n * self.nin / self.d
+        }
+    }
+}
+
+/// Per-position, per-class statistics for a full path. Position `l`
+/// (1-based) holds one entry per class of the inheritance hierarchy rooted
+/// at `C_l`, in `Schema::hierarchy` order (root first).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathCharacteristics {
+    positions: Vec<Vec<(ClassId, ClassStats)>>,
+    /// Whether `A_l` is multi-valued, per position.
+    multi: Vec<bool>,
+}
+
+impl PathCharacteristics {
+    /// Builds the characteristics for `path` by querying `stats` for every
+    /// class in the scope.
+    pub fn build(
+        schema: &Schema,
+        path: &Path,
+        mut stats: impl FnMut(ClassId) -> ClassStats,
+    ) -> Self {
+        let positions = path
+            .scope_by_position(schema)
+            .into_iter()
+            .map(|classes| classes.into_iter().map(|c| (c, stats(c))).collect())
+            .collect();
+        let multi = path.steps().iter().map(|s| s.attr.is_multi()).collect();
+        PathCharacteristics { positions, multi }
+    }
+
+    /// Assembles characteristics from explicit parts: per-position class
+    /// stats (hierarchy root first) and per-position multi-valuedness.
+    /// Used by scaling/sweep helpers that transform existing
+    /// characteristics.
+    pub fn from_parts(
+        positions: Vec<Vec<(ClassId, ClassStats)>>,
+        multi: impl IntoIterator<Item = bool>,
+    ) -> Self {
+        let multi: Vec<bool> = multi.into_iter().collect();
+        assert_eq!(positions.len(), multi.len());
+        PathCharacteristics { positions, multi }
+    }
+
+    /// Builds from an explicit map; classes in scope but missing from the
+    /// map get the fallback.
+    pub fn from_map(
+        schema: &Schema,
+        path: &Path,
+        map: &HashMap<ClassId, ClassStats>,
+        fallback: ClassStats,
+    ) -> Self {
+        Self::build(schema, path, |c| map.get(&c).copied().unwrap_or(fallback))
+    }
+
+    /// Number of positions (`len(P)`).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Paths are non-empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `(class, stats)` for every class at 1-based position `l` (root first).
+    pub fn classes_at(&self, l: usize) -> &[(ClassId, ClassStats)] {
+        &self.positions[l - 1]
+    }
+
+    /// `nc_l` — hierarchy size at position `l`.
+    pub fn nc(&self, l: usize) -> usize {
+        self.positions[l - 1].len()
+    }
+
+    /// Stats of class `x` (hierarchy index) at position `l`.
+    pub fn stats(&self, l: usize, x: usize) -> &ClassStats {
+        &self.positions[l - 1][x].1
+    }
+
+    /// Whether `A_l` is multi-valued.
+    pub fn is_multi(&self, l: usize) -> bool {
+        self.multi[l - 1]
+    }
+
+    /// Total objects at position `l` (whole hierarchy).
+    pub fn total_n(&self, l: usize) -> f64 {
+        self.positions[l - 1].iter().map(|(_, s)| s.n).sum()
+    }
+}
+
+/// The database characteristics of the paper's **Figure 7** for the path
+/// `Pexa = Per.owns.man.divs.name` on the Figure 1 schema, together with the
+/// path itself. Workload triplets live in `oic-workload`.
+///
+/// | Class | n       | d      | nin |
+/// |-------|---------|--------|-----|
+/// | Per   | 200 000 | 20 000 | 1   |
+/// | Veh   | 10 000  | 5 000  | 3   |
+/// | Bus   | 5 000   | 2 500  | 2   |
+/// | Truck | 5 000   | 2 500  | 2   |
+/// | Comp  | 1 000   | 1 000  | 4   |
+/// | Div   | 1 000   | 1 000  | 1   |
+pub fn example51(schema: &Schema) -> (Path, PathCharacteristics) {
+    let path = oic_schema::fixtures::paper_path_pexa(schema);
+    let per = schema.class_by_name("Person").expect("paper schema");
+    let veh = schema.class_by_name("Vehicle").expect("paper schema");
+    let bus = schema.class_by_name("Bus").expect("paper schema");
+    let truck = schema.class_by_name("Truck").expect("paper schema");
+    let comp = schema.class_by_name("Company").expect("paper schema");
+    let div = schema.class_by_name("Division").expect("paper schema");
+    let mut map = HashMap::new();
+    map.insert(per, ClassStats::new(200_000.0, 20_000.0, 1.0));
+    map.insert(veh, ClassStats::new(10_000.0, 5_000.0, 3.0));
+    map.insert(bus, ClassStats::new(5_000.0, 2_500.0, 2.0));
+    map.insert(truck, ClassStats::new(5_000.0, 2_500.0, 2.0));
+    map.insert(comp, ClassStats::new(1_000.0, 1_000.0, 4.0));
+    map.insert(div, ClassStats::new(1_000.0, 1_000.0, 1.0));
+    let chars = PathCharacteristics::from_map(schema, &path, &map, ClassStats::new(1.0, 1.0, 1.0));
+    (path, chars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_schema::fixtures;
+
+    #[test]
+    fn k_formula() {
+        let s = ClassStats::new(10_000.0, 5_000.0, 3.0);
+        assert_eq!(s.k(), 6.0);
+        assert_eq!(ClassStats::new(10.0, 0.0, 1.0).k(), 0.0);
+    }
+
+    #[test]
+    fn example51_shape() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        assert_eq!(path.len(), 4);
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars.nc(1), 1); // Per
+        assert_eq!(chars.nc(2), 3); // Veh, Bus, Truck
+        assert_eq!(chars.nc(3), 1); // Comp
+        assert_eq!(chars.nc(4), 1); // Div
+        assert_eq!(chars.stats(1, 0).n, 200_000.0);
+        assert_eq!(chars.stats(2, 0).k(), 6.0); // Veh: 10000*3/5000
+        assert_eq!(chars.stats(2, 1).k(), 4.0); // Bus: 5000*2/2500
+        assert_eq!(chars.stats(3, 0).k(), 4.0); // Comp: 1000*4/1000
+        assert_eq!(chars.stats(4, 0).k(), 1.0); // Div
+        assert_eq!(chars.total_n(2), 20_000.0);
+        // owns single-valued; man and divs multi-valued; name single.
+        assert!(!chars.is_multi(1));
+        assert!(chars.is_multi(2));
+        assert!(chars.is_multi(3));
+        assert!(!chars.is_multi(4));
+    }
+
+    #[test]
+    fn build_queries_every_scope_class() {
+        let (schema, _) = fixtures::paper_schema();
+        let path = fixtures::paper_path_pe(&schema);
+        let mut seen = Vec::new();
+        let _ = PathCharacteristics::build(&schema, &path, |c| {
+            seen.push(c);
+            ClassStats::new(1.0, 1.0, 1.0)
+        });
+        assert_eq!(seen.len(), 5, "Per, Veh, Bus, Truck, Comp");
+    }
+}

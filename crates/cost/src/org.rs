@@ -1,0 +1,46 @@
+//! Index organizations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three index organizations of the selection algorithm. SIX and IIX
+/// are the single-position degenerate cases of MX and MIX respectively
+/// (Section 2.2: “a SIX and an IIX can be regarded as special cases of an MX
+/// respectively a MIX”), so they need no separate column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Org {
+    /// Multi-index: one index per class in the scope of the (sub)path.
+    Mx,
+    /// Multi-inherited index: one inherited index per position.
+    Mix,
+    /// Nested inherited index: one primary index on the ending attribute
+    /// plus an auxiliary (parent) index.
+    Nix,
+}
+
+impl Org {
+    /// All organizations, in the paper's column order (Figure 6).
+    pub const ALL: [Org; 3] = [Org::Mx, Org::Mix, Org::Nix];
+}
+
+impl fmt::Display for Org {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Org::Mx => write!(f, "MX"),
+            Org::Mix => write!(f, "MIX"),
+            Org::Nix => write!(f, "NIX"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_order() {
+        assert_eq!(Org::Mx.to_string(), "MX");
+        assert_eq!(Org::ALL.len(), 3);
+        assert!(Org::Mx < Org::Nix);
+    }
+}

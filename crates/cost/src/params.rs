@@ -1,0 +1,134 @@
+//! Physical parameters of the cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical constants and overridable averages (DESIGN.md §5.5, §5.9).
+///
+/// The paper treats `pr_X`, `pm_X`, `pmd_X`, `pmi_X` as *input parameters*
+/// (Section 3.1); the model computes principled defaults from record-length
+/// estimates, and each can be overridden here. Byte-level constants mirror
+/// the `oic-btree` layout so the estimator and the real structures agree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Page size `p` in bytes.
+    pub page_size: f64,
+    /// Encoded oid length (tagged, matching `oic_storage::encode_key`).
+    pub oid_len: f64,
+    /// Pointer length (page/record addresses inside index records).
+    pub ptr_len: f64,
+    /// Encoded atomic key length (fixed-width domains; tag byte included).
+    pub key_len: f64,
+    /// Per-posting-entry overhead in an index record.
+    pub entry_overhead: f64,
+    /// Per-record header in a leaf.
+    pub record_overhead: f64,
+    /// Node header (mirrors `oic_btree::Layout::node_header`).
+    pub node_header: f64,
+    /// Per-class directory slot in MIX/NIX records (class tag + offset).
+    pub class_dir_len: f64,
+    /// `numchild` counter per NIX primary entry under a multi-valued step.
+    pub numchild_len: f64,
+    /// Override for `pm_X` (pages modified per in-record entry mutation in a
+    /// spanning record). Default 1.0.
+    pub pm_entry: f64,
+    /// Override for `pm_AX` (pages rewritten per auxiliary class record when
+    /// the record spans pages). Default 1.0.
+    pub pm_aux: f64,
+    /// Optional fixed `pr` override for spanning-record retrievals; `None`
+    /// computes `⌈ln/p⌉` or the class-section fraction.
+    pub pr_override: Option<f64>,
+    /// Average stored object size, used only by the no-index scan model
+    /// (Section 6 extension).
+    pub obj_len: f64,
+    /// When `true`, spanning MIX/NIX records are always fetched in full
+    /// (`pr = ⌈ln/p⌉`) instead of per class section. The paper's record
+    /// directory (Figure 3) enables section reads — our default — but its
+    /// Figure 8 magnitudes are closer to whole-record fetches; this switch
+    /// reproduces that conservative behaviour.
+    pub whole_record_reads: bool,
+    /// NIX primary-record maintenance granularity. `true` (paper-faithful
+    /// default) prices `pmd_NIX = prd_NIX`: maintaining an object's entry
+    /// fetches and rewrites its whole class section (“the average number of
+    /// relevant pages which should be retrieved … are modified”, §3.1).
+    /// `false` prices entry-level edits (`pm_entry` pages), matching the
+    /// `oic-btree` implementation whose records carry per-entry offsets —
+    /// use [`CostParams::calibrated`] for validation against `oic-sim`.
+    pub nix_section_rewrites: bool,
+}
+
+impl CostParams {
+    /// Defaults for the given page size.
+    pub fn with_page_size(page_size: f64) -> Self {
+        CostParams {
+            page_size,
+            oid_len: 9.0,
+            ptr_len: 8.0,
+            key_len: 9.0,
+            entry_overhead: 2.0,
+            record_overhead: 8.0,
+            node_header: 16.0,
+            class_dir_len: 8.0,
+            numchild_len: 4.0,
+            pm_entry: 1.0,
+            pm_aux: 1.0,
+            pr_override: None,
+            obj_len: 100.0,
+            whole_record_reads: false,
+            nix_section_rewrites: true,
+        }
+    }
+
+    /// Parameters calibrated to the `oic-btree`/`oic-index` implementation
+    /// (entry-level NIX maintenance): the preset the `oic-sim` validation
+    /// harness compares measurements against.
+    pub fn calibrated(page_size: f64) -> Self {
+        let mut p = CostParams::with_page_size(page_size);
+        p.nix_section_rewrites = false;
+        p
+    }
+
+    /// The parameterization used for the paper-reproduction experiments
+    /// (EXPERIMENTS.md). The companion report \[7\] with the original
+    /// physical constants is unavailable; a 1024-byte page (a common 1994
+    /// value) is the point at which Example 5.1 reproduces the paper's
+    /// optimal configuration `{(Per.owns.man, NIX), (Comp.divs.name, MX)}`
+    /// exactly, with an improvement factor over whole-path NIX of 4.2
+    /// (paper: 2.7; at 4 KB pages the factor is 2.7 with a NIX suffix).
+    /// The *structure* — a two-way split after `man` with NIX on the
+    /// query-heavy prefix — is stable across 1–8 KB pages; see the
+    /// page-size ablation bench.
+    pub fn paper() -> Self {
+        CostParams::with_page_size(1024.0)
+    }
+
+    /// Usable node payload per page.
+    pub fn node_capacity(&self) -> f64 {
+        self.page_size - self.node_header
+    }
+
+    /// Pages occupied by a record of `ln` bytes (`⌈ln/p⌉`, at least 1).
+    pub fn record_pages(&self, ln: f64) -> f64 {
+        (ln / self.page_size).ceil().max(1.0)
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams::with_page_size(4096.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let p = CostParams::default();
+        assert_eq!(p.page_size, 4096.0);
+        assert_eq!(p.node_capacity(), 4080.0);
+        assert_eq!(p.record_pages(10.0), 1.0);
+        assert_eq!(p.record_pages(4097.0), 2.0);
+        assert_eq!(p.record_pages(0.0), 1.0);
+    }
+}

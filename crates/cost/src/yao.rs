@@ -1,0 +1,128 @@
+//! Yao's block-access estimate (S.B. Yao, Comm. ACM 20(4), 1977).
+
+/// `npa(t, n, m)` — expected number of pages accessed when retrieving `t`
+/// records out of `n` records stored on `m` pages, assuming records are
+/// distributed uniformly (`n/m` per page) and the `t` targets are a simple
+/// random sample without replacement:
+///
+/// ```text
+/// npa = m · [ 1 − Π_{i=1..t} (n − n/m − i + 1) / (n − i + 1) ]
+/// ```
+///
+/// The inputs are real-valued because the cost model works with expected
+/// cardinalities. Edge behaviour: `t ≤ 0 → 0`; `t ≥ n → m`; `m ≤ 1 → 1`
+/// (everything on one page) when `t > 0`.
+pub fn npa(t: f64, n: f64, m: f64) -> f64 {
+    if t <= 0.0 || n <= 0.0 || m <= 0.0 {
+        return 0.0;
+    }
+    let m = m.max(1.0);
+    let n = n.max(1.0);
+    if t >= n {
+        return m;
+    }
+    if m <= 1.0 {
+        return 1.0;
+    }
+    let per_page = n / m;
+    // Product of (n - per_page - i + 1)/(n - i + 1) for i = 1..=t. `t` is
+    // real-valued; evaluate the integer part exactly and interpolate the
+    // fractional tail linearly in log-space.
+    let whole = t.floor() as u64;
+    let frac = t - t.floor();
+    let mut log_prod = 0.0f64;
+    for i in 1..=whole {
+        let i = i as f64;
+        let num = n - per_page - i + 1.0;
+        let den = n - i + 1.0;
+        if num <= 0.0 || den <= 0.0 {
+            return m;
+        }
+        log_prod += (num / den).ln();
+        if log_prod < -40.0 {
+            // Product has vanished: all m pages are expected to be touched.
+            return m;
+        }
+    }
+    if frac > 0.0 {
+        let i = whole as f64 + 1.0;
+        let num = n - per_page - i + 1.0;
+        let den = n - i + 1.0;
+        if num <= 0.0 || den <= 0.0 {
+            return m;
+        }
+        log_prod += frac * (num / den).ln();
+    }
+    m * (1.0 - log_prod.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_targets_cost_nothing() {
+        assert_eq!(npa(0.0, 100.0, 10.0), 0.0);
+        assert_eq!(npa(-1.0, 100.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn retrieving_everything_touches_every_page() {
+        assert_eq!(npa(100.0, 100.0, 10.0), 10.0);
+        assert_eq!(npa(150.0, 100.0, 10.0), 10.0);
+    }
+
+    #[test]
+    fn single_record_touches_one_page() {
+        let v = npa(1.0, 100.0, 10.0);
+        assert!((v - 1.0).abs() < 1e-9, "one record → one page, got {v}");
+    }
+
+    #[test]
+    fn single_page_store() {
+        assert_eq!(npa(3.0, 100.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_t() {
+        let mut prev = 0.0;
+        for t in 1..=100 {
+            let v = npa(t as f64, 100.0, 10.0);
+            assert!(v >= prev - 1e-12, "npa must be monotone, t={t}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn bounded_by_t_and_m() {
+        for &(t, n, m) in &[(5.0, 1000.0, 50.0), (20.0, 200.0, 10.0), (7.0, 49.0, 7.0)] {
+            let v = npa(t, n, m);
+            assert!(v <= m + 1e-9);
+            assert!(v <= t + 1e-9, "can't touch more pages than records");
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn textbook_value() {
+        // n=100 records on m=10 pages (10 per page), t=10: the classic
+        // expectation is 10·(1 − Π_{i=1..10} (90−i+1)/(100−i+1)) ≈ 6.6.
+        let v = npa(10.0, 100.0, 10.0);
+        assert!((v - 6.6).abs() < 0.3, "got {v}");
+    }
+
+    #[test]
+    fn fractional_t_interpolates() {
+        let lo = npa(2.0, 100.0, 10.0);
+        let hi = npa(3.0, 100.0, 10.0);
+        let mid = npa(2.5, 100.0, 10.0);
+        assert!(lo < mid && mid < hi);
+    }
+
+    #[test]
+    fn huge_t_saturates_without_overflow() {
+        let v = npa(1e6, 1e7, 1e4);
+        assert!(v <= 1e4 + 1e-6);
+        assert!(v > 9.9e3, "t = 10% of n with 1000 per page saturates");
+    }
+}

@@ -1,0 +1,101 @@
+//! Edge cases: degenerate database characteristics must not produce NaN,
+//! infinity, zero or negative costs — the optimizer trusts every cell.
+
+use oic_cost::characteristics::PathCharacteristics;
+use oic_cost::{ClassStats, CostModel, CostParams, Org};
+use oic_schema::{fixtures, Path, SubpathId};
+
+fn model_for(stats: ClassStats) -> (oic_schema::Schema, Path, PathCharacteristics) {
+    let (schema, _) = fixtures::paper_schema();
+    let path = fixtures::paper_path_pexa(&schema);
+    let chars = PathCharacteristics::build(&schema, &path, |_| stats);
+    (schema, path, chars)
+}
+
+fn assert_all_cells_sane(schema: &oic_schema::Schema, path: &Path, chars: &PathCharacteristics) {
+    let model = CostModel::new(schema, path, chars, CostParams::default());
+    for sub in path.subpath_ids() {
+        for org in Org::ALL {
+            for l in sub.start..=sub.end {
+                for x in 0..chars.nc(l) {
+                    for v in [
+                        model.retrieval(org, sub, l, x),
+                        model.maint_insert(org, sub, l, x),
+                        model.maint_delete(org, sub, l, x),
+                    ] {
+                        assert!(v.is_finite() && v > 0.0, "{org} S{sub} l={l} x={x}: {v}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn singleton_classes() {
+    let (schema, path, chars) = model_for(ClassStats::new(1.0, 1.0, 1.0));
+    assert_all_cells_sane(&schema, &path, &chars);
+}
+
+#[test]
+fn one_distinct_value_everywhere() {
+    // d = 1: every object shares the same value; k = n·nin, records huge.
+    let (schema, path, chars) = model_for(ClassStats::new(10_000.0, 1.0, 1.0));
+    assert_all_cells_sane(&schema, &path, &chars);
+}
+
+#[test]
+fn all_values_distinct() {
+    // d = n·nin: k = 1, minimal records.
+    let (schema, path, chars) = model_for(ClassStats::new(10_000.0, 10_000.0, 1.0));
+    assert_all_cells_sane(&schema, &path, &chars);
+}
+
+#[test]
+fn huge_fanout() {
+    let (schema, path, chars) = model_for(ClassStats::new(1_000.0, 100.0, 50.0));
+    assert_all_cells_sane(&schema, &path, &chars);
+}
+
+#[test]
+fn single_position_path() {
+    // A path of length 1 (a plain attribute index): all three organizations
+    // degenerate towards SIX/IIX and the optimizer has exactly one
+    // configuration.
+    let (schema, _) = fixtures::paper_schema();
+    let path = Path::parse(&schema, "Division", &["name"]).unwrap();
+    let chars = PathCharacteristics::build(&schema, &path, |_| ClassStats::new(1_000.0, 500.0, 1.0));
+    let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+    let sub = SubpathId { start: 1, end: 1 };
+    for org in Org::ALL {
+        assert!(model.retrieval(org, sub, 1, 0) > 0.0);
+        assert!(model.maint_insert(org, sub, 1, 0) > 0.0);
+        assert!(model.maint_delete(org, sub, 1, 0) > 0.0);
+    }
+    // No boundary: the single position ends at an atomic attribute.
+    assert_eq!(path.subpath_ids().len(), 1);
+}
+
+#[test]
+fn zero_distinct_values_clamped() {
+    // d = 0 is nonsensical input; the model clamps rather than dividing by
+    // zero (k() returns 0, estimator clamps D to 1).
+    let (schema, path, chars) = model_for(ClassStats::new(100.0, 0.0, 1.0));
+    let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+    let full = SubpathId { start: 1, end: 4 };
+    for org in Org::ALL {
+        let v = model.retrieval(org, full, 1, 0);
+        assert!(v.is_finite() && v >= 0.0);
+    }
+}
+
+#[test]
+fn tiny_pages_with_fat_records() {
+    let (schema, path, chars) = model_for(ClassStats::new(50_000.0, 50.0, 3.0));
+    let model = CostModel::new(&schema, &path, &chars, CostParams::with_page_size(128.0));
+    let full = SubpathId { start: 1, end: 4 };
+    for org in Org::ALL {
+        let v = model.retrieval(org, full, 1, 0);
+        assert!(v.is_finite() && v > 0.0, "{org}: {v}");
+    }
+}

@@ -1,0 +1,80 @@
+//! The B+-tree estimator against the real `oic-btree` structure, across
+//! random shapes: heights within one level, leaf pages within a factor two
+//! (real splits leave pages part-filled; the estimator packs them).
+
+use oic_btree::{BTreeIndex, Layout};
+use oic_cost::est::estimate_btree;
+use oic_cost::CostParams;
+use oic_storage::PageStore;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn estimator_tracks_real_trees(
+        keys in 50u64..3_000,
+        entries_per_key in 1usize..6,
+        entry_len in 4usize..64,
+        page_size in prop::sample::select(vec![512usize, 1024, 4096]),
+    ) {
+        let mut store = PageStore::new(page_size);
+        let mut tree = BTreeIndex::new(&mut store, Layout::for_page_size(page_size));
+        for i in 0..keys {
+            let mut k = vec![1u8];
+            k.extend_from_slice(&i.to_be_bytes());
+            for e in 0..entries_per_key {
+                let mut payload = vec![e as u8; entry_len];
+                payload[0] = e as u8;
+                tree.insert_entry(&mut store, &k, payload);
+            }
+        }
+        let params = CostParams::with_page_size(page_size as f64);
+        // ln mirrors the layout: record_overhead + key + entries.
+        let ln = 8.0 + 9.0 + entries_per_key as f64 * (entry_len as f64 + 2.0);
+        let est = estimate_btree(keys as f64, ln, 9.0, &params);
+
+        let real_h = tree.height() as i64;
+        prop_assert!(
+            (est.height as i64 - real_h).abs() <= 1,
+            "height: est {} vs real {} (keys {}, ln {:.0}, p {})",
+            est.height, real_h, keys, ln, page_size
+        );
+        let real_pl = tree.leaf_pages() as f64;
+        prop_assert!(
+            est.leaf_pages <= real_pl * 1.5 && est.leaf_pages >= real_pl / 3.0,
+            "leaf pages: est {:.0} vs real {:.0}",
+            est.leaf_pages, real_pl
+        );
+    }
+
+    #[test]
+    fn estimator_tracks_oversized_records(
+        keys in 5u64..60,
+        entries_per_key in 50usize..400,
+    ) {
+        let page_size = 512usize;
+        let mut store = PageStore::new(page_size);
+        let mut tree = BTreeIndex::new(&mut store, Layout::for_page_size(page_size));
+        for i in 0..keys {
+            let mut k = vec![1u8];
+            k.extend_from_slice(&i.to_be_bytes());
+            for e in 0..entries_per_key {
+                tree.insert_entry(&mut store, &k, (e as u32).to_be_bytes().to_vec());
+            }
+        }
+        let params = CostParams::with_page_size(page_size as f64);
+        let ln = 8.0 + 9.0 + entries_per_key as f64 * 6.0;
+        let est = estimate_btree(keys as f64, ln, 9.0, &params);
+        prop_assume!(ln > page_size as f64);
+        // Chains: est pl = keys · ⌈ln/p⌉; the real tree agrees exactly on
+        // chain length per record.
+        let real_pl = tree.leaf_pages() as f64;
+        prop_assert!(
+            (est.leaf_pages - real_pl).abs() <= keys as f64,
+            "oversized leaf pages: est {:.0} vs real {:.0}",
+            est.leaf_pages,
+            real_pl
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests on the analytic cost model: totality, bounds and
+//! monotonicity over randomized database characteristics.
+
+use oic_cost::characteristics::PathCharacteristics;
+use oic_cost::est::estimate_btree;
+use oic_cost::yao::npa;
+use oic_cost::{ClassStats, CostModel, CostParams, Org};
+use oic_schema::{fixtures, SubpathId};
+use proptest::prelude::*;
+
+/// Random-but-consistent class statistics for the Figure 1 schema and Pexa.
+fn chars_strategy() -> impl Strategy<Value = PathCharacteristics> {
+    // (n, d-fraction, nin) per scope class; d = max(1, n * fraction).
+    prop::collection::vec((10.0f64..200_000.0, 0.01f64..1.0, 1.0f64..5.0), 6).prop_map(|v| {
+        let (schema, _) = fixtures::paper_schema();
+        let path = fixtures::paper_path_pexa(&schema);
+        let mut i = 0;
+        PathCharacteristics::build(&schema, &path, |_| {
+            let (n, df, nin) = v[i % v.len()];
+            i += 1;
+            ClassStats::new(n.round(), (n * df).round().max(1.0), nin)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every cost is finite and strictly positive, for every organization,
+    /// subpath and class, under arbitrary characteristics.
+    #[test]
+    fn costs_total_and_positive(chars in chars_strategy(),
+                                page in prop::sample::select(vec![512.0, 1024.0, 4096.0])) {
+        let (schema, _) = fixtures::paper_schema();
+        let path = fixtures::paper_path_pexa(&schema);
+        let model = CostModel::new(&schema, &path, &chars, CostParams::with_page_size(page));
+        for sub in path.subpath_ids() {
+            for org in Org::ALL {
+                for l in sub.start..=sub.end {
+                    for x in 0..chars.nc(l) {
+                        for v in [
+                            model.retrieval(org, sub, l, x),
+                            model.maint_insert(org, sub, l, x),
+                            model.maint_delete(org, sub, l, x),
+                        ] {
+                            prop_assert!(v.is_finite() && v > 0.0,
+                                "{org} S{sub} l={l} x={x}: {v}");
+                        }
+                    }
+                }
+                prop_assert!(model.retrieval_traversal(org, sub) > 0.0);
+                if sub.end < path.len() {
+                    prop_assert!(model.boundary_delete(org, sub) > 0.0);
+                }
+            }
+        }
+    }
+
+    /// MX retrieval shrinks as the target moves toward the ending attribute
+    /// (fewer positions to traverse), for any characteristics.
+    #[test]
+    fn mx_retrieval_monotone_along_path(chars in chars_strategy()) {
+        let (schema, _) = fixtures::paper_schema();
+        let path = fixtures::paper_path_pexa(&schema);
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        let full = SubpathId { start: 1, end: 4 };
+        let mut prev = f64::INFINITY;
+        for l in 1..=4 {
+            let c = model.retrieval(Org::Mx, full, l, 0);
+            prop_assert!(c <= prev + 1e-9, "position {l}: {c:.3} > {prev:.3}");
+            prev = c;
+        }
+    }
+
+    /// Longer subpaths cost at least as much to query through (same target)
+    /// under MX — extending the tail can't make retrieval cheaper.
+    #[test]
+    fn longer_subpaths_cost_more_mx(chars in chars_strategy()) {
+        let (schema, _) = fixtures::paper_schema();
+        let path = fixtures::paper_path_pexa(&schema);
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        for end in 2..=4usize {
+            let shorter = model.retrieval(Org::Mx, SubpathId { start: 1, end: end - 1 }, 1, 0);
+            let longer = model.retrieval(Org::Mx, SubpathId { start: 1, end }, 1, 0);
+            prop_assert!(longer + 1e-9 >= shorter,
+                "end={end}: longer {longer:.3} < shorter {shorter:.3}");
+        }
+    }
+
+    /// Yao's formula: bounded by both `t` and `m`, and monotone in `t`.
+    #[test]
+    fn yao_bounds(t in 0.0f64..5_000.0, n in 1.0f64..100_000.0, per_page in 1.0f64..500.0) {
+        let m = (n / per_page).ceil().max(1.0);
+        let v = npa(t, n, m);
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= m + 1e-9);
+        if t >= 1.0 {
+            prop_assert!(v <= t + 1e-9);
+            prop_assert!(v >= 1.0 - 1e-9, "at least one page for t ≥ 1");
+        }
+        let v2 = npa(t + 1.0, n, m);
+        prop_assert!(v2 + 1e-9 >= v, "monotone in t");
+    }
+
+    /// The B+-tree estimator: heights grow with keys, leaf pages scale with
+    /// record volume, profiles are internally consistent.
+    #[test]
+    fn estimator_consistency(d in 1.0f64..2_000_000.0, ln in 8.0f64..40_000.0) {
+        let params = CostParams::default();
+        let e = estimate_btree(d, ln, 9.0, &params);
+        prop_assert_eq!(e.levels.len(), e.height);
+        prop_assert_eq!(e.levels[0].1, 1.0, "single root page");
+        let (n_leaf, p_leaf) = e.leaf_level();
+        prop_assert_eq!(n_leaf, d.max(1.0));
+        prop_assert_eq!(p_leaf, e.leaf_pages);
+        // Volume bound: leaf pages ≥ bytes / page_size.
+        let bytes = d.max(1.0) * ln.max(1.0);
+        prop_assert!(e.leaf_pages + 1.0 >= bytes / params.page_size / 2.0);
+        // More keys never shrink the tree.
+        let bigger = estimate_btree(d * 2.0, ln, 9.0, &params);
+        prop_assert!(bigger.height >= e.height);
+        prop_assert!(bigger.leaf_pages >= e.leaf_pages);
+    }
+}

@@ -1,0 +1,99 @@
+//! Range-predicate extension (Section 3: “the extension to range predicates
+//! is straightforward”): a predicate matching `m` ending-attribute values
+//! probes each index with `m ×` the equality key count.
+
+use oic_cost::characteristics::example51;
+use oic_cost::{CostModel, CostParams, Org};
+use oic_schema::SubpathId;
+
+fn fixture() -> (oic_schema::Schema, oic_schema::Path, oic_cost::PathCharacteristics) {
+    let (schema, _) = oic_schema::fixtures::paper_schema();
+    let (path, chars) = example51(&schema);
+    (schema, path, chars)
+}
+
+#[test]
+fn range_costs_grow_monotonically_in_matched_values() {
+    let (schema, path, chars) = fixture();
+    let full = SubpathId { start: 1, end: 4 };
+    for org in Org::ALL {
+        let mut prev = 0.0;
+        for m in [1.0, 2.0, 5.0, 20.0, 100.0] {
+            let model =
+                CostModel::new(&schema, &path, &chars, CostParams::paper()).with_matched_values(m);
+            let c = model.retrieval(org, full, 1, 0);
+            assert!(
+                c >= prev,
+                "{org}: retrieval must be monotone in m (m={m}: {c:.2} < {prev:.2})"
+            );
+            prev = c;
+        }
+    }
+}
+
+#[test]
+fn range_costs_are_sublinear_in_matched_values() {
+    // Yao's formula makes t records cost fewer than t single-record probes.
+    let (schema, path, chars) = fixture();
+    let full = SubpathId { start: 1, end: 4 };
+    let eq = CostModel::new(&schema, &path, &chars, CostParams::paper());
+    let range =
+        CostModel::new(&schema, &path, &chars, CostParams::paper()).with_matched_values(50.0);
+    for org in Org::ALL {
+        let one = eq.retrieval(org, full, 4, 0);
+        let fifty = range.retrieval(org, full, 4, 0);
+        assert!(fifty > one, "{org}: more values cost more");
+        assert!(
+            fifty < 50.0 * one,
+            "{org}: Yao sublinearity ({fifty:.2} !< 50 × {one:.2})"
+        );
+    }
+}
+
+#[test]
+fn maintenance_is_unaffected_by_predicate_width() {
+    // Range predicates change query costs only; updates are per object.
+    let (schema, path, chars) = fixture();
+    let full = SubpathId { start: 1, end: 4 };
+    let eq = CostModel::new(&schema, &path, &chars, CostParams::paper());
+    let range =
+        CostModel::new(&schema, &path, &chars, CostParams::paper()).with_matched_values(10.0);
+    for org in Org::ALL {
+        for l in 1..=4 {
+            assert_eq!(
+                eq.maint_insert(org, full, l, 0),
+                range.maint_insert(org, full, l, 0)
+            );
+            assert_eq!(
+                eq.maint_delete(org, full, l, 0),
+                range.maint_delete(org, full, l, 0)
+            );
+        }
+    }
+}
+
+#[test]
+#[should_panic]
+fn zero_width_predicates_rejected() {
+    let (schema, path, chars) = fixture();
+    let _ = CostModel::new(&schema, &path, &chars, CostParams::paper()).with_matched_values(0.5);
+}
+
+#[test]
+fn wide_ranges_erode_nix_advantage() {
+    // NIX's one-lookup advantage shrinks as ranges widen: it must fetch m
+    // fat records, while MX's per-position trees amortize across values.
+    let (schema, path, chars) = fixture();
+    let full = SubpathId { start: 1, end: 4 };
+    let ratio = |m: f64| {
+        let model =
+            CostModel::new(&schema, &path, &chars, CostParams::paper()).with_matched_values(m);
+        model.retrieval(Org::Mx, full, 1, 0) / model.retrieval(Org::Nix, full, 1, 0)
+    };
+    let narrow = ratio(1.0);
+    let wide = ratio(200.0);
+    assert!(
+        wide < narrow,
+        "MX/NIX cost ratio should fall with range width: {wide:.2} !< {narrow:.2}"
+    );
+}

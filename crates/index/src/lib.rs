@@ -1,0 +1,45 @@
+//! The five index organizations of Choenni et al. (ICDE 1994), Section 2.2,
+//! implemented over the real page-counting B+-tree substrate:
+//!
+//! * [`SimpleIndex`] (SIX) — an index on an attribute of a single class;
+//! * [`InheritedIndex`] (IIX) — an index on an attribute of all classes of
+//!   an inheritance hierarchy (a.k.a. class-hierarchy index);
+//! * [`MultiIndex`] (MX) — a SIX on each class in the scope of a path;
+//! * [`MultiInheritedIndex`] (MIX) — an IIX per path position;
+//! * [`NestedInheritedIndex`] (NIX) — a primary index on the ending
+//!   attribute over the whole scope plus an auxiliary parent index
+//!   (Figures 3–5), with the paper's insertion/deletion algorithms
+//!   (Section 3.1, steps 1–4).
+//!
+//! All organizations implement [`PathIndex`]: equality lookups against the
+//! (sub)path's ending attribute and maintenance on object insertion and
+//! deletion — including the record removal in the *preceding* index when an
+//! object of the ending attribute's domain dies (the measured counterpart
+//! of the Section 4 `CMD` term).
+//!
+//! [`NaivePathEvaluator`] answers the same queries with no index at all by
+//! scanning and navigating forward references — the paper's motivating
+//! “very expensive” baseline (Section 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod iix;
+mod mix;
+mod mx;
+mod naive;
+mod nix;
+mod segment;
+mod six;
+#[cfg(test)]
+pub(crate) mod testutil;
+mod traits;
+
+pub use iix::InheritedIndex;
+pub use mix::MultiInheritedIndex;
+pub use mx::MultiIndex;
+pub use naive::NaivePathEvaluator;
+pub use nix::NestedInheritedIndex;
+pub use segment::Segment;
+pub use six::SimpleIndex;
+pub use traits::PathIndex;

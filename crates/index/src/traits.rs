@@ -1,0 +1,55 @@
+//! The common interface of all path index organizations.
+
+use crate::Segment;
+use oic_schema::ClassId;
+use oic_storage::{Object, Oid, PageStore, Value};
+
+/// A (sub)path index: answers equality lookups against the segment's ending
+/// attribute and absorbs object insertions/deletions.
+pub trait PathIndex {
+    /// The segment this index covers.
+    fn segment(&self) -> &Segment;
+
+    /// Oids of `target`-class objects (optionally including subclasses)
+    /// whose nested ending-attribute value matches any of `keys`.
+    ///
+    /// For segments whose ending attribute is a reference, `keys` are the
+    /// qualifying child oids delivered by the downstream subpath
+    /// (`Value::Ref`); for atomic endings they are the query constants.
+    fn lookup(
+        &self,
+        store: &PageStore,
+        keys: &[Value],
+        target: ClassId,
+        with_subclasses: bool,
+    ) -> Vec<Oid>;
+
+    /// Maintains the index for a newly inserted object. Objects outside the
+    /// segment's scope are ignored.
+    fn on_insert(&mut self, store: &mut PageStore, obj: &Object);
+
+    /// Maintains the index for a deleted object. Handles both scope members
+    /// and *boundary* objects (domain of the ending attribute), whose death
+    /// removes the record keyed by their oid — the paper's `CMD` effect.
+    fn on_delete(&mut self, store: &mut PageStore, obj: &Object);
+
+    /// Short human-readable description (organization + segment).
+    fn describe(&self) -> String;
+
+    /// Total index pages currently allocated (all underlying B-trees).
+    fn total_pages(&self) -> u64;
+}
+
+/// Helper: deduplicate and sort an oid result set.
+pub(crate) fn normalize(mut oids: Vec<Oid>) -> Vec<Oid> {
+    oids.sort_unstable();
+    oids.dedup();
+    oids
+}
+
+/// Helper: decode an 8-byte posting entry into an oid.
+pub(crate) fn entry_to_oid(e: &[u8]) -> Oid {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&e[..8]);
+    Oid::from_bytes(b)
+}

@@ -1,0 +1,132 @@
+//! Attribute definitions: atomic vs reference domains, single vs multi-valued.
+
+use crate::ClassId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Domain of an atomic attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomicType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for AtomicType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomicType::Int => write!(f, "integer"),
+            AtomicType::Float => write!(f, "float"),
+            AtomicType::Str => write!(f, "string"),
+        }
+    }
+}
+
+/// Kind of an attribute's domain: an atomic class or a non-atomic class
+/// (a *part-of* relationship to another class in the aggregation hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// The domain is an atomic type.
+    Atomic(AtomicType),
+    /// The domain is another class; holding objects of the class or any of
+    /// its subclasses (forward reference only, per the paper's assumptions).
+    Reference(ClassId),
+}
+
+impl AttrKind {
+    /// Returns the referenced class if this is a reference attribute.
+    #[inline]
+    pub fn referenced_class(&self) -> Option<ClassId> {
+        match self {
+            AttrKind::Reference(c) => Some(*c),
+            AttrKind::Atomic(_) => None,
+        }
+    }
+
+    /// Whether the attribute's domain is atomic.
+    #[inline]
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, AttrKind::Atomic(_))
+    }
+}
+
+/// Whether an attribute holds one value or a set of values. Multi-valued
+/// attributes are marked `+` in the paper's Figure 1 (e.g. `divisions+`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cardinality {
+    /// Exactly one value (the paper assumes no NULLs).
+    Single,
+    /// A set of values; the expected set size is the workload parameter
+    /// `nin` in the cost model.
+    Multi,
+}
+
+/// An attribute of a class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within the declaring class (including
+    /// inherited attributes).
+    pub name: String,
+    /// Domain of the attribute.
+    pub kind: AttrKind,
+    /// Single- or multi-valued.
+    pub cardinality: Cardinality,
+}
+
+impl Attribute {
+    /// New single-valued atomic attribute.
+    pub fn atomic(name: impl Into<String>, ty: AtomicType) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Atomic(ty),
+            cardinality: Cardinality::Single,
+        }
+    }
+
+    /// New reference attribute.
+    pub fn reference(name: impl Into<String>, class: ClassId, cardinality: Cardinality) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Reference(class),
+            cardinality,
+        }
+    }
+
+    /// Whether the attribute is multi-valued.
+    #[inline]
+    pub fn is_multi(&self) -> bool {
+        self.cardinality == Cardinality::Multi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_constructor() {
+        let a = Attribute::atomic("age", AtomicType::Int);
+        assert_eq!(a.name, "age");
+        assert!(a.kind.is_atomic());
+        assert!(!a.is_multi());
+        assert_eq!(a.kind.referenced_class(), None);
+    }
+
+    #[test]
+    fn reference_constructor() {
+        let a = Attribute::reference("owns", ClassId(3), Cardinality::Multi);
+        assert!(!a.kind.is_atomic());
+        assert!(a.is_multi());
+        assert_eq!(a.kind.referenced_class(), Some(ClassId(3)));
+    }
+
+    #[test]
+    fn atomic_type_display() {
+        assert_eq!(AtomicType::Int.to_string(), "integer");
+        assert_eq!(AtomicType::Str.to_string(), "string");
+        assert_eq!(AtomicType::Float.to_string(), "float");
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type for schema and path construction.
+
+use std::fmt;
+
+/// Errors raised while building schemas or validating paths against them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A class name was declared twice.
+    DuplicateClass(String),
+    /// An attribute name collides within a class (including inherited names).
+    DuplicateAttribute {
+        /// Owning class.
+        class: String,
+        /// Colliding attribute name.
+        attribute: String,
+    },
+    /// A named class does not exist.
+    UnknownClass(String),
+    /// A named attribute does not exist on the class (nor is inherited).
+    UnknownAttribute {
+        /// Class that was searched.
+        class: String,
+        /// Missing attribute name.
+        attribute: String,
+    },
+    /// The inheritance graph contains a cycle through the named class.
+    InheritanceCycle(String),
+    /// Path step `l` names an attribute whose domain is atomic, but the path
+    /// continues past it (Definition 2.1 requires `C_{l+1}` to be the domain
+    /// of `A_l`).
+    AtomicMidPath {
+        /// Position (1-based) of the offending step.
+        position: usize,
+        /// The attribute name.
+        attribute: String,
+    },
+    /// A class occurs more than once along the path, violating
+    /// Definition 2.1 (“a class appears at most once in the path”).
+    ClassRepeatsInPath(String),
+    /// Attempted to build an empty path.
+    EmptyPath,
+    /// Subpath bounds out of range or inverted.
+    BadSubpathBounds {
+        /// Requested start position (1-based).
+        start: usize,
+        /// Requested end position (1-based).
+        end: usize,
+        /// Length of the path.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateClass(c) => write!(f, "duplicate class `{c}`"),
+            SchemaError::DuplicateAttribute { class, attribute } => {
+                write!(f, "duplicate attribute `{attribute}` in class `{class}`")
+            }
+            SchemaError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            SchemaError::UnknownAttribute { class, attribute } => {
+                write!(f, "class `{class}` has no attribute `{attribute}`")
+            }
+            SchemaError::InheritanceCycle(c) => {
+                write!(f, "inheritance cycle through class `{c}`")
+            }
+            SchemaError::AtomicMidPath {
+                position,
+                attribute,
+            } => write!(
+                f,
+                "attribute `{attribute}` at path position {position} is atomic but the path continues"
+            ),
+            SchemaError::ClassRepeatsInPath(c) => {
+                write!(f, "class `{c}` appears more than once in the path")
+            }
+            SchemaError::EmptyPath => write!(f, "a path must contain at least one step"),
+            SchemaError::BadSubpathBounds { start, end, len } => write!(
+                f,
+                "subpath bounds [{start}, {end}] invalid for a path of length {len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SchemaError::UnknownAttribute {
+            class: "Person".into(),
+            attribute: "wings".into(),
+        };
+        assert!(e.to_string().contains("Person"));
+        assert!(e.to_string().contains("wings"));
+        let e = SchemaError::BadSubpathBounds {
+            start: 3,
+            end: 2,
+            len: 4,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,139 @@
+//! The paper's running example schema (Figure 1) and its two paths.
+
+use crate::{AtomicType, Cardinality, ClassId, Path, Schema, SchemaBuilder};
+
+/// Class ids of the Figure 1 schema, for convenient direct access.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperClasses {
+    /// `Person` (abbreviated `Per` in the paper).
+    pub person: ClassId,
+    /// `Vehicle` (`Veh`) — roots the inheritance hierarchy with Bus/Truck.
+    pub vehicle: ClassId,
+    /// `Bus`, subclass of `Vehicle`.
+    pub bus: ClassId,
+    /// `Truck`, subclass of `Vehicle`.
+    pub truck: ClassId,
+    /// `Company` (`Comp`).
+    pub company: ClassId,
+    /// `Division` (`Div`).
+    pub division: ClassId,
+}
+
+/// Builds the object-oriented logical schema of the paper's Figure 1.
+///
+/// ```text
+/// Person   { name: string, age: integer, owns → Vehicle }
+/// Vehicle  { color: string, max_speed: integer, weight: integer,
+///            availability: string, man+ → Company }
+/// Bus      : Vehicle { seats: integer }
+/// Truck    : Vehicle { capacity: integer, height: integer }
+/// Company  { name: string, location: string, divs+ → Division }
+/// Division { name: string, function: string, movings: integer }
+/// ```
+///
+/// `man` and `divs` are multi-valued (marked `+` in Figure 1; Figure 7 gives
+/// `nin = 3` for Vehicle's path attribute and `nin = 4` for Company's).
+pub fn paper_schema() -> (Schema, PaperClasses) {
+    let mut b = SchemaBuilder::new();
+    let division = b.declare("Division").expect("fresh builder");
+    b.atomic(division, "name", AtomicType::Str).unwrap();
+    b.atomic(division, "function", AtomicType::Str).unwrap();
+    b.atomic(division, "movings", AtomicType::Int).unwrap();
+
+    let company = b.declare("Company").unwrap();
+    b.atomic(company, "name", AtomicType::Str).unwrap();
+    b.atomic(company, "location", AtomicType::Str).unwrap();
+    b.reference(company, "divs", division, Cardinality::Multi)
+        .unwrap();
+
+    let vehicle = b.declare("Vehicle").unwrap();
+    b.atomic(vehicle, "color", AtomicType::Str).unwrap();
+    b.atomic(vehicle, "max_speed", AtomicType::Int).unwrap();
+    b.atomic(vehicle, "weight", AtomicType::Int).unwrap();
+    b.atomic(vehicle, "availability", AtomicType::Str).unwrap();
+    b.reference(vehicle, "man", company, Cardinality::Multi)
+        .unwrap();
+
+    let bus = b.subclass("Bus", vehicle, vec![]).unwrap();
+    b.atomic(bus, "seats", AtomicType::Int).unwrap();
+    let truck = b.subclass("Truck", vehicle, vec![]).unwrap();
+    b.atomic(truck, "capacity", AtomicType::Int).unwrap();
+    b.atomic(truck, "height", AtomicType::Int).unwrap();
+
+    let person = b.declare("Person").unwrap();
+    b.atomic(person, "name", AtomicType::Str).unwrap();
+    b.atomic(person, "age", AtomicType::Int).unwrap();
+    b.reference(person, "owns", vehicle, Cardinality::Single)
+        .unwrap();
+
+    let schema = b.build().expect("paper schema is valid");
+    (
+        schema,
+        PaperClasses {
+            person,
+            vehicle,
+            bus,
+            truck,
+            company,
+            division,
+        },
+    )
+}
+
+/// `Pe = Per.owns.man.name` — the path of Example 2.1 (length 3).
+pub fn paper_path_pe(schema: &Schema) -> Path {
+    Path::parse(schema, "Person", &["owns", "man", "name"]).expect("Pe is valid on Figure 1")
+}
+
+/// `Pexa = Per.owns.man.divs.name` — the path of Example 5.1 (length 4).
+pub fn paper_path_pexa(schema: &Schema) -> Path {
+    Path::parse(schema, "Person", &["owns", "man", "divs", "name"])
+        .expect("Pexa is valid on Figure 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schema_shape() {
+        let (s, c) = paper_schema();
+        assert_eq!(s.class_count(), 6);
+        assert_eq!(s.nc(c.vehicle), 3);
+        assert_eq!(s.nc(c.person), 1);
+        assert_eq!(s.nc(c.company), 1);
+        // Bus inherits color and man from Vehicle.
+        assert!(s.resolve_attribute(c.bus, "color").is_ok());
+        assert!(s.resolve_attribute(c.bus, "man").is_ok());
+        assert!(s.resolve_attribute(c.bus, "seats").is_ok());
+        assert!(s.resolve_attribute(c.vehicle, "seats").is_err());
+    }
+
+    #[test]
+    fn pe_scope_matches_example_2_1() {
+        let (s, _) = paper_schema();
+        let pe = paper_path_pe(&s);
+        assert_eq!(pe.len(), 3);
+        assert_eq!(pe.scope(&s).len(), 5);
+    }
+
+    #[test]
+    fn pexa_has_length_4() {
+        let (s, _) = paper_schema();
+        let p = paper_path_pexa(&s);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.scope(&s).len(), 6);
+        assert_eq!(p.subpath_ids().len(), 10);
+    }
+
+    #[test]
+    fn multi_valued_attributes_marked() {
+        let (s, c) = paper_schema();
+        let (_, man) = s.resolve_attribute(c.vehicle, "man").unwrap();
+        assert!(man.is_multi());
+        let (_, divs) = s.resolve_attribute(c.company, "divs").unwrap();
+        assert!(divs.is_multi());
+        let (_, owns) = s.resolve_attribute(c.person, "owns").unwrap();
+        assert!(!owns.is_multi());
+    }
+}

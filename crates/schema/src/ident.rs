@@ -1,0 +1,74 @@
+//! Lightweight identifiers for classes and attributes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a class within a [`crate::Schema`].
+///
+/// Class ids are dense indices assigned in declaration order by
+/// [`crate::SchemaBuilder`]; they are valid only for the schema that produced
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// The dense index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of an attribute *within its declaring class* (position in the
+/// class's own attribute list, not counting inherited attributes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId {
+    /// Class that declares the attribute.
+    pub class: ClassId,
+    /// Position within the declaring class's attribute list.
+    pub slot: u32,
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.a{}", self.class, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_id_display_and_index() {
+        let id = ClassId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "c7");
+    }
+
+    #[test]
+    fn attr_id_display() {
+        let a = AttrId {
+            class: ClassId(2),
+            slot: 3,
+        };
+        assert_eq!(a.to_string(), "c2.a3");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ClassId(1));
+        set.insert(ClassId(1));
+        set.insert(ClassId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ClassId(1) < ClassId(2));
+    }
+}

@@ -1,0 +1,40 @@
+//! OO data model for the index-configuration reproduction.
+//!
+//! This crate implements the logical data model of Choenni, Bertino, Blanken
+//! and Chang, *“On the Selection of Optimal Index Configuration in OO
+//! Databases”* (ICDE 1994), Section 1 and Section 2.1:
+//!
+//! * **Classes** with typed attributes. An attribute is either *atomic*
+//!   (integer, float, string) or a *reference* to another class (a *part-of*
+//!   relationship), and either single- or multi-valued (marked `+` in the
+//!   paper's Figure 1).
+//! * **Inheritance hierarchies**: a subclass inherits the attributes of its
+//!   superclass and may add its own. `C⁺_{l,x}` — a class together with all
+//!   its (transitive) subclasses — is [`Schema::hierarchy`].
+//! * **Aggregation hierarchies**: the tree of part-of relationships rooted at
+//!   a class, traversed by [`Path`]s.
+//! * **Paths** (Definition 2.1): `P = C1.A1.A2.....An` where `A_l` is an
+//!   attribute of `C_l` and `C_{l+1}` is the domain of `A_l`. Provides
+//!   `len(P)`, `class(P)`, `scope(P)` and subpath enumeration exactly as used
+//!   by the selection algorithm in Section 5 of the paper.
+//!
+//! The paper's running example (Figure 1: Person / Vehicle / Bus / Truck /
+//! Company / Division) is available from [`fixtures`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attribute;
+mod class;
+mod error;
+pub mod fixtures;
+mod ident;
+mod path;
+mod schema;
+
+pub use attribute::{AtomicType, Attribute, AttrKind, Cardinality};
+pub use class::Class;
+pub use error::SchemaError;
+pub use ident::{AttrId, ClassId};
+pub use path::{Path, PathStep, SubpathId};
+pub use schema::{Schema, SchemaBuilder};

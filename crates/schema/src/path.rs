@@ -1,0 +1,329 @@
+//! Paths through the aggregation hierarchy (Definition 2.1 of the paper).
+
+use crate::{Attribute, AttrKind, ClassId, Schema, SchemaError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of a path: the class `C_l` at position `l` (the *root* of the
+/// inheritance hierarchy at that position) together with its attribute `A_l`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// `C_l` — the class at this position.
+    pub class: ClassId,
+    /// Name of `A_l`.
+    pub attr_name: String,
+    /// Definition of `A_l` (resolved, possibly inherited).
+    pub attr: Attribute,
+}
+
+/// Identifier of a subpath `S_{i,j} = C_i.A_i.....A_j` within a path, using
+/// the paper's two-subscript notation from Section 5: 1-based start position
+/// `i` (the starting class) and end position `j` (the ending attribute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubpathId {
+    /// 1-based position of the subpath's starting class within the superpath.
+    pub start: usize,
+    /// 1-based position of the subpath's ending attribute within the superpath.
+    pub end: usize,
+}
+
+impl SubpathId {
+    /// Number of classes along the subpath (its `len` per Definition 2.1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Subpaths are never empty; provided for clippy-completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for SubpathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{},{}", self.start, self.end)
+    }
+}
+
+/// A path `P = C1.A1.A2.....An` (Definition 2.1):
+///
+/// * `C1` is a class of the schema (the *starting class*),
+/// * `A_l` is an attribute of `C_l` (possibly inherited),
+/// * `C_{l+1}` is the domain of `A_l` for `1 ≤ l < n`,
+/// * a class appears at most once in the path.
+///
+/// `A_n` is the *ending attribute*; `len(P) = n` is the number of classes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    steps: Vec<PathStep>,
+    /// Human-readable rendering, e.g. `Per.owns.man.name`.
+    display: String,
+}
+
+impl Path {
+    /// Builds and validates a path from a starting class name and a sequence
+    /// of attribute names.
+    ///
+    /// ```
+    /// use oic_schema::fixtures;
+    /// let (schema, _) = fixtures::paper_schema();
+    /// let p = oic_schema::Path::parse(&schema, "Person", &["owns", "man", "name"]).unwrap();
+    /// assert_eq!(p.len(), 3);
+    /// ```
+    pub fn parse(schema: &Schema, start: &str, attrs: &[&str]) -> Result<Self, SchemaError> {
+        let start = schema.class_by_name(start)?;
+        Self::new(schema, start, attrs)
+    }
+
+    /// Builds and validates a path from a starting class id.
+    pub fn new(schema: &Schema, start: ClassId, attrs: &[&str]) -> Result<Self, SchemaError> {
+        if attrs.is_empty() {
+            return Err(SchemaError::EmptyPath);
+        }
+        let mut steps = Vec::with_capacity(attrs.len());
+        let mut seen: Vec<ClassId> = Vec::new();
+        let mut current = start;
+        for (pos, &name) in attrs.iter().enumerate() {
+            if seen.contains(&current) {
+                return Err(SchemaError::ClassRepeatsInPath(
+                    schema.class_name(current).to_string(),
+                ));
+            }
+            seen.push(current);
+            let (_, attr) = schema.resolve_attribute(current, name)?;
+            let attr = attr.clone();
+            match attr.kind {
+                AttrKind::Reference(next) => {
+                    steps.push(PathStep {
+                        class: current,
+                        attr_name: name.to_string(),
+                        attr,
+                    });
+                    current = next;
+                }
+                AttrKind::Atomic(_) => {
+                    if pos + 1 != attrs.len() {
+                        return Err(SchemaError::AtomicMidPath {
+                            position: pos + 1,
+                            attribute: name.to_string(),
+                        });
+                    }
+                    steps.push(PathStep {
+                        class: current,
+                        attr_name: name.to_string(),
+                        attr,
+                    });
+                }
+            }
+        }
+        let display = Self::render(schema, &steps);
+        Ok(Path { steps, display })
+    }
+
+    fn render(schema: &Schema, steps: &[PathStep]) -> String {
+        let mut s = String::new();
+        s.push_str(schema.class_name(steps[0].class));
+        for st in steps {
+            s.push('.');
+            s.push_str(&st.attr_name);
+        }
+        s
+    }
+
+    /// `len(P)` — the number of classes along the path (Section 2.1).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Paths are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The steps `(C_l, A_l)` for `l = 1..=n`.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// The step at 1-based position `l`.
+    pub fn step(&self, l: usize) -> &PathStep {
+        &self.steps[l - 1]
+    }
+
+    /// `class(P)` — the classes along the path (hierarchy roots only).
+    pub fn classes(&self) -> Vec<ClassId> {
+        self.steps.iter().map(|s| s.class).collect()
+    }
+
+    /// `scope(P)` — all classes in `class(P)` plus their subclasses
+    /// (Section 2.1), grouped per position: `scope[l-1]` is `C⁺_l`.
+    pub fn scope_by_position(&self, schema: &Schema) -> Vec<Vec<ClassId>> {
+        self.steps
+            .iter()
+            .map(|s| schema.hierarchy(s.class))
+            .collect()
+    }
+
+    /// `scope(P)` flattened into one class list.
+    pub fn scope(&self, schema: &Schema) -> Vec<ClassId> {
+        self.scope_by_position(schema).concat()
+    }
+
+    /// The starting class `C_1`.
+    pub fn starting_class(&self) -> ClassId {
+        self.steps[0].class
+    }
+
+    /// The ending attribute `A_n`.
+    pub fn ending_attribute(&self) -> &PathStep {
+        self.steps.last().expect("paths are non-empty")
+    }
+
+    /// The class at 1-based position `l+1` is the domain of `A_l`; for the
+    /// final position of a path with an atomic ending attribute there is no
+    /// such class.
+    pub fn domain_of(&self, l: usize) -> Option<ClassId> {
+        self.steps[l - 1].attr.kind.referenced_class()
+    }
+
+    /// Extracts the subpath `S_{i,j}` (1-based, inclusive). The subpath is a
+    /// valid path by construction.
+    pub fn subpath(&self, schema: &Schema, id: SubpathId) -> Result<Path, SchemaError> {
+        if id.start < 1 || id.end > self.len() || id.start > id.end {
+            return Err(SchemaError::BadSubpathBounds {
+                start: id.start,
+                end: id.end,
+                len: self.len(),
+            });
+        }
+        let steps: Vec<PathStep> = self.steps[id.start - 1..id.end].to_vec();
+        let display = Self::render(schema, &steps);
+        Ok(Path { steps, display })
+    }
+
+    /// Enumerates all `n(n+1)/2` subpaths in the matrix-row order of
+    /// Section 5: first the `n` subpaths of length 1, then the `n-1` of
+    /// length 2, and so on up to the full path.
+    pub fn subpath_ids(&self) -> Vec<SubpathId> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n * (n + 1) / 2);
+        for len in 1..=n {
+            for start in 1..=(n - len + 1) {
+                out.push(SubpathId {
+                    start,
+                    end: start + len - 1,
+                });
+            }
+        }
+        out
+    }
+
+    /// Human-readable form, e.g. `Person.owns.man.name`.
+    pub fn display(&self) -> &str {
+        &self.display
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn example_2_1_pe() {
+        // Ex 2.1: Pe = Per.owns.man.name; len 3; class = {Per, Veh, Comp};
+        // scope = {Per, Veh, Bus, Truck, Comp}.
+        let (schema, _) = fixtures::paper_schema();
+        let p = Path::parse(&schema, "Person", &["owns", "man", "name"]).unwrap();
+        assert_eq!(p.len(), 3);
+        let names: Vec<_> = p.classes().iter().map(|&c| schema.class_name(c)).collect();
+        assert_eq!(names, vec!["Person", "Vehicle", "Company"]);
+        let scope: Vec<_> = p.scope(&schema).iter().map(|&c| schema.class_name(c)).collect();
+        assert_eq!(scope, vec!["Person", "Vehicle", "Bus", "Truck", "Company"]);
+        assert_eq!(p.to_string(), "Person.owns.man.name");
+        assert_eq!(p.ending_attribute().attr_name, "name");
+    }
+
+    #[test]
+    fn atomic_mid_path_rejected() {
+        let (schema, _) = fixtures::paper_schema();
+        let e = Path::parse(&schema, "Person", &["name", "owns"]).unwrap_err();
+        assert!(matches!(e, SchemaError::AtomicMidPath { position: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let (schema, _) = fixtures::paper_schema();
+        assert!(Path::parse(&schema, "Person", &["wheels"]).is_err());
+    }
+
+    #[test]
+    fn empty_path_rejected() {
+        let (schema, _) = fixtures::paper_schema();
+        assert!(matches!(
+            Path::parse(&schema, "Person", &[]),
+            Err(SchemaError::EmptyPath)
+        ));
+    }
+
+    #[test]
+    fn subpath_extraction_matches_paper_notation() {
+        let (schema, _) = fixtures::paper_schema();
+        let p = Path::parse(&schema, "Person", &["owns", "man", "divs", "name"]).unwrap();
+        assert_eq!(p.len(), 4);
+        // S_{1,2} = Per.owns.man
+        let s12 = p.subpath(&schema, SubpathId { start: 1, end: 2 }).unwrap();
+        assert_eq!(s12.to_string(), "Person.owns.man");
+        // S_{3,4} = Comp.divs.name
+        let s34 = p.subpath(&schema, SubpathId { start: 3, end: 4 }).unwrap();
+        assert_eq!(s34.to_string(), "Company.divs.name");
+        assert!(p.subpath(&schema, SubpathId { start: 3, end: 5 }).is_err());
+        assert!(p.subpath(&schema, SubpathId { start: 0, end: 1 }).is_err());
+    }
+
+    #[test]
+    fn subpath_count_is_n_times_n_plus_1_over_2() {
+        let (schema, _) = fixtures::paper_schema();
+        let p = Path::parse(&schema, "Person", &["owns", "man", "divs", "name"]).unwrap();
+        let ids = p.subpath_ids();
+        assert_eq!(ids.len(), 4 * 5 / 2);
+        // Matrix-row order: lengths ascending, starts ascending.
+        assert_eq!(ids[0], SubpathId { start: 1, end: 1 });
+        assert_eq!(ids[3], SubpathId { start: 4, end: 4 });
+        assert_eq!(ids[4], SubpathId { start: 1, end: 2 });
+        assert_eq!(*ids.last().unwrap(), SubpathId { start: 1, end: 4 });
+    }
+
+    #[test]
+    fn scope_by_position_groups_hierarchies() {
+        let (schema, _) = fixtures::paper_schema();
+        let p = Path::parse(&schema, "Person", &["owns", "man", "name"]).unwrap();
+        let scope = p.scope_by_position(&schema);
+        assert_eq!(scope[0].len(), 1); // Person
+        assert_eq!(scope[1].len(), 3); // Vehicle, Bus, Truck
+        assert_eq!(scope[2].len(), 1); // Company
+    }
+
+    #[test]
+    fn class_repeating_in_path_rejected() {
+        use crate::{AtomicType, Attribute, Cardinality, SchemaBuilder};
+        let mut b = SchemaBuilder::new();
+        let a = b.declare("A").unwrap();
+        let c = b.declare("B").unwrap();
+        b.reference(a, "to_b", c, Cardinality::Single).unwrap();
+        b.reference(c, "to_a", a, Cardinality::Single).unwrap();
+        b.add_attribute(a, Attribute::atomic("x", AtomicType::Int))
+            .unwrap();
+        let s = b.build().unwrap();
+        let e = Path::new(&s, a, &["to_b", "to_a", "x"]).unwrap_err();
+        assert!(matches!(e, SchemaError::ClassRepeatsInPath(_)));
+    }
+}

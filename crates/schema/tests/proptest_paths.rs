@@ -1,0 +1,104 @@
+//! Property-based tests: random chain schemas with random inheritance
+//! hierarchies; path and subpath algebra.
+
+use oic_schema::{AtomicType, Cardinality, Path, Schema, SchemaBuilder, SubpathId};
+use proptest::prelude::*;
+
+/// Builds a chain schema `C1 → … → Cn` where position `i` roots a hierarchy
+/// with `subs[i]` subclasses, and returns the full path.
+fn chain_schema(subs: &[usize]) -> (Schema, Path) {
+    let n = subs.len();
+    let mut b = SchemaBuilder::new();
+    let mut prev_root = b.declare(format!("C{n}")).unwrap();
+    b.atomic(prev_root, "name", AtomicType::Str).unwrap();
+    for s in 0..subs[n - 1] {
+        b.subclass(format!("C{n}S{s}"), prev_root, vec![]).unwrap();
+    }
+    for i in (1..n).rev() {
+        let c = b.declare(format!("C{i}")).unwrap();
+        b.reference(c, "next", prev_root, Cardinality::Multi).unwrap();
+        for s in 0..subs[i - 1] {
+            b.subclass(format!("C{i}S{s}"), c, vec![]).unwrap();
+        }
+        prev_root = c;
+    }
+    let schema = b.build().unwrap();
+    let mut attrs = vec!["next"; n - 1];
+    attrs.push("name");
+    let path = Path::parse(&schema, "C1", &attrs).unwrap();
+    (schema, path)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scope_size_is_sum_of_hierarchies(subs in prop::collection::vec(0usize..4, 1..8)) {
+        let (schema, path) = chain_schema(&subs);
+        prop_assert_eq!(path.len(), subs.len());
+        let scope = path.scope(&schema);
+        let expected: usize = subs.iter().map(|&s| s + 1).sum();
+        prop_assert_eq!(scope.len(), expected);
+        // Per position: hierarchy sizes match, root first.
+        for (l, &s) in subs.iter().enumerate() {
+            let h = path.scope_by_position(&schema)[l].clone();
+            prop_assert_eq!(h.len(), s + 1);
+            prop_assert_eq!(h[0], path.classes()[l]);
+        }
+    }
+
+    #[test]
+    fn subpath_count_and_concatenation(subs in prop::collection::vec(0usize..3, 2..8)) {
+        let (schema, path) = chain_schema(&subs);
+        let n = path.len();
+        let ids = path.subpath_ids();
+        prop_assert_eq!(ids.len(), n * (n + 1) / 2);
+        // Every adjacent pair of subpaths concatenates to the covering one.
+        for i in 1..=n {
+            for j in i..n {
+                let left = path.subpath(&schema, SubpathId { start: i, end: j }).unwrap();
+                let right = path.subpath(&schema, SubpathId { start: j + 1, end: n }).unwrap();
+                let whole = path.subpath(&schema, SubpathId { start: i, end: n }).unwrap();
+                prop_assert_eq!(left.len() + right.len(), whole.len());
+                // Display concatenation: whole = left + "." + right-attrs.
+                let right_attrs: String = right
+                    .steps()
+                    .iter()
+                    .map(|s| format!(".{}", s.attr_name))
+                    .collect();
+                let expect = format!("{}{}", left.display(), right_attrs);
+                prop_assert_eq!(whole.display(), &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn subpaths_are_valid_paths(subs in prop::collection::vec(0usize..3, 2..8)) {
+        let (schema, path) = chain_schema(&subs);
+        for id in path.subpath_ids() {
+            let sp = path.subpath(&schema, id).unwrap();
+            prop_assert_eq!(sp.len(), id.len());
+            prop_assert_eq!(sp.starting_class(), path.classes()[id.start - 1]);
+            // Reconstructing the subpath through parsing yields the same.
+            let attrs: Vec<&str> = sp.steps().iter().map(|s| s.attr_name.as_str()).collect();
+            let rebuilt = Path::new(&schema, sp.starting_class(), &attrs).unwrap();
+            prop_assert_eq!(rebuilt.display(), sp.display());
+        }
+    }
+
+    #[test]
+    fn hierarchy_queries_consistent(subs in prop::collection::vec(0usize..5, 1..6)) {
+        let (schema, path) = chain_schema(&subs);
+        for (l, &root) in path.classes().iter().enumerate() {
+            let h = schema.hierarchy(root);
+            prop_assert_eq!(schema.nc(root), h.len());
+            prop_assert_eq!(h.len(), subs[l] + 1);
+            for &c in &h {
+                prop_assert!(schema.is_same_or_subclass(c, root));
+                // Subclasses resolve the inherited path attribute.
+                let attr = &path.steps()[l].attr_name;
+                prop_assert!(schema.resolve_attribute(c, attr).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Synthetic database generation from path characteristics.
+
+use oic_cost::{ClassStats, PathCharacteristics};
+use oic_schema::{AtomicType, AttrKind, Cardinality, ClassId, Path, Schema};
+use oic_storage::{FieldValue, Object, ObjectStore, Oid, PageStore, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct GenSpec {
+    /// Page size of the generated store.
+    pub page_size: usize,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for GenSpec {
+    fn default() -> Self {
+        GenSpec {
+            page_size: 1024,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated database bound to one path.
+pub struct GeneratedDb {
+    /// The counting page store.
+    pub store: PageStore,
+    /// The object heap.
+    pub heap: ObjectStore,
+    /// Oids per path position (1-based position − 1), all hierarchy classes
+    /// merged, generation order.
+    pub pools: Vec<Vec<Oid>>,
+    /// The distinct ending-attribute values present in the database
+    /// (query keys are drawn from these).
+    pub ending_values: Vec<Value>,
+}
+
+/// Scales every class's object count by `factor` (distinct values and `nin`
+/// scale proportionally where sensible), keeping at least 1. Used to run
+/// laptop-sized simulations of the paper's 200k-object Figure 7 database.
+pub fn scale_chars(chars: &PathCharacteristics, factor: f64) -> PathCharacteristics {
+    // PathCharacteristics is position-ordered; rebuild via serde round trip
+    // would be clumsy — construct through the public API instead.
+    let mut positions: Vec<Vec<(ClassId, ClassStats)>> = Vec::new();
+    for l in 1..=chars.len() {
+        positions.push(
+            chars
+                .classes_at(l)
+                .iter()
+                .map(|&(c, s)| {
+                    (
+                        c,
+                        ClassStats::new(
+                            (s.n * factor).max(1.0).round(),
+                            (s.d * factor).max(1.0).round(),
+                            s.nin,
+                        ),
+                    )
+                })
+                .collect(),
+        );
+    }
+    PathCharacteristics::from_parts(positions, (1..=chars.len()).map(|l| chars.is_multi(l)))
+}
+
+/// Generates a database realizing `chars` along `path`, bottom-up (ending
+/// position first) so every reference targets an existing object.
+pub fn generate(
+    schema: &Schema,
+    path: &Path,
+    chars: &PathCharacteristics,
+    spec: &GenSpec,
+) -> GeneratedDb {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut store = PageStore::new(spec.page_size);
+    let mut heap = ObjectStore::new();
+    let n = path.len();
+    let mut pools: Vec<Vec<Oid>> = vec![Vec::new(); n];
+    let mut ending_values: Vec<Value> = Vec::new();
+
+    for l in (1..=n).rev() {
+        let step = path.step(l);
+        let attr_name = &step.attr_name;
+        let is_ref = matches!(step.attr.kind, AttrKind::Reference(_));
+        for &(class, ref stats) in chars.classes_at(l) {
+            let count = stats.n as usize;
+            let distinct = (stats.d as usize).max(1);
+            let nin = stats.nin.max(1.0);
+            // Restrict reference targets to a per-class pool of `d` distinct
+            // children, realizing the d statistic.
+            let child_pool: Vec<Oid> = if is_ref {
+                let all = &pools[l]; // position l+1 = index l
+                let mut p = all.clone();
+                p.shuffle(&mut rng);
+                p.truncate(distinct.min(all.len()).max(1));
+                p
+            } else {
+                Vec::new()
+            };
+            for i in 0..count {
+                let oid = heap.fresh_oid(class);
+                let values: Vec<Value> = if is_ref {
+                    let k = realized_nin(nin, &mut rng).min(child_pool.len().max(1));
+                    sample_distinct(&child_pool, k, &mut rng)
+                        .into_iter()
+                        .map(Value::Ref)
+                        .collect()
+                } else {
+                    // Ending attribute: value index folded modulo d.
+                    let v = ending_value(&step.attr.kind, i % distinct);
+                    if l == n {
+                        // remember the domain once
+                    }
+                    vec![v]
+                };
+                if l == n {
+                    for v in &values {
+                        if !ending_values.contains(v) {
+                            ending_values.push(v.clone());
+                        }
+                    }
+                }
+                let field = match step.attr.cardinality {
+                    Cardinality::Single => {
+                        FieldValue::Single(values.into_iter().next().expect("nin ≥ 1"))
+                    }
+                    Cardinality::Multi => FieldValue::Multi(values),
+                };
+                let obj = fill_object(schema, oid, attr_name, field);
+                heap.insert(&mut store, obj).expect("fresh oid");
+                pools[l - 1].push(oid);
+            }
+        }
+    }
+    GeneratedDb {
+        store,
+        heap,
+        pools,
+        ending_values,
+    }
+}
+
+/// Realizes an average `nin` as an integer draw (floor/ceil mix).
+fn realized_nin(nin: f64, rng: &mut StdRng) -> usize {
+    let lo = nin.floor();
+    let frac = nin - lo;
+    let v = lo as usize + usize::from(rng.gen::<f64>() < frac);
+    v.max(1)
+}
+
+fn sample_distinct(pool: &[Oid], k: usize, rng: &mut StdRng) -> Vec<Oid> {
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(pool.len());
+    pool.choose_multiple(rng, k).copied().collect()
+}
+
+fn ending_value(kind: &AttrKind, idx: usize) -> Value {
+    match kind {
+        AttrKind::Atomic(AtomicType::Int) => Value::Int(idx as i64),
+        AttrKind::Atomic(AtomicType::Float) => Value::Float(idx as f64),
+        AttrKind::Atomic(AtomicType::Str) => Value::from(format!("v{idx:06}")),
+        AttrKind::Reference(_) => unreachable!("ending values are atomic here"),
+    }
+}
+
+/// Builds an object with the path attribute set and every other attribute
+/// defaulted (the path processing never reads them).
+pub(crate) fn fill_object(
+    schema: &Schema,
+    oid: Oid,
+    path_attr: &str,
+    value: FieldValue,
+) -> Object {
+    let mut fields: Vec<(String, FieldValue)> = Vec::new();
+    for (_, attr) in schema.all_attributes(oid.class) {
+        if attr.name == path_attr {
+            continue;
+        }
+        let v = match (&attr.kind, attr.cardinality) {
+            (AttrKind::Atomic(AtomicType::Int), Cardinality::Single) => {
+                FieldValue::Single(Value::Int(0))
+            }
+            (AttrKind::Atomic(AtomicType::Float), Cardinality::Single) => {
+                FieldValue::Single(Value::Float(0.0))
+            }
+            (AttrKind::Atomic(AtomicType::Str), Cardinality::Single) => {
+                FieldValue::Single(Value::from("-"))
+            }
+            (AttrKind::Reference(_), Cardinality::Single) => {
+                // Off-path references point nowhere meaningful; use a
+                // sentinel self-reference (never traversed by the path).
+                FieldValue::Single(Value::Ref(oid))
+            }
+            (_, Cardinality::Multi) => FieldValue::Multi(Vec::new()),
+        };
+        fields.push((attr.name.clone(), v));
+    }
+    fields.push((path_attr.to_string(), value));
+    let borrowed: Vec<(&str, FieldValue)> =
+        fields.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    Object::new(schema, oid, borrowed).expect("generated objects are schema-valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_cost::characteristics::example51;
+    use oic_schema::fixtures;
+
+    #[test]
+    fn generation_realizes_counts() {
+        let (schema, c) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let small = scale_chars(&chars, 0.01);
+        let db = generate(&schema, &path, &small, &GenSpec::default());
+        assert_eq!(db.heap.count(c.person), 2_000);
+        assert_eq!(db.heap.count(c.vehicle), 100);
+        assert_eq!(db.heap.count(c.bus), 50);
+        assert_eq!(db.heap.count(c.division), 10);
+        assert_eq!(db.pools[0].len(), 2_000);
+        assert_eq!(db.pools[1].len(), 200);
+        assert_eq!(db.ending_values.len(), 10, "d scaled to 10 names");
+    }
+
+    #[test]
+    fn references_are_live_and_forward() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let small = scale_chars(&chars, 0.005);
+        let db = generate(&schema, &path, &small, &GenSpec::default());
+        for l in 1..path.len() {
+            let attr = &path.step(l).attr_name;
+            for &oid in &db.pools[l - 1] {
+                let obj = db.heap.peek(oid).expect("pool oid");
+                let refs = obj.refs_of(attr);
+                assert!(!refs.is_empty(), "no NULLs (paper assumption)");
+                for r in refs {
+                    assert!(db.heap.peek(r).is_some(), "live forward reference");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let small = scale_chars(&chars, 0.002);
+        let a = generate(&schema, &path, &small, &GenSpec::default());
+        let b = generate(&schema, &path, &small, &GenSpec::default());
+        assert_eq!(a.pools, b.pools);
+        assert_eq!(a.ending_values, b.ending_values);
+    }
+
+    #[test]
+    fn scale_preserves_shape() {
+        let (schema, _) = fixtures::paper_schema();
+        let (_, chars) = example51(&schema);
+        let s = scale_chars(&chars, 0.1);
+        assert_eq!(s.len(), chars.len());
+        assert_eq!(s.stats(1, 0).n, 20_000.0);
+        assert_eq!(s.stats(1, 0).d, 2_000.0);
+        assert_eq!(s.stats(2, 0).nin, 3.0, "nin unscaled");
+        assert!(s.is_multi(2));
+    }
+}

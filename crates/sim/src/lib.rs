@@ -1,0 +1,27 @@
+//! Simulation substrate: synthetic databases, a configured-index executor,
+//! and the analytic-vs-measured validation harness.
+//!
+//! The paper's evaluation is purely analytic; this crate closes the loop the
+//! paper left to its references by *running* the index organizations of
+//! `oic-index` on generated data and comparing observed page accesses (from
+//! the counting `PageStore`) against the `oic-cost` predictions:
+//!
+//! * [`GenSpec`]/[`generate`] — builds a database whose realized statistics
+//!   (`n`, `d`, `nin` per class) match a `PathCharacteristics`, bottom-up so
+//!   all references are forward and live;
+//! * [`ConfiguredDb`] — materializes an [`IndexConfiguration`](oic_core::IndexConfiguration)
+//!   (one physical index per subpath) and executes queries, insertions and
+//!   deletions across the subpath chain, measuring page accesses per
+//!   operation;
+//! * [`validate`] — tabulates measured vs predicted costs per organization
+//!   and operation type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod gendb;
+pub mod validate;
+
+pub use exec::ConfiguredDb;
+pub use gendb::{generate, scale_chars, GeneratedDb, GenSpec};

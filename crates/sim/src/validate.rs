@@ -1,0 +1,264 @@
+//! Analytic-vs-measured validation: run real operations, compare page
+//! counts against the Section 3 cost model.
+
+use crate::{generate, ConfiguredDb, GeneratedDb, GenSpec};
+use oic_core::IndexConfiguration;
+use oic_cost::{CostModel, CostParams, Org, PathCharacteristics};
+use oic_schema::{Path, Schema, SubpathId};
+use oic_storage::Value;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One measured-vs-predicted comparison.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// Organization under test.
+    pub org: Org,
+    /// Operation label (`query@l`, `insert@l`, `delete@l`).
+    pub op: String,
+    /// Cost-model prediction (expected page accesses).
+    pub predicted: f64,
+    /// Mean observed distinct page accesses.
+    pub measured: f64,
+    /// Number of operations averaged.
+    pub samples: usize,
+}
+
+impl ValidationRow {
+    /// measured / predicted.
+    pub fn ratio(&self) -> f64 {
+        if self.predicted > 0.0 {
+            self.measured / self.predicted
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Runs the validation for one organization on a whole path: queries per
+/// position plus insertions and deletions per position.
+pub fn validate_org(
+    schema: &Schema,
+    path: &Path,
+    chars: &PathCharacteristics,
+    params: CostParams,
+    org: Org,
+    spec: &GenSpec,
+    ops_per_kind: usize,
+) -> Vec<ValidationRow> {
+    let model = CostModel::new(schema, path, chars, params);
+    let full = SubpathId {
+        start: 1,
+        end: path.len(),
+    };
+    let config = IndexConfiguration::whole_path(org, path.len());
+    let db = generate(schema, path, chars, spec);
+    let values = db.ending_values.clone();
+    let mut exec = ConfiguredDb::new(schema, path, db, &config);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xD1CE);
+    let mut rows = Vec::new();
+
+    // Queries per position (root class of each hierarchy).
+    for l in 1..=path.len() {
+        let target = path.step(l).class;
+        let mut total = 0u64;
+        let mut n = 0usize;
+        for v in values.choose_multiple(&mut rng, ops_per_kind.min(values.len())) {
+            let (_, stats) = exec.query(v, target, false);
+            total += stats.distinct_total();
+            n += 1;
+        }
+        if n > 0 {
+            rows.push(ValidationRow {
+                org,
+                op: format!("query@{l}"),
+                predicted: model.retrieval(org, full, l, 0),
+                measured: total as f64 / n as f64,
+                samples: n,
+            });
+        }
+    }
+
+    // Deletions and insertions per position (delete existing objects, then
+    // re-insert equivalents).
+    for l in 1..=path.len() {
+        let pool = exec.db.pools[l - 1].clone();
+        let victims: Vec<_> = pool
+            .choose_multiple(&mut rng, ops_per_kind.min(pool.len()))
+            .copied()
+            .collect();
+        let mut del_total = 0u64;
+        let mut del_n = 0usize;
+        let mut objs = Vec::new();
+        for oid in victims {
+            if let Some(o) = exec.db.heap.peek(oid) {
+                objs.push(o.clone());
+            }
+        }
+        for obj in &objs {
+            let stats = exec.delete(obj.oid);
+            del_total += stats.distinct_total();
+            del_n += 1;
+        }
+        if del_n > 0 {
+            rows.push(ValidationRow {
+                org,
+                op: format!("delete@{l}"),
+                predicted: model.maint_delete(org, full, l, 0),
+                measured: del_total as f64 / del_n as f64,
+                samples: del_n,
+            });
+        }
+        let mut ins_total = 0u64;
+        let mut ins_n = 0usize;
+        for obj in objs {
+            let stats = exec.insert(obj);
+            ins_total += stats.distinct_total();
+            ins_n += 1;
+        }
+        if ins_n > 0 {
+            rows.push(ValidationRow {
+                org,
+                op: format!("insert@{l}"),
+                predicted: model.maint_insert(org, full, l, 0),
+                measured: ins_total as f64 / ins_n as f64,
+                samples: ins_n,
+            });
+        }
+    }
+    rows
+}
+
+/// Validates all three organizations; convenience wrapper.
+pub fn validate_all(
+    schema: &Schema,
+    path: &Path,
+    chars: &PathCharacteristics,
+    params: CostParams,
+    spec: &GenSpec,
+    ops_per_kind: usize,
+) -> Vec<ValidationRow> {
+    Org::ALL
+        .iter()
+        .flat_map(|&org| validate_org(schema, path, chars, params, org, spec, ops_per_kind))
+        .collect()
+}
+
+/// Measures the naive (index-less) evaluator against the indexed execution
+/// for the intro's motivation experiment. Returns
+/// `(naive mean pages, indexed mean pages)` for queries w.r.t. the starting
+/// class.
+pub fn naive_vs_indexed(
+    schema: &Schema,
+    path: &Path,
+    chars: &PathCharacteristics,
+    org: Org,
+    spec: &GenSpec,
+    queries: usize,
+) -> (f64, f64) {
+    let db = generate(schema, path, chars, spec);
+    let values = db.ending_values.clone();
+    let target = path.step(1).class;
+    let indexed = ConfiguredDb::single(schema, path, db, org);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xBEEF);
+    let picks: Vec<Value> = values
+        .choose_multiple(&mut rng, queries.min(values.len()))
+        .cloned()
+        .collect();
+    let mut idx_total = 0u64;
+    for v in &picks {
+        idx_total += indexed.query(v, target, false).1.distinct_total();
+    }
+    let idx_mean = idx_total as f64 / picks.len().max(1) as f64;
+
+    let db2: GeneratedDb = generate(schema, path, chars, spec);
+    let naive = oic_index::NaivePathEvaluator::new(
+        schema,
+        path,
+        SubpathId {
+            start: 1,
+            end: path.len(),
+        },
+    );
+    let mut naive_total = 0u64;
+    for v in &picks {
+        db2.store.begin_op();
+        let _ = naive.lookup(&db2.store, &db2.heap, std::slice::from_ref(v), target, false);
+        naive_total += db2.store.end_op().distinct_total();
+    }
+    let naive_mean = naive_total as f64 / picks.len().max(1) as f64;
+    (naive_mean, idx_mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale_chars;
+    use oic_cost::characteristics::example51;
+    use oic_schema::fixtures;
+
+    fn setup() -> (
+        oic_schema::Schema,
+        oic_schema::Path,
+        oic_cost::PathCharacteristics,
+        CostParams,
+    ) {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let small = scale_chars(&chars, 0.01);
+        let params = CostParams::calibrated(1024.0);
+        (schema, path, small, params)
+    }
+
+    #[test]
+    fn model_tracks_measurement_within_an_order_of_magnitude() {
+        let (schema, path, chars, params) = setup();
+        let spec = GenSpec {
+            page_size: 1024,
+            seed: 7,
+        };
+        for org in Org::ALL {
+            let rows = validate_org(&schema, &path, &chars, params, org, &spec, 6);
+            assert!(!rows.is_empty());
+            for row in &rows {
+                assert!(row.predicted.is_finite() && row.predicted > 0.0);
+                assert!(row.measured > 0.0, "{org} {} measured nothing", row.op);
+                let r = row.ratio();
+                assert!(
+                    (0.2..=6.0).contains(&r),
+                    "{org} {}: predicted {:.1} vs measured {:.1} (ratio {r:.2})",
+                    row.op,
+                    row.predicted,
+                    row.measured
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_is_much_worse_than_indexed() {
+        // Use a selectivity-preserving database (d not scaled down to a
+        // handful of values) over Pe = Per.owns.man.name: the intro's
+        // motivating query.
+        let (schema, _) = fixtures::paper_schema();
+        let path = fixtures::paper_path_pe(&schema);
+        let chars = oic_cost::PathCharacteristics::build(&schema, &path, |c| {
+            match schema.class_name(c) {
+                "Person" => oic_cost::ClassStats::new(3_000.0, 400.0, 1.0),
+                "Vehicle" => oic_cost::ClassStats::new(200.0, 80.0, 1.0),
+                "Bus" | "Truck" => oic_cost::ClassStats::new(100.0, 40.0, 1.0),
+                _ => oic_cost::ClassStats::new(50.0, 50.0, 1.0), // Company
+            }
+        });
+        let spec = GenSpec {
+            page_size: 1024,
+            seed: 7,
+        };
+        let (naive, indexed) = naive_vs_indexed(&schema, &path, &chars, Org::Nix, &spec, 4);
+        assert!(
+            naive > 5.0 * indexed,
+            "naive {naive:.0} pages vs indexed {indexed:.1}"
+        );
+    }
+}

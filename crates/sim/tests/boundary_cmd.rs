@@ -1,0 +1,114 @@
+//! The Section 4 `CMD` effect, measured: deleting an object of the class at
+//! position `end+1` really does touch the *preceding* subpath's index, and
+//! the analytic `boundary_delete` tracks the observed page count.
+
+use oic_core::{Choice, IndexConfiguration};
+use oic_cost::characteristics::example51;
+use oic_cost::{CostModel, CostParams, Org};
+use oic_schema::{fixtures, SubpathId};
+use oic_sim::{generate, scale_chars, ConfiguredDb, GenSpec};
+
+#[test]
+fn boundary_deletions_touch_the_preceding_index() {
+    let (schema, classes) = fixtures::paper_schema();
+    let (path, chars) = example51(&schema);
+    let small = scale_chars(&chars, 0.01);
+    let spec = GenSpec {
+        page_size: 1024,
+        seed: 31,
+    };
+    for org in Org::ALL {
+        // Index ONLY Per.owns.man (positions 1–2). Companies (position 3)
+        // are pure boundary objects for this configuration.
+        let config = IndexConfiguration::new(
+            vec![
+                (SubpathId { start: 1, end: 2 }, Choice::Index(org)),
+                (SubpathId { start: 3, end: 4 }, Choice::NoIndex),
+            ],
+            4,
+        )
+        .unwrap();
+        let db = generate(&schema, &path, &small, &spec);
+        let mut exec = ConfiguredDb::new(&schema, &path, db, &config);
+        let victim = exec.db.heap.oids_of(classes.company)[0];
+        let stats = exec.delete(victim);
+        // The heap write alone is 2 accesses; index maintenance must add
+        // more (the record keyed by the dead oid is removed).
+        assert!(
+            stats.total() > 2,
+            "{org}: boundary delete should touch the preceding index ({stats})"
+        );
+    }
+}
+
+#[test]
+fn analytic_cmd_tracks_measured_boundary_cost() {
+    let (schema, classes) = fixtures::paper_schema();
+    let (path, chars) = example51(&schema);
+    let small = scale_chars(&chars, 0.01);
+    let params = CostParams::calibrated(1024.0);
+    let model = CostModel::new(&schema, &path, &small, params);
+    let spec = GenSpec {
+        page_size: 1024,
+        seed: 32,
+    };
+    let sub = SubpathId { start: 1, end: 2 };
+    for org in Org::ALL {
+        let predicted = model.boundary_delete(org, sub);
+        let config = IndexConfiguration::new(
+            vec![
+                (sub, Choice::Index(org)),
+                (SubpathId { start: 3, end: 4 }, Choice::NoIndex),
+            ],
+            4,
+        )
+        .unwrap();
+        let db = generate(&schema, &path, &small, &spec);
+        let mut exec = ConfiguredDb::new(&schema, &path, db, &config);
+        let victims = exec.db.heap.oids_of(classes.company);
+        let mut total = 0u64;
+        let n = 10.min(victims.len());
+        for &v in victims.iter().take(n) {
+            total += exec.delete(v).distinct_total();
+        }
+        let measured = total as f64 / n as f64 - 2.0; // minus the heap touch
+        let ratio = measured / predicted;
+        assert!(
+            (0.1..=10.0).contains(&ratio),
+            "{org}: CMD predicted {predicted:.1} vs measured {measured:.1} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn queries_for_dead_boundary_keys_return_empty_not_stale() {
+    let (schema, classes) = fixtures::paper_schema();
+    let (path, chars) = example51(&schema);
+    let small = scale_chars(&chars, 0.005);
+    let spec = GenSpec {
+        page_size: 1024,
+        seed: 33,
+    };
+    let config = IndexConfiguration::new(
+        vec![
+            (SubpathId { start: 1, end: 2 }, Choice::Index(Org::Nix)),
+            (SubpathId { start: 3, end: 4 }, Choice::Index(Org::Mx)),
+        ],
+        4,
+    )
+    .unwrap();
+    let db = generate(&schema, &path, &small, &spec);
+    let values = db.ending_values.clone();
+    let mut exec = ConfiguredDb::new(&schema, &path, db, &config);
+    // Delete every company: all downstream reachability collapses.
+    for v in exec.db.heap.oids_of(classes.company) {
+        exec.delete(v);
+    }
+    for v in values.iter().take(5) {
+        let (persons, _) = exec.query(v, classes.person, false);
+        assert!(
+            persons.is_empty(),
+            "no person can reach {v} after every company died"
+        );
+    }
+}

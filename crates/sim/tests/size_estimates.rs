@@ -1,0 +1,70 @@
+//! Index-size estimates vs the pages the real structures actually allocate.
+
+use oic_cost::characteristics::example51;
+use oic_cost::{CostModel, CostParams, Org};
+use oic_index::{MultiIndex, MultiInheritedIndex, NestedInheritedIndex, PathIndex};
+use oic_schema::{fixtures, SubpathId};
+use oic_sim::{generate, scale_chars, GenSpec};
+
+#[test]
+fn size_estimates_track_real_index_pages() {
+    let (schema, _) = fixtures::paper_schema();
+    let (path, chars) = example51(&schema);
+    let small = scale_chars(&chars, 0.02);
+    let params = CostParams::calibrated(1024.0);
+    let model = CostModel::new(&schema, &path, &small, params);
+    let spec = GenSpec {
+        page_size: 1024,
+        seed: 77,
+    };
+    let full = SubpathId { start: 1, end: 4 };
+    for org in Org::ALL {
+        let mut db = generate(&schema, &path, &small, &spec);
+        let real = match org {
+            Org::Mx => {
+                MultiIndex::build(&schema, &path, full, &mut db.store, &db.heap).total_pages()
+            }
+            Org::Mix => {
+                MultiInheritedIndex::build(&schema, &path, full, &mut db.store, &db.heap)
+                    .total_pages()
+            }
+            Org::Nix => {
+                NestedInheritedIndex::build(&schema, &path, full, &mut db.store, &db.heap)
+                    .total_pages()
+            }
+        } as f64;
+        let predicted = model.size_pages(org, full);
+        let ratio = real / predicted;
+        assert!(
+            (0.3..=3.5).contains(&ratio),
+            "{org}: predicted {predicted:.0} pages vs real {real:.0} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn nix_trades_space_for_query_speed() {
+    // The NIX carries the auxiliary index and fat primary records: it
+    // should cost more pages than MIX on the same span.
+    let (schema, _) = fixtures::paper_schema();
+    let (path, chars) = example51(&schema);
+    let model = CostModel::new(&schema, &path, &chars, CostParams::paper());
+    let full = SubpathId { start: 1, end: 4 };
+    let nix = model.size_pages(Org::Nix, full);
+    let mix = model.size_pages(Org::Mix, full);
+    let mx = model.size_pages(Org::Mx, full);
+    assert!(nix > mix, "NIX {nix:.0} pages > MIX {mix:.0} pages");
+    assert!(nix > mx, "NIX {nix:.0} pages > MX {mx:.0} pages");
+}
+
+#[test]
+fn advisor_reports_configuration_size() {
+    let (schema, _) = fixtures::paper_schema();
+    let (path, chars) = example51(&schema);
+    let ld = oic_workload::example51_load(&schema, &path);
+    let rec = oic_core::Advisor::new(&schema, &path, &chars, &ld)
+        .with_params(CostParams::paper())
+        .recommend();
+    assert!(rec.config_size_pages > 0.0);
+    assert!(rec.to_string().contains("estimated index size"));
+}

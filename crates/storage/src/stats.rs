@@ -1,0 +1,104 @@
+//! Page-access statistics.
+
+use std::fmt;
+
+/// Cumulative page-access counters of a [`crate::PageStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Total page reads since the last reset.
+    pub reads: u64,
+    /// Total page writes since the last reset.
+    pub writes: u64,
+}
+
+impl AccessStats {
+    /// Reads plus writes — the paper's single cost unit.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Component-wise difference (`self` must be a later snapshot).
+    pub fn since(&self, earlier: &AccessStats) -> AccessStats {
+        AccessStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+        }
+    }
+}
+
+impl fmt::Display for AccessStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}r+{}w={}", self.reads, self.writes, self.total())
+    }
+}
+
+/// Per-operation statistics collected between
+/// [`crate::PageStore::begin_op`] and [`crate::PageStore::end_op`].
+///
+/// `distinct_*` counts each page at most once within the operation — the
+/// quantity estimated by Yao's formula and by the paper's convention that a
+/// maintenance pass fetches each page only once (Section 3.1, `CMT`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Page reads, counting repeats.
+    pub reads: u64,
+    /// Page writes, counting repeats.
+    pub writes: u64,
+    /// Distinct pages read.
+    pub distinct_reads: u64,
+    /// Distinct pages written.
+    pub distinct_writes: u64,
+}
+
+impl OpStats {
+    /// Distinct reads plus distinct writes — comparable to the analytic
+    /// model's page-access estimates.
+    #[inline]
+    pub fn distinct_total(&self) -> u64 {
+        self.distinct_reads + self.distinct_writes
+    }
+
+    /// Total accesses counting repeats.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl fmt::Display for OpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}r+{}w ({}dr+{}dw distinct)",
+            self.reads, self.writes, self.distinct_reads, self.distinct_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = AccessStats { reads: 10, writes: 4 };
+        let b = AccessStats { reads: 25, writes: 9 };
+        let d = b.since(&a);
+        assert_eq!(d, AccessStats { reads: 15, writes: 5 });
+        assert_eq!(d.total(), 20);
+    }
+
+    #[test]
+    fn op_stats_totals() {
+        let s = OpStats {
+            reads: 7,
+            writes: 3,
+            distinct_reads: 5,
+            distinct_writes: 2,
+        };
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.distinct_total(), 7);
+        assert!(s.to_string().contains("distinct"));
+    }
+}

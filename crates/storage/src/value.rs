@@ -1,0 +1,250 @@
+//! Attribute values and order-preserving key encoding.
+
+use crate::Oid;
+use std::fmt;
+
+/// An atomic value or object reference, as stored in an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer atomic object.
+    Int(i64),
+    /// Float atomic object.
+    Float(f64),
+    /// String atomic object.
+    Str(String),
+    /// Forward reference to another object.
+    Ref(Oid),
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Value::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            Value::Ref(v) => {
+                3u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl Value {
+    /// Reference payload, if any.
+    #[inline]
+    pub fn as_ref_oid(&self) -> Option<Oid> {
+        match self {
+            Value::Ref(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Estimated stored size in bytes (used by the heap to place objects and
+    /// by the cost model's record-length defaults).
+    pub fn stored_size(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => s.len().max(1),
+            Value::Ref(_) => 8,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Ref(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Oid> for Value {
+    fn from(v: Oid) -> Self {
+        Value::Ref(v)
+    }
+}
+
+/// The value(s) held by one attribute of one object: single-valued
+/// attributes hold exactly one value (the paper assumes no NULLs),
+/// multi-valued attributes hold a set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Single-valued attribute.
+    Single(Value),
+    /// Multi-valued attribute (`+` in Figure 1); `values.len()` realizes the
+    /// cost-model parameter `nin`.
+    Multi(Vec<Value>),
+}
+
+impl FieldValue {
+    /// Iterates the held values (one for `Single`).
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        match self {
+            FieldValue::Single(v) => std::slice::from_ref(v).iter(),
+            FieldValue::Multi(vs) => vs.iter(),
+        }
+    }
+
+    /// Number of held values (`nin` realized for this object).
+    pub fn count(&self) -> usize {
+        match self {
+            FieldValue::Single(_) => 1,
+            FieldValue::Multi(vs) => vs.len(),
+        }
+    }
+
+    /// Estimated stored size in bytes.
+    pub fn stored_size(&self) -> usize {
+        self.values().map(Value::stored_size).sum()
+    }
+}
+
+impl From<Value> for FieldValue {
+    fn from(v: Value) -> Self {
+        FieldValue::Single(v)
+    }
+}
+
+/// Encodes a value into order-preserving bytes for use as a B+-tree key.
+///
+/// * `Int` — offset-binary big-endian (sign bit flipped);
+/// * `Float` — IEEE-754 total-order trick (flip sign bit for positives,
+///   flip all bits for negatives);
+/// * `Str` — raw UTF-8 bytes;
+/// * `Ref` — packed big-endian oid.
+///
+/// A one-byte type tag keeps heterogeneous keys from aliasing.
+pub fn encode_key(v: &Value) -> Vec<u8> {
+    match v {
+        Value::Int(i) => {
+            let mut out = Vec::with_capacity(9);
+            out.push(0x01);
+            out.extend_from_slice(&((*i as u64) ^ (1u64 << 63)).to_be_bytes());
+            out
+        }
+        Value::Float(x) => {
+            let bits = x.to_bits();
+            let ordered = if bits >> 63 == 0 {
+                bits ^ (1u64 << 63)
+            } else {
+                !bits
+            };
+            let mut out = Vec::with_capacity(9);
+            out.push(0x02);
+            out.extend_from_slice(&ordered.to_be_bytes());
+            out
+        }
+        Value::Str(s) => {
+            let mut out = Vec::with_capacity(1 + s.len());
+            out.push(0x03);
+            out.extend_from_slice(s.as_bytes());
+            out
+        }
+        Value::Ref(o) => {
+            let mut out = Vec::with_capacity(9);
+            out.push(0x04);
+            out.extend_from_slice(&o.to_bytes());
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_schema::ClassId;
+
+    #[test]
+    fn int_keys_preserve_order() {
+        let vals = [-1000i64, -1, 0, 1, 5, 1 << 40];
+        for w in vals.windows(2) {
+            assert!(
+                encode_key(&Value::Int(w[0])) < encode_key(&Value::Int(w[1])),
+                "order violated for {} < {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn float_keys_preserve_order() {
+        let vals = [-1.5f64, -0.25, 0.0, 0.25, 3.5, 1e10];
+        for w in vals.windows(2) {
+            assert!(encode_key(&Value::Float(w[0])) < encode_key(&Value::Float(w[1])));
+        }
+    }
+
+    #[test]
+    fn str_keys_preserve_order() {
+        assert!(encode_key(&Value::from("Daf")) < encode_key(&Value::from("Fiat")));
+        assert!(encode_key(&Value::from("Fiat")) < encode_key(&Value::from("Renault")));
+    }
+
+    #[test]
+    fn ref_keys_preserve_order() {
+        let a = Value::Ref(Oid::new(ClassId(1), 3));
+        let b = Value::Ref(Oid::new(ClassId(1), 4));
+        assert!(encode_key(&a) < encode_key(&b));
+    }
+
+    #[test]
+    fn type_tags_separate_domains() {
+        assert_ne!(
+            encode_key(&Value::Int(0x33)),
+            encode_key(&Value::from("3"))
+        );
+    }
+
+    #[test]
+    fn field_value_iteration_and_sizes() {
+        let f = FieldValue::Multi(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(f.count(), 3);
+        assert_eq!(f.stored_size(), 24);
+        let s: Vec<_> = f.values().collect();
+        assert_eq!(s.len(), 3);
+        let single: FieldValue = Value::from("ab").into();
+        assert_eq!(single.count(), 1);
+        assert_eq!(single.stored_size(), 2);
+    }
+
+    #[test]
+    fn value_hash_distinguishes_variants() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Int(1));
+        set.insert(Value::Float(1.0));
+        set.insert(Value::from("1"));
+        assert_eq!(set.len(), 3);
+    }
+}

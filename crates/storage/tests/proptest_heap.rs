@@ -1,0 +1,96 @@
+//! Property-based tests: the object heap behaves like a map with page
+//! accounting, under random insert/get/delete interleavings.
+
+use oic_schema::fixtures::paper_schema;
+use oic_storage::{Object, ObjectStore, Oid, PageStore, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8),
+    Delete(u8),
+    Get(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => any::<u8>().prop_map(Op::Insert),
+            1 => any::<u8>().prop_map(Op::Delete),
+            2 => any::<u8>().prop_map(Op::Get),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heap_matches_model(ops in ops(), page_size in prop::sample::select(vec![128usize, 512, 4096])) {
+        let (schema, classes) = paper_schema();
+        let mut store = PageStore::new(page_size);
+        let mut heap = ObjectStore::new();
+        let mut model: HashMap<u8, Oid> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(tag) => {
+                    if model.contains_key(&tag) {
+                        continue;
+                    }
+                    let oid = heap.fresh_oid(classes.division);
+                    let obj = Object::new(
+                        &schema,
+                        oid,
+                        vec![
+                            ("name", Value::from(format!("d{tag}")).into()),
+                            ("function", Value::from("f").into()),
+                            ("movings", Value::Int(tag as i64).into()),
+                        ],
+                    )
+                    .unwrap();
+                    heap.insert(&mut store, obj).unwrap();
+                    model.insert(tag, oid);
+                }
+                Op::Delete(tag) => {
+                    match model.remove(&tag) {
+                        Some(oid) => {
+                            let removed = heap.delete(&mut store, oid).unwrap();
+                            prop_assert_eq!(removed.oid, oid);
+                        }
+                        None => {
+                            // Deleting a never-inserted oid errors cleanly.
+                            let bogus = Oid::new(classes.division, 60_000 + tag as u32);
+                            prop_assert!(heap.delete(&mut store, bogus).is_err());
+                        }
+                    }
+                }
+                Op::Get(tag) => {
+                    match model.get(&tag) {
+                        Some(&oid) => {
+                            let before = store.stats().reads;
+                            let obj = heap.get(&store, oid).unwrap();
+                            let want = Value::Int(tag as i64);
+                            prop_assert_eq!(obj.values_of("movings"), vec![&want]);
+                            prop_assert_eq!(store.stats().reads, before + 1,
+                                "a get costs exactly one page read");
+                        }
+                        None => {
+                            let bogus = Oid::new(classes.division, 60_000 + tag as u32);
+                            prop_assert!(heap.get(&store, bogus).is_err());
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(heap.len(), model.len());
+        prop_assert_eq!(heap.count(classes.division), model.len());
+        // Scan visits exactly the live objects, one page read per heap page.
+        store.reset_stats();
+        let seen = heap.scan(&store, classes.division).count();
+        prop_assert_eq!(seen, model.len());
+        prop_assert_eq!(store.stats().reads as usize, heap.pages_of(classes.division));
+    }
+}

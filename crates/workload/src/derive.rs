@@ -1,0 +1,135 @@
+//! Subpath load derivation (Section 3.2).
+//!
+//! “If the starting class of `S_k` is not equal to the starting class of its
+//! superpath the load on the subpath becomes `LD_{A_m}(scope(S_k)) =
+//! {(α_{k,1} + Σ α_{i,j}, β_{k,1}, γ_{k,1}), …}` since the processing of
+//! queries with regard to a class ∈ scope(C1.A1…A_{k−1}) against `A_n`
+//! entails a processing of `S_k` as well.”
+//!
+//! We keep the folded upstream mass in a separate `traversal_query` field
+//! rather than merging it into the first triplet, because a traversal must
+//! retrieve the *whole* inheritance hierarchy at the subpath's starting
+//! position (`CR⁺`), while a native query w.r.t. one class retrieves that
+//! class only (DESIGN.md §5.8). The two coincide when the starting position
+//! has no subclasses — true for every subpath start in the paper's examples.
+
+use crate::{LoadDistribution, Triplet};
+use oic_schema::SubpathId;
+
+/// The workload a subpath experiences inside a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubpathLoad {
+    /// The subpath.
+    pub sub: SubpathId,
+    /// Native triplets for positions `sub.start ..= sub.end`:
+    /// `(position, hierarchy index, triplet)`.
+    pub native: Vec<(usize, usize, Triplet)>,
+    /// Query mass folded from upstream positions; each unit costs one
+    /// whole-hierarchy traversal retrieval (`CR⁺`) on this subpath.
+    pub traversal_query: f64,
+    /// Deletion mass on the class at `sub.end + 1` (the next subpath's
+    /// starting position); each unit costs one `CMD` on this subpath's
+    /// ending-attribute index. Zero for the final subpath.
+    pub boundary_delete: f64,
+}
+
+impl SubpathLoad {
+    /// Total native query mass.
+    pub fn native_query_mass(&self) -> f64 {
+        self.native.iter().map(|(_, _, t)| t.query).sum()
+    }
+}
+
+/// Derives the load on subpath `sub` of a path of length `path_len` from the
+/// full-path load distribution.
+pub fn derive_subpath_load(
+    ld: &LoadDistribution,
+    sub: SubpathId,
+    path_len: usize,
+) -> SubpathLoad {
+    assert_eq!(ld.len(), path_len, "load must cover the full path");
+    assert!(sub.end <= path_len && sub.start >= 1 && sub.start <= sub.end);
+    let mut native = Vec::new();
+    for l in sub.start..=sub.end {
+        for x in 0..ld.nc(l) {
+            native.push((l, x, ld.triplet(l, x)));
+        }
+    }
+    let traversal_query = if sub.start > 1 {
+        ld.upstream_query_mass(sub.start)
+    } else {
+        0.0
+    };
+    let boundary_delete = if sub.end < path_len {
+        ld.delete_mass_at(sub.end + 1)
+    } else {
+        0.0
+    };
+    SubpathLoad {
+        sub,
+        native,
+        traversal_query,
+        boundary_delete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example51_load;
+    use oic_schema::fixtures;
+
+    fn setup() -> (LoadDistribution, usize) {
+        let (schema, _) = fixtures::paper_schema();
+        let path = fixtures::paper_path_pexa(&schema);
+        let ld = example51_load(&schema, &path);
+        (ld, path.len())
+    }
+
+    #[test]
+    fn full_path_subpath_has_no_folds() {
+        let (ld, n) = setup();
+        let sl = derive_subpath_load(&ld, SubpathId { start: 1, end: n }, n);
+        assert_eq!(sl.traversal_query, 0.0);
+        assert_eq!(sl.boundary_delete, 0.0);
+        assert_eq!(sl.native.len(), 6, "all scope classes");
+    }
+
+    #[test]
+    fn mid_subpath_folds_upstream_queries_and_boundary_deletes() {
+        let (ld, n) = setup();
+        // S_{3,4} = Comp.divs.name: upstream queries Per+Veh+Bus+Truck.
+        let sl = derive_subpath_load(&ld, SubpathId { start: 3, end: 4 }, n);
+        assert!((sl.traversal_query - 0.65).abs() < 1e-12);
+        assert_eq!(sl.boundary_delete, 0.0, "ends at A_n");
+        assert_eq!(sl.native.len(), 2);
+    }
+
+    #[test]
+    fn interior_subpath_sees_boundary_deletions() {
+        let (ld, n) = setup();
+        // S_{1,2} = Per.owns.man: boundary = deletions on Comp (position 3).
+        let sl = derive_subpath_load(&ld, SubpathId { start: 1, end: 2 }, n);
+        assert_eq!(sl.traversal_query, 0.0);
+        assert!((sl.boundary_delete - 0.1).abs() < 1e-12);
+        assert_eq!(sl.native.len(), 4, "Per + 3 vehicle classes");
+        // S_{2,3}: upstream = Per (0.3); boundary = Div deletions (0.1).
+        let sl = derive_subpath_load(&ld, SubpathId { start: 2, end: 3 }, n);
+        assert!((sl.traversal_query - 0.3).abs() < 1e-12);
+        assert!((sl.boundary_delete - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn native_mass_sums() {
+        let (ld, n) = setup();
+        let sl = derive_subpath_load(&ld, SubpathId { start: 2, end: 2 }, n);
+        assert!((sl.native_query_mass() - 0.35).abs() < 1e-12); // Veh+Bus+Truck
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_subpath_panics() {
+        let (ld, n) = setup();
+        let _ = derive_subpath_load(&ld, SubpathId { start: 2, end: 9 }, n);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests: subpath load derivation conserves workload mass
+//! for every way of cutting the path (the accounting backbone behind
+//! Proposition 4.2's additivity).
+
+use oic_schema::{fixtures, SubpathId};
+use oic_workload::{derive_subpath_load, LoadDistribution, Triplet};
+use proptest::prelude::*;
+
+fn random_load() -> impl Strategy<Value = LoadDistribution> {
+    prop::collection::vec((0.0f64..2.0, 0.0f64..2.0, 0.0f64..2.0), 6).prop_map(|v| {
+        let (schema, _) = fixtures::paper_schema();
+        let path = fixtures::paper_path_pexa(&schema);
+        let mut i = 0;
+        LoadDistribution::build(&schema, &path, |_| {
+            let (q, ins, del) = v[i % v.len()];
+            i += 1;
+            Triplet::new(q, ins, del)
+        })
+    })
+}
+
+/// All compositions of `n` as consecutive subpaths, encoded by cut masks.
+fn compositions(n: usize) -> Vec<Vec<SubpathId>> {
+    let mut out = Vec::new();
+    for mask in 0..(1u32 << (n - 1)) {
+        let mut parts = Vec::new();
+        let mut start = 1usize;
+        for pos in 1..=n {
+            if pos == n || (mask >> (pos - 1)) & 1 == 1 {
+                parts.push(SubpathId { start, end: pos });
+                start = pos + 1;
+            }
+        }
+        out.push(parts);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn native_mass_partitions_exactly(ld in random_load()) {
+        let n = ld.len();
+        let total_query: f64 = (1..=n)
+            .flat_map(|l| (0..ld.nc(l)).map(move |x| (l, x)))
+            .map(|(l, x)| ld.triplet(l, x).query)
+            .sum();
+        for parts in compositions(n) {
+            let native_sum: f64 = parts
+                .iter()
+                .map(|&sub| derive_subpath_load(&ld, sub, n).native_query_mass())
+                .sum();
+            prop_assert!((native_sum - total_query).abs() < 1e-9,
+                "native query mass must partition: {native_sum} vs {total_query}");
+        }
+    }
+
+    #[test]
+    fn traversal_mass_equals_upstream_queries(ld in random_load()) {
+        let n = ld.len();
+        for parts in compositions(n) {
+            for &sub in &parts {
+                let sl = derive_subpath_load(&ld, sub, n);
+                let upstream: f64 = (1..sub.start)
+                    .flat_map(|l| (0..ld.nc(l)).map(move |x| (l, x)))
+                    .map(|(l, x)| ld.triplet(l, x).query)
+                    .sum();
+                prop_assert!((sl.traversal_query - upstream).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_deletes_only_at_interior_cuts(ld in random_load()) {
+        let n = ld.len();
+        for parts in compositions(n) {
+            for (i, &sub) in parts.iter().enumerate() {
+                let sl = derive_subpath_load(&ld, sub, n);
+                if i + 1 == parts.len() {
+                    prop_assert_eq!(sl.boundary_delete, 0.0, "last subpath ends at A_n");
+                } else {
+                    let next_start = parts[i + 1].start;
+                    let expect: f64 = (0..ld.nc(next_start))
+                        .map(|x| ld.triplet(next_start, x).delete)
+                        .sum();
+                    prop_assert!((sl.boundary_delete - expect).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_ops_respect_zero_frequencies(ld in random_load(), count in 1usize..500, seed in 0u64..100) {
+        let ops = oic_workload::ops::sample_ops(&ld, count, seed);
+        prop_assert!(ops.len() <= count);
+        for op in &ops {
+            let (l, x, field) = match *op {
+                oic_workload::ops::OpKind::Query { position, class } => (position, class, 0),
+                oic_workload::ops::OpKind::Insert { position, class } => (position, class, 1),
+                oic_workload::ops::OpKind::Delete { position, class } => (position, class, 2),
+            };
+            let t = ld.triplet(l, x);
+            let f = [t.query, t.insert, t.delete][field];
+            prop_assert!(f > 0.0, "sampled an operation with zero frequency");
+        }
+    }
+}

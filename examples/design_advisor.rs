@@ -1,0 +1,68 @@
+//! Physical-design sweep: how the optimal index configuration shifts as the
+//! workload moves from query-only to update-only. Demonstrates the central
+//! trade-off of the paper — NIX serves queries with one lookup but pays
+//! heavily for deep-path maintenance; MX is the reverse; the optimum splits
+//! the path and mixes organizations.
+//!
+//! ```sh
+//! cargo run --example design_advisor
+//! ```
+
+use oo_index_config::prelude::*;
+use oo_index_config::schema::fixtures;
+
+fn main() {
+    let (schema, _) = fixtures::paper_schema();
+    let (path, chars) = oo_index_config::cost::characteristics::example51(&schema);
+    let params = CostParams::paper();
+
+    println!("workload sweep on {path} (Figure 7 database statistics)\n");
+    println!(
+        "{:<12} {:>10}  {:<58} {:>8}",
+        "query:update", "best cost", "optimal configuration", "vs NIX"
+    );
+
+    for pct_query in [100, 90, 75, 50, 25, 10, 0] {
+        let q = pct_query as f64 / 100.0;
+        let u = (100 - pct_query) as f64 / 100.0;
+        // Spread the mass uniformly over the scope classes.
+        let ld = LoadDistribution::uniform(
+            &schema,
+            &path,
+            Triplet::new(q, u / 2.0, u / 2.0),
+        );
+        let rec = Advisor::new(&schema, &path, &chars, &ld)
+            .with_params(params)
+            .verify_exhaustively(true)
+            .recommend();
+        let nix_cost = rec
+            .whole_path
+            .iter()
+            .find(|(o, _)| *o == Org::Nix)
+            .map(|&(_, c)| c)
+            .unwrap();
+        println!(
+            "{:>3}% : {:>3}%  {:>10.2}  {:<58} {:>7.2}x",
+            pct_query,
+            100 - pct_query,
+            rec.selection.cost,
+            rec.config_rendering,
+            nix_cost / rec.selection.cost,
+        );
+    }
+
+    println!("\nwith the Section 6 no-index option enabled:\n");
+    for pct_query in [10, 1, 0] {
+        let q = pct_query as f64 / 100.0;
+        let u = (100 - pct_query) as f64 / 100.0;
+        let ld = LoadDistribution::uniform(&schema, &path, Triplet::new(q, u / 2.0, u / 2.0));
+        let rec = Advisor::new(&schema, &path, &chars, &ld)
+            .with_params(params)
+            .allow_no_index(true)
+            .recommend();
+        println!(
+            "{:>3}% queries: cost {:>8.2}  {}",
+            pct_query, rec.selection.cost, rec.config_rendering
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Analytic-vs-measured validation: run real queries, insertions and
+//! deletions against each index organization on a generated database and
+//! compare observed page accesses with the Section 3 cost model.
+//!
+//! ```sh
+//! cargo run --release --example model_validation
+//! ```
+
+use oo_index_config::cost::CostParams;
+use oo_index_config::prelude::Org;
+use oo_index_config::schema::fixtures;
+use oo_index_config::sim::{scale_chars, validate, GenSpec};
+
+fn main() {
+    let (schema, _) = fixtures::paper_schema();
+    let (path, chars) = oo_index_config::cost::characteristics::example51(&schema);
+    // 2% of the paper's Figure 7 database: 4 000 persons, 400 vehicles.
+    let small = scale_chars(&chars, 0.02);
+    let params = CostParams::calibrated(1024.0);
+    let spec = GenSpec {
+        page_size: 1024,
+        seed: 99,
+    };
+
+    println!("analytic model vs measured page accesses (whole-path indexes, 2% Figure 7 DB)\n");
+    println!(
+        "{:<5} {:<10} {:>10} {:>10} {:>7}  (samples)",
+        "org", "operation", "predicted", "measured", "ratio"
+    );
+    for org in Org::ALL {
+        let rows = validate::validate_org(&schema, &path, &small, params, org, &spec, 12);
+        for r in &rows {
+            println!(
+                "{:<5} {:<10} {:>10.2} {:>10.2} {:>7.2}  ({})",
+                r.org.to_string(),
+                r.op,
+                r.predicted,
+                r.measured,
+                r.ratio(),
+                r.samples
+            );
+        }
+        println!();
+    }
+
+    let (naive, indexed) =
+        validate::naive_vs_indexed(&schema, &path, &small, Org::Nix, &spec, 8);
+    println!(
+        "motivation (Section 1): naive navigation {naive:.0} pages/query vs \
+         NIX {indexed:.1} pages/query ({:.0}x)",
+        naive / indexed
+    );
+}

@@ -1,0 +1,68 @@
+//! # oo-index-config
+//!
+//! A reproduction of **“On the Selection of Optimal Index Configuration in
+//! OO Databases”** (R.S. Choenni, E. Bertino, H.M. Blanken, T. Chang,
+//! *ICDE 1994*): given a path through an object-oriented database's
+//! aggregation hierarchy and the workload on its classes, select the
+//! cheapest way to index it — splitting the path into subpaths and
+//! allocating the best of the MX/MIX/NIX organizations to each.
+//!
+//! The workspace is re-exported here as a facade:
+//!
+//! * [`schema`] — classes, inheritance/aggregation hierarchies, paths;
+//! * [`storage`] — oids, typed values, the page-access-counting store and
+//!   the one-class-per-page object heap;
+//! * [`btree`] — the chained-leaf B+-tree with overflow records;
+//! * [`index`] — real SIX/IIX/MX/MIX/NIX structures and a naive evaluator;
+//! * [`cost`] — the analytic page-access model (Yao, `CRL/CML/CRT/CMT`,
+//!   per-organization costs, `CMD`);
+//! * [`workload`] — load distributions and subpath load derivation;
+//! * [`core`] — index configurations, the cost matrix, branch-and-bound
+//!   selection, and the Section 6 extensions;
+//! * [`sim`] — synthetic databases and the analytic-vs-measured validation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oo_index_config::prelude::*;
+//!
+//! // The paper's running example: schema of Figure 1, path Pexa =
+//! // Per.owns.man.divs.name, Figure 7 statistics and workload.
+//! let (schema, _) = oo_index_config::schema::fixtures::paper_schema();
+//! let (path, chars) = oo_index_config::cost::characteristics::example51(&schema);
+//! let ld = oo_index_config::workload::example51_load(&schema, &path);
+//!
+//! let rec = Advisor::new(&schema, &path, &chars, &ld)
+//!     .with_params(CostParams::paper())
+//!     .recommend();
+//! // The paper's optimal configuration:
+//! // {(Person.owns.man, NIX), (Company.divs.name, MX)}.
+//! assert_eq!(rec.selection.best.degree(), 2);
+//! println!("{rec}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use oic_btree as btree;
+pub use oic_core as core;
+pub use oic_cost as cost;
+pub use oic_index as index;
+pub use oic_schema as schema;
+pub use oic_sim as sim;
+pub use oic_storage as storage;
+pub use oic_workload as workload;
+
+/// Most-used types in one import.
+pub mod prelude {
+    pub use oic_core::{
+        exhaustive, opt_ind_con, Advisor, Choice, CostMatrix, IndexConfiguration, Recommendation,
+        SelectionResult,
+    };
+    pub use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
+    pub use oic_schema::{
+        AtomicType, Attribute, Cardinality, ClassId, Path, Schema, SchemaBuilder, SubpathId,
+    };
+    pub use oic_storage::{Oid, Value};
+    pub use oic_workload::{LoadDistribution, Triplet};
+}

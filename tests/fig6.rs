@@ -1,0 +1,46 @@
+//! Integration test: the paper's Figure 6 walkthrough (Section 5) through
+//! the public facade.
+
+use oo_index_config::core::fig6::fig6_matrix;
+use oo_index_config::prelude::*;
+
+#[test]
+fn figure6_walkthrough_reproduces_the_paper() {
+    let matrix = fig6_matrix();
+    let result = opt_ind_con(&matrix);
+
+    // “Thus the optimal configuration for Pex results
+    //  {(C1.A1, MX), (C2.A2.A3.A4, NIX)} with processing cost 8.”
+    assert_eq!(result.cost, 8.0);
+    assert_eq!(result.best.degree(), 2);
+    assert_eq!(
+        result.best.pairs()[0],
+        (SubpathId { start: 1, end: 1 }, Choice::Index(Org::Mx))
+    );
+    assert_eq!(
+        result.best.pairs()[1],
+        (SubpathId { start: 2, end: 4 }, Choice::Index(Org::Nix))
+    );
+
+    // The walkthrough evaluates six complete candidates and prunes two of
+    // the 2^(4-1) = 8 recombinations.
+    assert_eq!(result.candidate_space, 8);
+    assert_eq!(result.evaluated, 6);
+    assert_eq!(result.pruned, 2);
+
+    // The exhaustive baseline agrees and evaluates everything.
+    let ex = exhaustive(&matrix);
+    assert_eq!(ex.cost, result.cost);
+    assert_eq!(ex.best.pairs(), result.best.pairs());
+    assert_eq!(ex.evaluated, 8);
+}
+
+#[test]
+fn figure6_initial_candidate_is_whole_path_nix() {
+    // The procedure “starts with the index configuration IC1(P)”, which in
+    // Figure 6 is NIX at cost 9 — strictly worse than the optimum.
+    let matrix = fig6_matrix();
+    let (choice, cost) = matrix.min_cost(SubpathId { start: 1, end: 4 });
+    assert_eq!(choice, Choice::Index(Org::Nix));
+    assert_eq!(cost, 9.0);
+}

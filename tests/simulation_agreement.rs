@@ -1,0 +1,142 @@
+//! Simulation agreement: every index organization, every splitting of the
+//! path, and the naive evaluator must return identical query results on the
+//! same generated database — across seeds and query targets.
+
+use oo_index_config::prelude::*;
+use oo_index_config::schema::fixtures;
+use oo_index_config::sim::{generate, scale_chars, ConfiguredDb, GenSpec};
+
+fn all_two_way_splits(n: usize) -> Vec<IndexConfiguration> {
+    let mut out = Vec::new();
+    for org in Org::ALL {
+        out.push(IndexConfiguration::whole_path(org, n));
+    }
+    for cut in 1..n {
+        for a in Org::ALL {
+            for b in Org::ALL {
+                out.push(
+                    IndexConfiguration::new(
+                        vec![
+                            (SubpathId { start: 1, end: cut }, Choice::Index(a)),
+                            (
+                                SubpathId {
+                                    start: cut + 1,
+                                    end: n,
+                                },
+                                Choice::Index(b),
+                            ),
+                        ],
+                        n,
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn every_configuration_answers_identically() {
+    let (schema, classes) = fixtures::paper_schema();
+    let (path, chars) = oo_index_config::cost::characteristics::example51(&schema);
+    let small = scale_chars(&chars, 0.003);
+    for seed in [1u64, 99] {
+        let spec = GenSpec {
+            page_size: 1024,
+            seed,
+        };
+        let mut baseline: Option<Vec<Vec<Oid>>> = None;
+        for config in all_two_way_splits(path.len()) {
+            let db = generate(&schema, &path, &small, &spec);
+            let values = db.ending_values.clone();
+            let exec = ConfiguredDb::new(&schema, &path, db, &config);
+            let mut results = Vec::new();
+            for v in values.iter().take(3) {
+                results.push(exec.query(v, classes.person, false).0);
+                results.push(exec.query(v, classes.vehicle, true).0);
+                results.push(exec.query(v, classes.bus, false).0);
+                results.push(exec.query(v, classes.company, false).0);
+            }
+            match &baseline {
+                None => baseline = Some(results),
+                Some(b) => assert_eq!(b, &results, "seed {seed}: config {config} disagrees"),
+            }
+        }
+    }
+}
+
+#[test]
+fn no_index_segments_agree_with_indexed_ones() {
+    let (schema, classes) = fixtures::paper_schema();
+    let (path, chars) = oo_index_config::cost::characteristics::example51(&schema);
+    let small = scale_chars(&chars, 0.003);
+    let spec = GenSpec {
+        page_size: 1024,
+        seed: 3,
+    };
+    let mixed = IndexConfiguration::new(
+        vec![
+            (SubpathId { start: 1, end: 2 }, Choice::NoIndex),
+            (SubpathId { start: 3, end: 4 }, Choice::Index(Org::Nix)),
+        ],
+        4,
+    )
+    .unwrap();
+    let db = generate(&schema, &path, &small, &spec);
+    let values = db.ending_values.clone();
+    let a = ConfiguredDb::new(&schema, &path, db, &mixed);
+    let db2 = generate(&schema, &path, &small, &spec);
+    let b = ConfiguredDb::single(&schema, &path, db2, Org::Mix);
+    for v in values.iter().take(4) {
+        assert_eq!(
+            a.query(v, classes.person, false).0,
+            b.query(v, classes.person, false).0,
+            "query {v}"
+        );
+    }
+}
+
+#[test]
+fn maintenance_stream_preserves_agreement() {
+    // Interleave deletions and insertions on two differently-configured
+    // replicas of the same database; answers must track each other.
+    let (schema, classes) = fixtures::paper_schema();
+    let (path, chars) = oo_index_config::cost::characteristics::example51(&schema);
+    let small = scale_chars(&chars, 0.004);
+    let spec = GenSpec {
+        page_size: 1024,
+        seed: 21,
+    };
+    let split = IndexConfiguration::new(
+        vec![
+            (SubpathId { start: 1, end: 2 }, Choice::Index(Org::Nix)),
+            (SubpathId { start: 3, end: 4 }, Choice::Index(Org::Mx)),
+        ],
+        4,
+    )
+    .unwrap();
+    let db_a = generate(&schema, &path, &small, &spec);
+    let values = db_a.ending_values.clone();
+    let mut a = ConfiguredDb::new(&schema, &path, db_a, &split);
+    let db_b = generate(&schema, &path, &small, &spec);
+    let mut b = ConfiguredDb::single(&schema, &path, db_b, Org::Nix);
+
+    // Delete one object at every position, checking after each step.
+    for pos in [2usize, 1, 3, 0] {
+        let victim = a.db.pools[pos][0];
+        a.delete(victim);
+        b.delete(victim);
+        for v in values.iter().take(3) {
+            assert_eq!(
+                a.query(v, classes.person, false).0,
+                b.query(v, classes.person, false).0,
+                "after deleting at position {pos}"
+            );
+            assert_eq!(
+                a.query(v, classes.division, false).0,
+                b.query(v, classes.division, false).0
+            );
+        }
+    }
+}
