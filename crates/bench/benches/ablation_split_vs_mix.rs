@@ -58,10 +58,7 @@ fn main() {
                         .collect(),
                 );
             }
-            PathCharacteristics::from_parts(
-                positions,
-                (1..=chars.len()).map(|l| chars.is_multi(l)),
-            )
+            PathCharacteristics::from_parts(positions, (1..=chars.len()).map(|l| chars.is_multi(l)))
         };
         let rec = Advisor::new(&schema, &path, &scaled, &ld)
             .with_params(params)
@@ -92,10 +89,7 @@ fn main() {
                         .collect(),
                 );
             }
-            PathCharacteristics::from_parts(
-                positions,
-                (1..=chars.len()).map(|l| chars.is_multi(l)),
-            )
+            PathCharacteristics::from_parts(positions, (1..=chars.len()).map(|l| chars.is_multi(l)))
         };
         let rec = Advisor::new(&schema, &path, &scaled, &ld)
             .with_params(params)

@@ -45,7 +45,10 @@ fn main() {
     let matrix = CostMatrix::build(&model, &ld);
     let build_time = t.elapsed();
 
-    println!("\nFigure 8 — cost matrix for {path} (page size {} B)\n", params.page_size);
+    println!(
+        "\nFigure 8 — cost matrix for {path} (page size {} B)\n",
+        params.page_size
+    );
     print!("{}", matrix.render(&schema, &path));
 
     let t = Instant::now();
@@ -56,11 +59,19 @@ fn main() {
     let select_time = t.elapsed();
 
     println!("\noptimal configuration: {}", rec.config_rendering);
-    println!("processing cost: {:.2}   (paper: 16.03 under the [7] constants)", rec.selection.cost);
+    println!(
+        "processing cost: {:.2}   (paper: 16.03 under the [7] constants)",
+        rec.selection.cost
+    );
     for (org, c) in &rec.whole_path {
         println!("  whole-path {org}: {c:.2}");
     }
-    let nix_whole = rec.whole_path.iter().find(|(o, _)| *o == oic_cost::Org::Nix).unwrap().1;
+    let nix_whole = rec
+        .whole_path
+        .iter()
+        .find(|(o, _)| *o == oic_cost::Org::Nix)
+        .unwrap()
+        .1;
     println!(
         "improvement vs whole-path NIX: {:.2}x   (paper: 2.7x)",
         nix_whole / rec.selection.cost
@@ -80,7 +91,12 @@ fn main() {
         let rec = Advisor::new(&schema, &path, &chars, &ld)
             .with_params(CostParams::with_page_size(ps))
             .recommend();
-        let nix = rec.whole_path.iter().find(|(o, _)| *o == oic_cost::Org::Nix).unwrap().1;
+        let nix = rec
+            .whole_path
+            .iter()
+            .find(|(o, _)| *o == oic_cost::Org::Nix)
+            .unwrap()
+            .1;
         println!(
             "{:>6}  {:<62} {:>8.2} {:>8.2}x",
             ps as u64,

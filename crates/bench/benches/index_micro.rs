@@ -15,10 +15,7 @@ fn bench_btree(c: &mut Criterion) {
     let mut g = c.benchmark_group("btree");
     g.bench_function("insert_10k", |b| {
         b.iter_batched(
-            || {
-                
-                PageStore::new(4096)
-            },
+            || PageStore::new(4096),
             |mut store| {
                 let mut t = BTreeIndex::new(&mut store, Layout::for_page_size(4096));
                 for i in 0..10_000u64 {

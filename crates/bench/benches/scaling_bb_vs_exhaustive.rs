@@ -45,9 +45,8 @@ fn main() {
     );
     for n in [2usize, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16] {
         let (schema, path) = chain(n);
-        let chars = PathCharacteristics::build(&schema, &path, |_| {
-            ClassStats::new(50_000.0, 5_000.0, 1.0)
-        });
+        let chars =
+            PathCharacteristics::build(&schema, &path, |_| ClassStats::new(50_000.0, 5_000.0, 1.0));
         let model = CostModel::new(&schema, &path, &chars, CostParams::default());
         for wl in ["query-heavy", "mixed", "update-heavy"] {
             let ld = mix_load(&schema, &path, wl);

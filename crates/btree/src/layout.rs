@@ -35,11 +35,7 @@ impl Layout {
     /// `ln` — the stored length in bytes of an index record with the given
     /// key and entry lengths.
     pub fn record_len(&self, key_len: usize, entry_lens: impl Iterator<Item = usize>) -> usize {
-        self.record_overhead
-            + key_len
-            + entry_lens
-                .map(|e| e + self.entry_overhead)
-                .sum::<usize>()
+        self.record_overhead + key_len + entry_lens.map(|e| e + self.entry_overhead).sum::<usize>()
     }
 
     /// Number of pages a record of `ln` bytes occupies: 0 extra when it fits

@@ -232,7 +232,8 @@ impl BTreeIndex {
             let new_len = records[pos].len_bytes(&layout);
             if pages.len() > 1 {
                 // Oversized record: the append lands on the tail page(s).
-                let first_dirty = ((old_len.saturating_sub(1)) / layout.page_size).min(pages.len() - 1);
+                let first_dirty =
+                    ((old_len.saturating_sub(1)) / layout.page_size).min(pages.len() - 1);
                 store.touch_write(pages[first_dirty]);
                 let need = layout.chain_pages(new_len).max(1);
                 while pages.len() < need {
@@ -801,11 +802,7 @@ impl BTreeIndex {
                         .chain_pages(records[0].len_bytes(&self.layout))
                         .max(1);
                     if pages.len() != need {
-                        return Err(format!(
-                            "chain pages {} != required {}",
-                            pages.len(),
-                            need
-                        ));
+                        return Err(format!("chain pages {} != required {}", pages.len(), need));
                     }
                 } else if pages.len() != 1 {
                     return Err("multi-record leaf must own exactly one page".into());

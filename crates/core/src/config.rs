@@ -2,12 +2,11 @@
 
 use oic_cost::Org;
 use oic_schema::SubpathId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What is allocated on a subpath: one of the paper's three organizations,
 /// or nothing at all (the Section 6 “no index” extension).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Choice {
     /// An index of the given organization.
     Index(Org),
@@ -27,7 +26,7 @@ impl fmt::Display for Choice {
 /// An index configuration `IC_m(P)` of degree `m` (Definition 4.1): a
 /// sequence of `(subpath, index)` pairs whose subpaths concatenate to the
 /// full path — every class belongs to exactly one subpath.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndexConfiguration {
     pairs: Vec<(SubpathId, Choice)>,
 }
@@ -161,11 +160,7 @@ mod tests {
             4
         )
         .is_err());
-        assert!(IndexConfiguration::new(
-            vec![(sid(1, 3), Choice::Index(Org::Mx))],
-            4
-        )
-        .is_err());
+        assert!(IndexConfiguration::new(vec![(sid(1, 3), Choice::Index(Org::Mx))], 4).is_err());
         assert!(IndexConfiguration::new(vec![], 4).is_err());
     }
 

@@ -132,9 +132,7 @@ pub fn optimize(_schema: &Schema, cases: &[PathCase<'_>]) -> MultiPathPlan {
             let choice = Choice::Index(org);
             let full: f64 = owners
                 .iter()
-                .map(|&(i, sub, _)| {
-                    pc::processing_cost(&cases[i].model, cases[i].ld, sub, choice)
-                })
+                .map(|&(i, sub, _)| pc::processing_cost(&cases[i].model, cases[i].ld, sub, choice))
                 .sum();
             let mut maint: Vec<f64> = owners
                 .iter()
@@ -239,7 +237,7 @@ mod tests {
         let chars_d =
             PathCharacteristics::build(&schema, &p_div, |_| ClassStats::new(1_000.0, 1_000.0, 1.0));
         let ld_d = example51_load(&schema, &pexa); // reuse triplets? needs matching positions
-        // Build a proper LD for the one-position path.
+                                                   // Build a proper LD for the one-position path.
         let ld_d = {
             let _ = ld_d;
             oic_workload::LoadDistribution::uniform(

@@ -226,10 +226,7 @@ mod tests {
 
     #[test]
     fn render_marks_minima() {
-        let m = CostMatrix::from_values(
-            1,
-            &[(sid(1, 1), [3.0, 4.0, 6.0])],
-        );
+        let m = CostMatrix::from_values(1, &[(sid(1, 1), [3.0, 4.0, 6.0])]);
         let (schema, _) = fixtures::paper_schema();
         let path = fixtures::paper_path_pe(&schema);
         let s = m.render(&schema, &path);

@@ -175,18 +175,9 @@ mod tests {
         let r = opt_ind_con(&split_wins());
         assert_eq!(r.cost, 3.0);
         assert_eq!(r.best.degree(), 3);
-        assert_eq!(
-            r.best.pairs()[0],
-            (sid(1, 1), Choice::Index(Org::Mx))
-        );
-        assert_eq!(
-            r.best.pairs()[1],
-            (sid(2, 2), Choice::Index(Org::Mix))
-        );
-        assert_eq!(
-            r.best.pairs()[2],
-            (sid(3, 3), Choice::Index(Org::Nix))
-        );
+        assert_eq!(r.best.pairs()[0], (sid(1, 1), Choice::Index(Org::Mx)));
+        assert_eq!(r.best.pairs()[1], (sid(2, 2), Choice::Index(Org::Mix)));
+        assert_eq!(r.best.pairs()[2], (sid(3, 3), Choice::Index(Org::Nix)));
     }
 
     #[test]
@@ -241,10 +232,7 @@ mod tests {
             let mut values = Vec::new();
             for len in 1..=n {
                 for start in 1..=(n - len + 1) {
-                    values.push((
-                        sid(start, start + len - 1),
-                        [next(), next(), next()],
-                    ));
+                    values.push((sid(start, start + len - 1), [next(), next(), next()]));
                 }
             }
             let m = CostMatrix::from_values(n, &values);

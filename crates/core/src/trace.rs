@@ -35,10 +35,7 @@ pub enum TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let render = |pieces: &[(SubpathId, Choice)]| -> String {
-            let parts: Vec<String> = pieces
-                .iter()
-                .map(|(s, c)| format!("({s}, {c})"))
-                .collect();
+            let parts: Vec<String> = pieces.iter().map(|(s, c)| format!("({s}, {c})")).collect();
             format!("{{{}}}", parts.join(", "))
         };
         match self {
@@ -182,9 +179,9 @@ mod tests {
                 (true, 12.0),
                 (true, 12.0),
                 (true, 8.0),
-                (false, 8.0),  // {S11, S23} pruned at 3 + 5 = 8 ≥ 8
+                (false, 8.0), // {S11, S23} pruned at 3 + 5 = 8 ≥ 8
                 (true, 13.0),
-                (false, 9.0),  // {S11, S22, S33} pruned at 3 + 4 + 2 = 9 ≥ 8
+                (false, 9.0), // {S11, S22, S33} pruned at 3 + 4 + 2 = 9 ≥ 8
             ]
         );
         // The new-best flags: first candidate and the optimum.

@@ -1,13 +1,12 @@
 //! Database characteristics along a path (the inputs of Figure 7).
 
 use oic_schema::{ClassId, Path, Schema};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Statistics of one class with respect to its path attribute (Table 2):
 /// `n` objects, `d` distinct values of the indexed attribute, `nin` average
 /// values per object (1 for single-valued attributes).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassStats {
     /// `n_{l,x}` — number of objects in the class.
     pub n: f64,
@@ -36,7 +35,7 @@ impl ClassStats {
 /// Per-position, per-class statistics for a full path. Position `l`
 /// (1-based) holds one entry per class of the inheritance hierarchy rooted
 /// at `C_l`, in `Schema::hierarchy` order (root first).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathCharacteristics {
     positions: Vec<Vec<(ClassId, ClassStats)>>,
     /// Whether `A_l` is multi-valued, per position.

@@ -131,10 +131,7 @@ impl<'a> Derived<'a> {
         if l >= self.n() {
             return 0.0;
         }
-        self.chars
-            .stats(l, x)
-            .nin
-            .min(self.chars.nc(l + 1) as f64)
+        self.chars.stats(l, x).nin.min(self.chars.nc(l + 1) as f64)
     }
 
     /// Expected ancestors of one object of position `l` at ancestor position

@@ -129,7 +129,12 @@ impl<'a> CostModel<'a> {
 
     fn est_mx(&self, l: usize, x: usize) -> IndexEst {
         let d = self.chars.stats(l, x).d.max(1.0);
-        estimate_btree(d, self.mx_record_len(l, x), self.key_len_at(l), &self.params)
+        estimate_btree(
+            d,
+            self.mx_record_len(l, x),
+            self.key_len_at(l),
+            &self.params,
+        )
     }
 
     fn mx_retrieval_tail(&self, sub: SubpathId, from: usize) -> f64 {
@@ -361,7 +366,9 @@ impl<'a> CostModel<'a> {
         let p = &self.params;
         let section = match who {
             NixSection::Class(l, x) => {
-                d.occ(l, x, sub.end) * self.nix_entry_len(l) + p.class_dir_len + self.key_len_at(sub.end)
+                d.occ(l, x, sub.end) * self.nix_entry_len(l)
+                    + p.class_dir_len
+                    + self.key_len_at(sub.end)
             }
             NixSection::Position(l) => {
                 (0..self.chars.nc(l))
@@ -418,7 +425,11 @@ impl<'a> CostModel<'a> {
             0.0
         };
         let own = if l > sub.start { 1.0 } else { 0.0 };
-        let nar = if l < sub.end { d.nar_children(l, x) } else { 0.0 };
+        let nar = if l < sub.end {
+            d.nar_children(l, x)
+        } else {
+            0.0
+        };
         let aux = self.nix_aux_touch(&stats, children, nar + own);
         // Step 3 (CSI3): the object's oid enters its nin̄ primary records.
         let pm = self.nix_maintenance_pm(sub, &stats, l, x);
@@ -476,7 +487,11 @@ impl<'a> CostModel<'a> {
             0.0
         };
         let own = if l > sub.start { 1.0 } else { 0.0 };
-        let nar = if l < sub.end { d.nar_children(l, x) } else { 0.0 };
+        let nar = if l < sub.end {
+            d.nar_children(l, x)
+        } else {
+            0.0
+        };
         let csd2 = self.nix_aux_touch(&stats, children + own, nar + own);
         // CS3a: edit the nin̄ primary records containing the object.
         // `pmd_NIX = prd_NIX` (Section 3.1): the relevant pages fetched are
@@ -615,8 +630,7 @@ impl<'a> CostModel<'a> {
                 .sum(),
             Org::Nix => {
                 let stats = self.nix_stats(sub);
-                sum_levels(&stats.primary)
-                    + stats.auxiliary.as_ref().map_or(0.0, sum_levels)
+                sum_levels(&stats.primary) + stats.auxiliary.as_ref().map_or(0.0, sum_levels)
             }
         }
     }

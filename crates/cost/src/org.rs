@@ -1,13 +1,12 @@
 //! Index organizations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three index organizations of the selection algorithm. SIX and IIX
 /// are the single-position degenerate cases of MX and MIX respectively
 /// (Section 2.2: “a SIX and an IIX can be regarded as special cases of an MX
 /// respectively a MIX”), so they need no separate column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Org {
     /// Multi-index: one index per class in the scope of the (sub)path.
     Mx,

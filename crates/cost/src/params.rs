@@ -1,14 +1,12 @@
 //! Physical parameters of the cost model.
 
-use serde::{Deserialize, Serialize};
-
 /// Physical constants and overridable averages (DESIGN.md §5.5, §5.9).
 ///
 /// The paper treats `pr_X`, `pm_X`, `pmd_X`, `pmi_X` as *input parameters*
 /// (Section 3.1); the model computes principled defaults from record-length
 /// estimates, and each can be overridden here. Byte-level constants mirror
 /// the `oic-btree` layout so the estimator and the real structures agree.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostParams {
     /// Page size `p` in bytes.
     pub page_size: f64,

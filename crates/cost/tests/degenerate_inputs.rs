@@ -64,7 +64,8 @@ fn single_position_path() {
     // configuration.
     let (schema, _) = fixtures::paper_schema();
     let path = Path::parse(&schema, "Division", &["name"]).unwrap();
-    let chars = PathCharacteristics::build(&schema, &path, |_| ClassStats::new(1_000.0, 500.0, 1.0));
+    let chars =
+        PathCharacteristics::build(&schema, &path, |_| ClassStats::new(1_000.0, 500.0, 1.0));
     let model = CostModel::new(&schema, &path, &chars, CostParams::default());
     let sub = SubpathId { start: 1, end: 1 };
     for org in Org::ALL {

@@ -6,7 +6,11 @@ use oic_cost::characteristics::example51;
 use oic_cost::{CostModel, CostParams, Org};
 use oic_schema::SubpathId;
 
-fn fixture() -> (oic_schema::Schema, oic_schema::Path, oic_cost::PathCharacteristics) {
+fn fixture() -> (
+    oic_schema::Schema,
+    oic_schema::Path,
+    oic_cost::PathCharacteristics,
+) {
     let (schema, _) = oic_schema::fixtures::paper_schema();
     let (path, chars) = example51(&schema);
     (schema, path, chars)

@@ -85,13 +85,16 @@ impl InheritedIndex {
     pub fn delete_object(&mut self, store: &mut PageStore, obj: &Object) {
         let bytes = obj.oid.to_bytes();
         for v in obj.values_of(&self.attr) {
-            self.tree.remove_entries(store, &encode_key(v), |e| e == bytes);
+            self.tree
+                .remove_entries(store, &encode_key(v), |e| e == bytes);
         }
     }
 
     /// Drops the whole record for `key`.
     pub fn remove_key(&mut self, store: &mut PageStore, key: &Value) -> usize {
-        self.tree.remove_record(store, &encode_key(key)).unwrap_or(0)
+        self.tree
+            .remove_record(store, &encode_key(key))
+            .unwrap_or(0)
     }
 
     /// The underlying tree (stats access).
@@ -131,12 +134,8 @@ mod tests {
         // and covers Bus/Truck objects in the same records.
         let (schema, c) = fixtures::paper_schema();
         let mut store = PageStore::new(1024);
-        let mut iix = InheritedIndex::new(
-            &mut store,
-            c.vehicle,
-            schema.hierarchy(c.vehicle),
-            "color",
-        );
+        let mut iix =
+            InheritedIndex::new(&mut store, c.vehicle, schema.hierarchy(c.vehicle), "color");
         let vi = mkveh(&schema, c.vehicle, 0, "White", vec![]);
         let bi = mkveh(
             &schema,
@@ -167,9 +166,6 @@ mod tests {
         assert!(iix.covers(c.truck));
         assert!(!iix.covers(c.person));
         iix.delete_object(&mut store, &bi);
-        assert_eq!(
-            iix.lookup_all(&store, &Value::from("White")),
-            vec![vi.oid]
-        );
+        assert_eq!(iix.lookup_all(&store, &Value::from("White")), vec![vi.oid]);
     }
 }

@@ -170,10 +170,7 @@ mod tests {
         let mut db = testutil::figure2_db(1024);
         let sub = SubpathId { start: 2, end: 3 };
         let mix = MultiInheritedIndex::build(&db.schema, &db.path_pe, sub, &mut db.store, &db.heap);
-        let sub_path = db
-            .path_pe
-            .subpath(&db.schema, sub)
-            .unwrap();
+        let sub_path = db.path_pe.subpath(&db.schema, sub).unwrap();
         for name in ["Fiat", "Daf"] {
             for (target, with_sub) in [
                 (db.classes.vehicle, true),
@@ -195,12 +192,22 @@ mod tests {
         let mut mix =
             MultiInheritedIndex::build(&db.schema, &db.path_pe, sub, &mut db.store, &db.heap);
         let daf = Value::from("Daf");
-        let before = mix.lookup(&db.store, std::slice::from_ref(&daf), db.classes.person, false);
+        let before = mix.lookup(
+            &db.store,
+            std::slice::from_ref(&daf),
+            db.classes.person,
+            false,
+        );
         assert!(!before.is_empty());
         let victim = before[0];
         let obj = db.heap.peek(victim).unwrap().clone();
         mix.on_delete(&mut db.store, &obj);
-        let after = mix.lookup(&db.store, std::slice::from_ref(&daf), db.classes.person, false);
+        let after = mix.lookup(
+            &db.store,
+            std::slice::from_ref(&daf),
+            db.classes.person,
+            false,
+        );
         assert!(!after.contains(&victim));
         mix.on_insert(&mut db.store, &obj);
         assert_eq!(

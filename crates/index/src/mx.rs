@@ -160,7 +160,11 @@ impl PathIndex for MultiIndex {
     }
 
     fn describe(&self) -> String {
-        format!("MX[start={} len={}]", self.segment.start, self.segment.len())
+        format!(
+            "MX[start={} len={}]",
+            self.segment.start,
+            self.segment.len()
+        )
     }
 
     fn total_pages(&self) -> u64 {
@@ -189,7 +193,12 @@ mod tests {
         let mx = MultiIndex::build(&db.schema, &db.path_pe, sub, &mut db.store, &db.heap);
         // All persons owning a vehicle made by Fiat.
         let fiat = Value::from("Fiat");
-        let persons = mx.lookup(&db.store, std::slice::from_ref(&fiat), db.classes.person, false);
+        let persons = mx.lookup(
+            &db.store,
+            std::slice::from_ref(&fiat),
+            db.classes.person,
+            false,
+        );
         assert_eq!(persons, db.expect_fiat_person_owners());
         // Restricting to buses happens at the vehicle position: query buses.
         let buses = {
@@ -205,12 +214,22 @@ mod tests {
         let sub = SubpathId { start: 1, end: 3 };
         let mut mx = MultiIndex::build(&db.schema, &db.path_pe, sub, &mut db.store, &db.heap);
         let renault = Value::from("Renault");
-        let before = mx.lookup(&db.store, std::slice::from_ref(&renault), db.classes.person, false);
+        let before = mx.lookup(
+            &db.store,
+            std::slice::from_ref(&renault),
+            db.classes.person,
+            false,
+        );
         // Delete one of the qualifying persons.
         let victim = before[0];
         let obj = db.heap.peek(victim).unwrap().clone();
         mx.on_delete(&mut db.store, &obj);
-        let after = mx.lookup(&db.store, std::slice::from_ref(&renault), db.classes.person, false);
+        let after = mx.lookup(
+            &db.store,
+            std::slice::from_ref(&renault),
+            db.classes.person,
+            false,
+        );
         assert_eq!(after.len(), before.len() - 1);
         assert!(!after.contains(&victim));
         // Re-insert restores the result.
@@ -240,8 +259,18 @@ mod tests {
         let sub = SubpathId { start: 2, end: 3 };
         let mx = MultiIndex::build(&db.schema, &db.path_pe, sub, &mut db.store, &db.heap);
         let fiat = Value::from("Fiat");
-        let all = mx.lookup(&db.store, std::slice::from_ref(&fiat), db.classes.vehicle, true);
-        let root_only = mx.lookup(&db.store, std::slice::from_ref(&fiat), db.classes.vehicle, false);
+        let all = mx.lookup(
+            &db.store,
+            std::slice::from_ref(&fiat),
+            db.classes.vehicle,
+            true,
+        );
+        let root_only = mx.lookup(
+            &db.store,
+            std::slice::from_ref(&fiat),
+            db.classes.vehicle,
+            false,
+        );
         let buses = mx.lookup(&db.store, &[fiat], db.classes.bus, false);
         assert!(all.len() >= root_only.len());
         assert!(all.len() >= buses.len());

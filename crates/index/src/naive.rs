@@ -100,11 +100,8 @@ mod tests {
     #[test]
     fn naive_agrees_with_oracle() {
         let db = testutil::figure2_db(1024);
-        let naive = NaivePathEvaluator::new(
-            &db.schema,
-            &db.path_pe,
-            SubpathId { start: 1, end: 3 },
-        );
+        let naive =
+            NaivePathEvaluator::new(&db.schema, &db.path_pe, SubpathId { start: 1, end: 3 });
         for name in ["Fiat", "Renault", "Daf", "none"] {
             let got = naive.lookup(
                 &db.store,
@@ -121,11 +118,8 @@ mod tests {
     #[test]
     fn naive_pays_for_scans_and_navigation() {
         let db = testutil::figure2_db(1024);
-        let naive = NaivePathEvaluator::new(
-            &db.schema,
-            &db.path_pe,
-            SubpathId { start: 1, end: 3 },
-        );
+        let naive =
+            NaivePathEvaluator::new(&db.schema, &db.path_pe, SubpathId { start: 1, end: 3 });
         db.store.begin_op();
         let _ = naive.lookup(
             &db.store,

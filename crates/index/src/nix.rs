@@ -127,12 +127,7 @@ impl NestedInheritedIndex {
     /// Primary keys the object contributes to, with contribution counts:
     /// for the last position these are the attribute values themselves; for
     /// earlier positions, the union of the children's pointer arrays.
-    fn contribution(
-        &self,
-        store: &PageStore,
-        obj: &Object,
-        local: usize,
-    ) -> Vec<(Vec<u8>, u32)> {
+    fn contribution(&self, store: &PageStore, obj: &Object, local: usize) -> Vec<(Vec<u8>, u32)> {
         let attr = self.segment.attr_name(local);
         let mut counts: Vec<(Vec<u8>, u32)> = Vec::new();
         let bump = |counts: &mut Vec<(Vec<u8>, u32)>, key: Vec<u8>| {
@@ -144,9 +139,7 @@ impl NestedInheritedIndex {
         };
         if local + 1 < self.segment.len() {
             for child in obj.refs_of(attr) {
-                let ptrs = self
-                    .aux
-                    .lookup_filtered(store, &aux_key(child), is_ptr);
+                let ptrs = self.aux.lookup_filtered(store, &aux_key(child), is_ptr);
                 for p in ptrs {
                     bump(&mut counts, p[1..].to_vec());
                 }
@@ -267,7 +260,10 @@ impl PathIndex for NestedInheritedIndex {
             }
             // Own 3-tuple: pointer array + parents, then removal.
             let (pointers, parents): (Vec<Vec<u8>>, Vec<Oid>) = if local > 0 {
-                let entries = self.aux.lookup(store, &aux_key(obj.oid)).unwrap_or_default();
+                let entries = self
+                    .aux
+                    .lookup(store, &aux_key(obj.oid))
+                    .unwrap_or_default();
                 let ptrs = entries
                     .iter()
                     .filter(|e| is_ptr(e))
@@ -309,10 +305,9 @@ impl PathIndex for NestedInheritedIndex {
                 for e in entries {
                     let o = entry_to_oid(&e);
                     if self.segment.local_of(o.class).unwrap_or(0) > 0 {
-                        self.aux
-                            .remove_entries(store, &aux_key(o), |en| {
-                                is_ptr(en) && en[1..] == key[..]
-                            });
+                        self.aux.remove_entries(store, &aux_key(o), |en| {
+                            is_ptr(en) && en[1..] == key[..]
+                        });
                     }
                 }
             }
@@ -431,7 +426,12 @@ mod tests {
         )
         .unwrap();
         nix.on_insert(&mut db.store, &newp);
-        let with_new = nix.lookup(&db.store, &[Value::from("Renault")], db.classes.person, false);
+        let with_new = nix.lookup(
+            &db.store,
+            &[Value::from("Renault")],
+            db.classes.person,
+            false,
+        );
         assert!(with_new.contains(&oid));
         nix.on_delete(&mut db.store, &newp);
         let after: Vec<_> = ["Fiat", "Renault", "Daf"]

@@ -79,9 +79,7 @@ impl Segment {
     /// Local index whose hierarchy contains `class`, if any (a class occurs
     /// at most once along a path, so this is unambiguous).
     pub fn local_of(&self, class: ClassId) -> Option<usize> {
-        self.hierarchies
-            .iter()
-            .position(|h| h.contains(&class))
+        self.hierarchies.iter().position(|h| h.contains(&class))
     }
 
     /// Attribute name the class at local index `i` is indexed on.
@@ -114,9 +112,7 @@ impl Segment {
     /// counterpart of the paper's `CMD`.
     pub fn is_boundary_class(&self, schema: &Schema, class: ClassId) -> bool {
         match self.steps.last().expect("non-empty").attr.kind {
-            oic_schema::AttrKind::Reference(domain) => {
-                schema.is_same_or_subclass(class, domain)
-            }
+            oic_schema::AttrKind::Reference(domain) => schema.is_same_or_subclass(class, domain),
             oic_schema::AttrKind::Atomic(_) => false,
         }
     }

@@ -58,13 +58,16 @@ impl SimpleIndex {
         debug_assert_eq!(obj.class(), self.class);
         let bytes = obj.oid.to_bytes();
         for v in obj.values_of(&self.attr) {
-            self.tree.remove_entries(store, &encode_key(v), |e| e == bytes);
+            self.tree
+                .remove_entries(store, &encode_key(v), |e| e == bytes);
         }
     }
 
     /// Drops the whole record for `key` (used when the key is a dead oid).
     pub fn remove_key(&mut self, store: &mut PageStore, key: &Value) -> usize {
-        self.tree.remove_record(store, &encode_key(key)).unwrap_or(0)
+        self.tree
+            .remove_record(store, &encode_key(key))
+            .unwrap_or(0)
     }
 
     /// The underlying tree (stats access).
@@ -132,7 +135,10 @@ mod tests {
                 ("max_speed", Value::Int(1).into()),
                 ("weight", Value::Int(1).into()),
                 ("availability", Value::from("ok").into()),
-                ("man", FieldValue::Multi(vec![Value::Ref(c1), Value::Ref(c2)])),
+                (
+                    "man",
+                    FieldValue::Multi(vec![Value::Ref(c1), Value::Ref(c2)]),
+                ),
             ],
         )
         .unwrap();

@@ -48,10 +48,7 @@ pub fn figure2_db(page_size: usize) -> TestDb {
     let d_sales_r = div(&mut heap, &mut store, "sales");
     let d_rnd_d = div(&mut heap, &mut store, "rnd");
 
-    let comp = |heap: &mut ObjectStore,
-                    store: &mut PageStore,
-                    name: &str,
-                    divs: Vec<Oid>| {
+    let comp = |heap: &mut ObjectStore, store: &mut PageStore, name: &str, divs: Vec<Oid>| {
         let oid = heap.fresh_oid(classes.company);
         let o = Object::new(
             &schema,
@@ -223,10 +220,7 @@ impl TestDb {
         // Restrict pe to its Vehicle suffix: positions 2..3.
         let sub = self
             .path_pe
-            .subpath(
-                &self.schema,
-                oic_schema::SubpathId { start: 2, end: 3 },
-            )
+            .subpath(&self.schema, oic_schema::SubpathId { start: 2, end: 3 })
             .unwrap();
         self.oracle(&sub, self.classes.bus, false, &Value::from("Fiat"))
     }
@@ -260,8 +254,7 @@ mod tests {
         assert_eq!(sales.len(), 5, "P0, P1, P2, P3, P5");
         // Vehicle hierarchy query with subclasses.
         let daf_vehicles = db.oracle(
-            &db
-                .path_pe
+            &db.path_pe
                 .subpath(&db.schema, oic_schema::SubpathId { start: 2, end: 3 })
                 .unwrap(),
             db.classes.vehicle,

@@ -73,7 +73,8 @@ fn random_db(seed: u64, n_comp: usize, n_veh: usize, n_per: usize) -> Db {
     for _ in 0..n_comp {
         let oid = heap.fresh_oid(classes.company);
         let name = names.choose(&mut rng).unwrap().clone();
-        heap.insert(&mut store, company(&schema, oid, &name)).unwrap();
+        heap.insert(&mut store, company(&schema, oid, &name))
+            .unwrap();
         comps.push(oid);
     }
     let mut vehicles = Vec::new();

@@ -1,11 +1,10 @@
 //! Attribute definitions: atomic vs reference domains, single vs multi-valued.
 
 use crate::ClassId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Domain of an atomic attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AtomicType {
     /// 64-bit signed integer.
     Int,
@@ -27,7 +26,7 @@ impl fmt::Display for AtomicType {
 
 /// Kind of an attribute's domain: an atomic class or a non-atomic class
 /// (a *part-of* relationship to another class in the aggregation hierarchy).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttrKind {
     /// The domain is an atomic type.
     Atomic(AtomicType),
@@ -55,7 +54,7 @@ impl AttrKind {
 
 /// Whether an attribute holds one value or a set of values. Multi-valued
 /// attributes are marked `+` in the paper's Figure 1 (e.g. `divisions+`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cardinality {
     /// Exactly one value (the paper assumes no NULLs).
     Single,
@@ -65,7 +64,7 @@ pub enum Cardinality {
 }
 
 /// An attribute of a class.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Attribute name, unique within the declaring class (including
     /// inherited attributes).

@@ -1,11 +1,10 @@
 //! Class definitions.
 
 use crate::{Attribute, ClassId};
-use serde::{Deserialize, Serialize};
 
 /// A class in the schema: a set of declared attributes plus an optional
 /// superclass whose attributes (and, conceptually, methods) are inherited.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Class {
     /// Class name, unique within the schema.
     pub name: String,

@@ -1,6 +1,5 @@
 //! Lightweight identifiers for classes and attributes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a class within a [`crate::Schema`].
@@ -8,7 +7,7 @@ use std::fmt;
 /// Class ids are dense indices assigned in declaration order by
 /// [`crate::SchemaBuilder`]; they are valid only for the schema that produced
 /// them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClassId(pub u32);
 
 impl ClassId {
@@ -27,7 +26,7 @@ impl fmt::Display for ClassId {
 
 /// Identifier of an attribute *within its declaring class* (position in the
 /// class's own attribute list, not counting inherited attributes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttrId {
     /// Class that declares the attribute.
     pub class: ClassId,

@@ -32,7 +32,7 @@ mod ident;
 mod path;
 mod schema;
 
-pub use attribute::{AtomicType, Attribute, AttrKind, Cardinality};
+pub use attribute::{AtomicType, AttrKind, Attribute, Cardinality};
 pub use class::Class;
 pub use error::SchemaError;
 pub use ident::{AttrId, ClassId};

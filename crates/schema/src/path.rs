@@ -1,12 +1,11 @@
 //! Paths through the aggregation hierarchy (Definition 2.1 of the paper).
 
-use crate::{Attribute, AttrKind, ClassId, Schema, SchemaError};
-use serde::{Deserialize, Serialize};
+use crate::{AttrKind, Attribute, ClassId, Schema, SchemaError};
 use std::fmt;
 
 /// One step of a path: the class `C_l` at position `l` (the *root* of the
 /// inheritance hierarchy at that position) together with its attribute `A_l`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathStep {
     /// `C_l` — the class at this position.
     pub class: ClassId,
@@ -19,7 +18,7 @@ pub struct PathStep {
 /// Identifier of a subpath `S_{i,j} = C_i.A_i.....A_j` within a path, using
 /// the paper's two-subscript notation from Section 5: 1-based start position
 /// `i` (the starting class) and end position `j` (the ending attribute).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SubpathId {
     /// 1-based position of the subpath's starting class within the superpath.
     pub start: usize,
@@ -55,7 +54,7 @@ impl fmt::Display for SubpathId {
 /// * a class appears at most once in the path.
 ///
 /// `A_n` is the *ending attribute*; `len(P) = n` is the number of classes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Path {
     steps: Vec<PathStep>,
     /// Human-readable rendering, e.g. `Per.owns.man.name`.
@@ -246,7 +245,11 @@ mod tests {
         assert_eq!(p.len(), 3);
         let names: Vec<_> = p.classes().iter().map(|&c| schema.class_name(c)).collect();
         assert_eq!(names, vec!["Person", "Vehicle", "Company"]);
-        let scope: Vec<_> = p.scope(&schema).iter().map(|&c| schema.class_name(c)).collect();
+        let scope: Vec<_> = p
+            .scope(&schema)
+            .iter()
+            .map(|&c| schema.class_name(c))
+            .collect();
         assert_eq!(scope, vec!["Person", "Vehicle", "Bus", "Truck", "Company"]);
         assert_eq!(p.to_string(), "Person.owns.man.name");
         assert_eq!(p.ending_attribute().attr_name, "name");

@@ -1,14 +1,13 @@
 //! The schema: a set of classes with inheritance and aggregation structure.
 
-use crate::{Attribute, AttrKind, Cardinality, Class, ClassId, SchemaError};
-use serde::{Deserialize, Serialize};
+use crate::{AttrKind, Attribute, Cardinality, Class, ClassId, SchemaError};
 use std::collections::HashMap;
 
 /// A validated schema.
 ///
 /// Construction goes through [`SchemaBuilder`], which checks name uniqueness
 /// and inheritance acyclicity, so every `Schema` in existence is consistent.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Schema {
     classes: Vec<Class>,
     by_name: HashMap<String, ClassId>,
@@ -296,9 +295,15 @@ mod tests {
 
     fn tiny() -> Schema {
         let mut b = SchemaBuilder::new();
-        let veh = b.class("Vehicle", vec![Attribute::atomic("color", AtomicType::Str)]).unwrap();
+        let veh = b
+            .class("Vehicle", vec![Attribute::atomic("color", AtomicType::Str)])
+            .unwrap();
         let bus = b
-            .subclass("Bus", veh, vec![Attribute::atomic("seats", AtomicType::Int)])
+            .subclass(
+                "Bus",
+                veh,
+                vec![Attribute::atomic("seats", AtomicType::Int)],
+            )
             .unwrap();
         let _truck = b.subclass("Truck", veh, vec![]).unwrap();
         let per = b.declare("Person").unwrap();
@@ -374,7 +379,10 @@ mod tests {
     fn duplicate_class_rejected() {
         let mut b = SchemaBuilder::new();
         b.declare("A").unwrap();
-        assert!(matches!(b.declare("A"), Err(SchemaError::DuplicateClass(_))));
+        assert!(matches!(
+            b.declare("A"),
+            Err(SchemaError::DuplicateClass(_))
+        ));
     }
 
     #[test]
@@ -388,7 +396,9 @@ mod tests {
     #[test]
     fn shadowing_inherited_attribute_rejected() {
         let mut b = SchemaBuilder::new();
-        let a = b.class("A", vec![Attribute::atomic("x", AtomicType::Int)]).unwrap();
+        let a = b
+            .class("A", vec![Attribute::atomic("x", AtomicType::Int)])
+            .unwrap();
         b.subclass("B", a, vec![Attribute::atomic("x", AtomicType::Int)])
             .unwrap();
         assert!(matches!(

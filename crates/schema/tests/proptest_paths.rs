@@ -16,7 +16,8 @@ fn chain_schema(subs: &[usize]) -> (Schema, Path) {
     }
     for i in (1..n).rev() {
         let c = b.declare(format!("C{i}")).unwrap();
-        b.reference(c, "next", prev_root, Cardinality::Multi).unwrap();
+        b.reference(c, "next", prev_root, Cardinality::Multi)
+            .unwrap();
         for s in 0..subs[i - 1] {
             b.subclass(format!("C{i}S{s}"), c, vec![]).unwrap();
         }

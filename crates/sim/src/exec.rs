@@ -46,7 +46,11 @@ impl<'a> ConfiguredDb<'a> {
         for &(sub, choice) in config.pairs() {
             let exec = match choice {
                 Choice::Index(Org::Mx) => SegmentExec::Indexed(Box::new(MultiIndex::build(
-                    schema, path, sub, &mut db.store, &db.heap,
+                    schema,
+                    path,
+                    sub,
+                    &mut db.store,
+                    &db.heap,
                 ))),
                 Choice::Index(Org::Mix) => SegmentExec::Indexed(Box::new(
                     MultiInheritedIndex::build(schema, path, sub, &mut db.store, &db.heap),
@@ -54,9 +58,7 @@ impl<'a> ConfiguredDb<'a> {
                 Choice::Index(Org::Nix) => SegmentExec::Indexed(Box::new(
                     NestedInheritedIndex::build(schema, path, sub, &mut db.store, &db.heap),
                 )),
-                Choice::NoIndex => {
-                    SegmentExec::Naive(NaivePathEvaluator::new(schema, path, sub))
-                }
+                Choice::NoIndex => SegmentExec::Naive(NaivePathEvaluator::new(schema, path, sub)),
             };
             segments.push(exec);
         }
@@ -112,9 +114,7 @@ impl<'a> ConfiguredDb<'a> {
             };
             let oids = match seg {
                 SegmentExec::Indexed(idx) => idx.lookup(&self.db.store, &keys, cls, subs),
-                SegmentExec::Naive(n) => {
-                    n.lookup(&self.db.store, &self.db.heap, &keys, cls, subs)
-                }
+                SegmentExec::Naive(n) => n.lookup(&self.db.store, &self.db.heap, &keys, cls, subs),
             };
             if contains_target {
                 return oids;
@@ -199,8 +199,8 @@ mod tests {
     use super::*;
     use crate::{generate, scale_chars, GenSpec};
     use oic_cost::characteristics::example51;
-    use oic_schema::SubpathId;
     use oic_schema::fixtures;
+    use oic_schema::SubpathId;
 
     fn small_db() -> (
         oic_schema::Schema,
@@ -293,8 +293,7 @@ mod tests {
         }
         let reference_db = {
             // Rebuild indexes from the mutated heap: fresh ground truth.
-            let heap_counts: Vec<usize> =
-                exec.db.pools.iter().map(Vec::len).collect();
+            let heap_counts: Vec<usize> = exec.db.pools.iter().map(Vec::len).collect();
             assert!(heap_counts[0] > 0);
             let db2 = GeneratedDb {
                 store: oic_storage::PageStore::new(1024),

@@ -171,12 +171,7 @@ fn ending_value(kind: &AttrKind, idx: usize) -> Value {
 
 /// Builds an object with the path attribute set and every other attribute
 /// defaulted (the path processing never reads them).
-pub(crate) fn fill_object(
-    schema: &Schema,
-    oid: Oid,
-    path_attr: &str,
-    value: FieldValue,
-) -> Object {
+pub(crate) fn fill_object(schema: &Schema, oid: Oid, path_attr: &str, value: FieldValue) -> Object {
     let mut fields: Vec<(String, FieldValue)> = Vec::new();
     for (_, attr) in schema.all_attributes(oid.class) {
         if attr.name == path_attr {
@@ -202,8 +197,10 @@ pub(crate) fn fill_object(
         fields.push((attr.name.clone(), v));
     }
     fields.push((path_attr.to_string(), value));
-    let borrowed: Vec<(&str, FieldValue)> =
-        fields.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let borrowed: Vec<(&str, FieldValue)> = fields
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
     Object::new(schema, oid, borrowed).expect("generated objects are schema-valid")
 }
 

@@ -24,4 +24,4 @@ mod gendb;
 pub mod validate;
 
 pub use exec::ConfiguredDb;
-pub use gendb::{generate, scale_chars, GeneratedDb, GenSpec};
+pub use gendb::{generate, scale_chars, GenSpec, GeneratedDb};

@@ -1,7 +1,7 @@
 //! Analytic-vs-measured validation: run real operations, compare page
 //! counts against the Section 3 cost model.
 
-use crate::{generate, ConfiguredDb, GeneratedDb, GenSpec};
+use crate::{generate, ConfiguredDb, GenSpec, GeneratedDb};
 use oic_core::IndexConfiguration;
 use oic_cost::{CostModel, CostParams, Org, PathCharacteristics};
 use oic_schema::{Path, Schema, SubpathId};
@@ -184,7 +184,13 @@ pub fn naive_vs_indexed(
     let mut naive_total = 0u64;
     for v in &picks {
         db2.store.begin_op();
-        let _ = naive.lookup(&db2.store, &db2.heap, std::slice::from_ref(v), target, false);
+        let _ = naive.lookup(
+            &db2.store,
+            &db2.heap,
+            std::slice::from_ref(v),
+            target,
+            false,
+        );
         naive_total += db2.store.end_op().distinct_total();
     }
     let naive_mean = naive_total as f64 / picks.len().max(1) as f64;

@@ -24,14 +24,10 @@ fn size_estimates_track_real_index_pages() {
             Org::Mx => {
                 MultiIndex::build(&schema, &path, full, &mut db.store, &db.heap).total_pages()
             }
-            Org::Mix => {
-                MultiInheritedIndex::build(&schema, &path, full, &mut db.store, &db.heap)
-                    .total_pages()
-            }
-            Org::Nix => {
-                NestedInheritedIndex::build(&schema, &path, full, &mut db.store, &db.heap)
-                    .total_pages()
-            }
+            Org::Mix => MultiInheritedIndex::build(&schema, &path, full, &mut db.store, &db.heap)
+                .total_pages(),
+            Org::Nix => NestedInheritedIndex::build(&schema, &path, full, &mut db.store, &db.heap)
+                .total_pages(),
         } as f64;
         let predicted = model.size_pages(org, full);
         let ratio = real / predicted;

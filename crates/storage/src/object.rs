@@ -79,7 +79,9 @@ impl Object {
     /// Convenience: the values of attribute `name` as a vector (empty if the
     /// attribute is unknown).
     pub fn values_of(&self, name: &str) -> Vec<&Value> {
-        self.field(name).map(|f| f.values().collect()).unwrap_or_default()
+        self.field(name)
+            .map(|f| f.values().collect())
+            .unwrap_or_default()
     }
 
     /// Oids referenced by attribute `name` (skipping non-reference values).
@@ -168,7 +170,10 @@ mod tests {
             &s,
             Oid::new(c.division, 1),
             vec![
-                ("name", FieldValue::Multi(vec![Value::from("a"), Value::from("b")])),
+                (
+                    "name",
+                    FieldValue::Multi(vec![Value::from("a"), Value::from("b")]),
+                ),
                 ("function", Value::from("y").into()),
                 ("movings", Value::Int(1).into()),
             ],

@@ -82,10 +82,22 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let a = AccessStats { reads: 10, writes: 4 };
-        let b = AccessStats { reads: 25, writes: 9 };
+        let a = AccessStats {
+            reads: 10,
+            writes: 4,
+        };
+        let b = AccessStats {
+            reads: 25,
+            writes: 9,
+        };
         let d = b.since(&a);
-        assert_eq!(d, AccessStats { reads: 15, writes: 5 });
+        assert_eq!(
+            d,
+            AccessStats {
+                reads: 15,
+                writes: 5
+            }
+        );
         assert_eq!(d.total(), 20);
     }
 

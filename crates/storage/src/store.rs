@@ -168,7 +168,13 @@ mod tests {
         s.touch_read(a);
         s.touch_read(a);
         s.touch_write(a);
-        assert_eq!(s.stats(), AccessStats { reads: 2, writes: 1 });
+        assert_eq!(
+            s.stats(),
+            AccessStats {
+                reads: 2,
+                writes: 1
+            }
+        );
         s.reset_stats();
         assert_eq!(s.stats().total(), 0);
     }

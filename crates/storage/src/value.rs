@@ -220,10 +220,7 @@ mod tests {
 
     #[test]
     fn type_tags_separate_domains() {
-        assert_ne!(
-            encode_key(&Value::Int(0x33)),
-            encode_key(&Value::from("3"))
-        );
+        assert_ne!(encode_key(&Value::Int(0x33)), encode_key(&Value::from("3")));
     }
 
     #[test]

@@ -42,11 +42,7 @@ impl SubpathLoad {
 
 /// Derives the load on subpath `sub` of a path of length `path_len` from the
 /// full-path load distribution.
-pub fn derive_subpath_load(
-    ld: &LoadDistribution,
-    sub: SubpathId,
-    path_len: usize,
-) -> SubpathLoad {
+pub fn derive_subpath_load(ld: &LoadDistribution, sub: SubpathId, path_len: usize) -> SubpathLoad {
     assert_eq!(ld.len(), path_len, "load must cover the full path");
     assert!(sub.end <= path_len && sub.start >= 1 && sub.start <= sub.end);
     let mut native = Vec::new();

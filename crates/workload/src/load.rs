@@ -1,13 +1,12 @@
 //! Load distributions over path scopes.
 
 use oic_schema::{ClassId, Path, Schema};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// `(α, β, γ)` — frequency of queries (against the path's ending attribute)
 /// with respect to the class, and of insertions and deletions on the class.
 /// Frequencies are rates per unit time; the unit cancels in comparisons.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Triplet {
     /// `α` — query frequency w.r.t. the class.
     pub query: f64,
@@ -35,7 +34,7 @@ impl Triplet {
 
 /// `LD_{A_n}(scope(P))` — one triplet per class in the scope, organized per
 /// position like `PathCharacteristics` (hierarchy root first).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadDistribution {
     positions: Vec<Vec<(ClassId, Triplet)>>,
 }
@@ -107,11 +106,7 @@ impl LoadDistribution {
 
     /// Total query mass across the whole scope.
     pub fn total_query_mass(&self) -> f64 {
-        self.positions
-            .iter()
-            .flatten()
-            .map(|(_, t)| t.query)
-            .sum()
+        self.positions.iter().flatten().map(|(_, t)| t.query).sum()
     }
 }
 

@@ -172,9 +172,15 @@ mod tests {
         // Per: 0.3*20 = 6 queries, 2 inserts, 2 deletes.
         let per_q = ops
             .iter()
-            .filter(|o|
-
-                matches!(o, OpKind::Query { position: 1, class: 0 }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    OpKind::Query {
+                        position: 1,
+                        class: 0
+                    }
+                )
+            })
             .count();
         assert_eq!(per_q, 6);
         let total: usize = ops.len();

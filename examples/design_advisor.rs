@@ -26,11 +26,7 @@ fn main() {
         let q = pct_query as f64 / 100.0;
         let u = (100 - pct_query) as f64 / 100.0;
         // Spread the mass uniformly over the scope classes.
-        let ld = LoadDistribution::uniform(
-            &schema,
-            &path,
-            Triplet::new(q, u / 2.0, u / 2.0),
-        );
+        let ld = LoadDistribution::uniform(&schema, &path, Triplet::new(q, u / 2.0, u / 2.0));
         let rec = Advisor::new(&schema, &path, &chars, &ld)
             .with_params(params)
             .verify_exhaustively(true)

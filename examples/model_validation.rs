@@ -43,8 +43,7 @@ fn main() {
         println!();
     }
 
-    let (naive, indexed) =
-        validate::naive_vs_indexed(&schema, &path, &small, Org::Nix, &spec, 8);
+    let (naive, indexed) = validate::naive_vs_indexed(&schema, &path, &small, Org::Nix, &spec, 8);
     println!(
         "motivation (Section 1): naive navigation {naive:.0} pages/query vs \
          NIX {indexed:.1} pages/query ({:.0}x)",

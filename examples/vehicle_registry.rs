@@ -78,9 +78,7 @@ fn main() {
     // answers it with a person-targeted lookup whose vehicle step is
     // restricted per organization automatically; here we demonstrate the
     // person query (whole-hierarchy traversal at position 2).
-    let r_mx = run("MX", &|| {
-        mx.lookup(&db.store, &keys, classes.person, false)
-    });
+    let r_mx = run("MX", &|| mx.lookup(&db.store, &keys, classes.person, false));
     let r_mix = run("MIX", &|| {
         mix.lookup(&db.store, &keys, classes.person, false)
     });
@@ -96,8 +94,12 @@ fn main() {
     println!("\nall four evaluations agree on {} persons", r_mx.len());
 
     // Index sizes (pages), the space side of the trade-off.
-    println!("\nindex sizes: MX {} pages, MIX {} pages, NIX {} pages",
-        mx.total_pages(), mix.total_pages(), nix.total_pages());
+    println!(
+        "\nindex sizes: MX {} pages, MIX {} pages, NIX {} pages",
+        mx.total_pages(),
+        mix.total_pages(),
+        nix.total_pages()
+    );
 
     // Maintenance: delete a company and watch the boundary effect (CMD).
     let victim = db.heap.oids_of(classes.company)[0];

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Smoke-run the examples so they cannot silently rot: each must exit 0 and
+# print the landmark lines asserted below (tied to the paper's Example 5.1).
+# CI runs this after the test suite; run it locally as scripts/smoke.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    local example="$1" needle="$2"
+    echo "── cargo run --release --example ${example}"
+    local out
+    out="$(cargo run --release --quiet --example "${example}")"
+    if ! grep -qF "${needle}" <<<"${out}"; then
+        echo "FAIL: example '${example}' no longer prints '${needle}'" >&2
+        echo "--- captured output ---" >&2
+        echo "${out}" >&2
+        exit 1
+    fi
+    echo "ok: found '${needle}'"
+}
+
+# quickstart derives its own 3-step path and must still pick a split
+# configuration with a cost matrix.
+run quickstart "cost matrix"
+
+# design_advisor sweeps the query/update mix; the pure-update end must
+# recommend indexing nothing (the Section 6 no-index extension).
+run design_advisor "{(Person.owns.man.divs.name, —)}"
+
+# model_validation compares the analytic model against measured page
+# accesses and prints the Section 1 motivation factor.
+run model_validation "motivation (Section 1)"
+
+echo "smoke: all examples alive"

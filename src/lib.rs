@@ -38,6 +38,15 @@
 //! // The paper's optimal configuration:
 //! // {(Person.owns.man, NIX), (Company.divs.name, MX)}.
 //! assert_eq!(rec.selection.best.degree(), 2);
+//! assert_eq!(
+//!     rec.selection.best.pairs(),
+//!     &[
+//!         (SubpathId { start: 1, end: 2 }, Choice::Index(Org::Nix)),
+//!         (SubpathId { start: 3, end: 4 }, Choice::Index(Org::Mx)),
+//!     ]
+//! );
+//! assert!(rec.config_rendering.contains("Person.owns.man"));
+//! assert!(rec.config_rendering.contains("Company.divs.name"));
 //! println!("{rec}");
 //! ```
 

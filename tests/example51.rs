@@ -25,8 +25,14 @@ fn optimal_configuration_matches_the_paper() {
     //  {(Per.owns.man, NIX), (Comp.divs.name, MX)}.”
     assert_eq!(rec.selection.best.degree(), 2);
     let pairs = rec.selection.best.pairs();
-    assert_eq!(pairs[0], (SubpathId { start: 1, end: 2 }, Choice::Index(Org::Nix)));
-    assert_eq!(pairs[1], (SubpathId { start: 3, end: 4 }, Choice::Index(Org::Mx)));
+    assert_eq!(
+        pairs[0],
+        (SubpathId { start: 1, end: 2 }, Choice::Index(Org::Nix))
+    );
+    assert_eq!(
+        pairs[1],
+        (SubpathId { start: 3, end: 4 }, Choice::Index(Org::Mx))
+    );
     assert!(rec.config_rendering.contains("Person.owns.man"));
     assert!(rec.config_rendering.contains("Company.divs.name"));
 }
@@ -93,7 +99,10 @@ fn whole_path_query_ordering_nix_beats_mix_beats_mx() {
     let mx = matrix.cost(full, Org::Mx);
     let mix = matrix.cost(full, Org::Mix);
     let nix = matrix.cost(full, Org::Nix);
-    assert!(nix < mix && mix < mx, "query-only: {nix:.2} < {mix:.2} < {mx:.2}");
+    assert!(
+        nix < mix && mix < mx,
+        "query-only: {nix:.2} < {mix:.2} < {mx:.2}"
+    );
 }
 
 #[test]
