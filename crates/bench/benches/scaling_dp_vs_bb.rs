@@ -1,0 +1,203 @@
+//! **Polynomial vs exponential selection** — the DP against the paper's
+//! branch and bound, two ways:
+//!
+//! 1. *Path scaling*: chain paths up to `n = 24` (the paper stops at 7;
+//!    CAD/CASE-style schemas go deeper), three workload mixes. Reports
+//!    evaluated-candidate counts and wall time for `opt_ind_con_dp` vs
+//!    `opt_ind_con`, with the exhaustive baseline where feasible.
+//! 2. *Workload scaling*: synthetic workloads of 50–500 overlapping paths
+//!    through the `WorkloadAdvisor`, reporting interned candidates vs raw
+//!    subpath instances, physical indexes, maintenance pricings (the
+//!    priced-once invariant), sharing savings and wall time.
+//!
+//! Writes a machine-readable snapshot to `BENCH_scaling_dp_vs_bb.json` at
+//! the repository root.
+
+use oic_core::{exhaustive, opt_ind_con, opt_ind_con_dp, CostMatrix};
+use oic_cost::{ClassStats, CostModel, CostParams, PathCharacteristics};
+use oic_schema::{AtomicType, Cardinality, Path, Schema, SchemaBuilder};
+use oic_sim::{synth_workload, WorkloadSpec};
+use oic_workload::{LoadDistribution, Triplet};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Builds a chain schema `C1 → C2 → … → Cn → name` and its full path.
+fn chain(n: usize) -> (Schema, Path) {
+    let mut b = SchemaBuilder::new();
+    let mut prev = b.declare(format!("C{n}")).unwrap();
+    b.atomic(prev, "name", AtomicType::Str).unwrap();
+    for i in (1..n).rev() {
+        let c = b.declare(format!("C{i}")).unwrap();
+        b.reference(c, "next", prev, Cardinality::Single).unwrap();
+        prev = c;
+    }
+    let schema = b.build().unwrap();
+    let mut attrs: Vec<&str> = vec!["next"; n - 1];
+    attrs.push("name");
+    let path = Path::parse(&schema, "C1", &attrs).unwrap();
+    (schema, path)
+}
+
+fn mix_load(schema: &Schema, path: &Path, name: &str) -> LoadDistribution {
+    let t = match name {
+        "query-heavy" => Triplet::new(1.0, 0.05, 0.05),
+        "update-heavy" => Triplet::new(0.05, 0.5, 0.5),
+        _ => Triplet::new(0.4, 0.3, 0.3),
+    };
+    LoadDistribution::uniform(schema, path, t)
+}
+
+fn main() {
+    let mut json = String::from("{\n  \"bench\": \"scaling_dp_vs_bb\",\n  \"path_scaling\": [\n");
+
+    println!("Opt_Ind_Con_DP vs branch and bound: path-length scaling\n");
+    println!(
+        "{:>3} {:>10} {:>8} {:>12} {:>8} {:>12} {:>8} {:>12} {:<12}",
+        "n",
+        "2^(n-1)",
+        "dp eval",
+        "dp time",
+        "bb eval",
+        "bb time",
+        "pruned",
+        "exhaustive",
+        "workload"
+    );
+    let mut first = true;
+    for n in [2usize, 4, 6, 8, 10, 12, 14, 16, 20, 24] {
+        let (schema, path) = chain(n);
+        let chars =
+            PathCharacteristics::build(&schema, &path, |_| ClassStats::new(50_000.0, 5_000.0, 1.0));
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        for wl in ["query-heavy", "mixed", "update-heavy"] {
+            let ld = mix_load(&schema, &path, wl);
+            let matrix = CostMatrix::build(&model, &ld);
+            let t = Instant::now();
+            let dp = opt_ind_con_dp(&matrix);
+            let dp_time = t.elapsed();
+            let t = Instant::now();
+            let bb = opt_ind_con(&matrix);
+            let bb_time = t.elapsed();
+            assert!(
+                (dp.cost - bb.cost).abs() < 1e-9 * bb.cost.max(1.0),
+                "n={n} {wl}: dp {} vs bb {}",
+                dp.cost,
+                bb.cost
+            );
+            let ex_str = if n <= 18 {
+                let t = Instant::now();
+                let ex = exhaustive(&matrix);
+                assert!((dp.cost - ex.cost).abs() < 1e-9 * ex.cost.max(1.0));
+                format!("{:?}", t.elapsed())
+            } else {
+                "(skipped)".to_string()
+            };
+            println!(
+                "{:>3} {:>10} {:>8} {:>12} {:>8} {:>12} {:>8} {:>12} {:<12}",
+                n,
+                dp.candidate_space,
+                dp.evaluated,
+                format!("{dp_time:?}"),
+                bb.evaluated,
+                format!("{bb_time:?}"),
+                bb.pruned,
+                ex_str,
+                wl
+            );
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "    {{\"n\": {n}, \"workload\": \"{wl}\", \"candidate_space\": {}, \
+                 \"dp_evaluated\": {}, \"dp_ns\": {}, \"bb_evaluated\": {}, \
+                 \"bb_pruned\": {}, \"bb_ns\": {}}}",
+                dp.candidate_space,
+                dp.evaluated,
+                dp_time.as_nanos(),
+                bb.evaluated,
+                bb.pruned,
+                bb_time.as_nanos()
+            );
+        }
+    }
+    json.push_str("\n  ],\n  \"workload_scaling\": [\n");
+
+    println!("\nWorkloadAdvisor: 50–500 overlapping paths (depth 5, fanout 3)\n");
+    println!(
+        "{:>5} {:>9} {:>10} {:>8} {:>9} {:>7} {:>12} {:>12} {:>12}",
+        "paths",
+        "subpaths",
+        "candidates",
+        "physidx",
+        "pricings",
+        "sweeps",
+        "independent",
+        "total",
+        "time"
+    );
+    let mut first = true;
+    for paths in [50usize, 100, 250, 500] {
+        let w = synth_workload(&WorkloadSpec {
+            paths,
+            depth: 5,
+            fanout: 3,
+            seed: 1994,
+        });
+        let adv = w.advisor(CostParams::default());
+        let t = Instant::now();
+        let plan = adv.optimize();
+        let elapsed = t.elapsed();
+        assert!(plan.total_cost <= plan.independent_cost + 1e-9);
+        assert!(plan.maintenance_pricings <= 3 * plan.candidates as u64);
+        println!(
+            "{:>5} {:>9} {:>10} {:>8} {:>9} {:>7} {:>12.1} {:>12.1} {:>12}",
+            paths,
+            w.subpath_instances(),
+            plan.candidates,
+            plan.physical_indexes,
+            plan.maintenance_pricings,
+            plan.sweeps,
+            plan.independent_cost,
+            plan.total_cost,
+            format!("{elapsed:?}")
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{\"paths\": {paths}, \"subpath_instances\": {}, \"candidates\": {}, \
+             \"physical_indexes\": {}, \"maintenance_pricings\": {}, \"sweeps\": {}, \
+             \"shared_indexes\": {}, \"independent_cost\": {:.3}, \"total_cost\": {:.3}, \
+             \"optimize_ns\": {}}}",
+            w.subpath_instances(),
+            plan.candidates,
+            plan.physical_indexes,
+            plan.maintenance_pricings,
+            plan.sweeps,
+            plan.shared.len(),
+            plan.independent_cost,
+            plan.total_cost,
+            elapsed.as_nanos()
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_scaling_dp_vs_bb.json"
+    );
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("\nsnapshot written to BENCH_scaling_dp_vs_bb.json"),
+        Err(e) => println!("\nsnapshot not written ({e})"),
+    }
+    println!(
+        "\nNote: the DP's transition count grows as n(n+1)/2 · |Org| while the \
+         enumeration's candidate space doubles per position; at workload scale \
+         the candidate space dedupes shared subpaths so maintenance is priced \
+         once per physical index."
+    );
+}

@@ -16,28 +16,27 @@
 use crate::select::{opt_ind_con, SelectionResult};
 use crate::{pc, Choice, CostMatrix};
 use oic_cost::{CostModel, Org};
-use oic_schema::{ClassId, Path, Schema, SubpathId};
-use oic_workload::{LoadDistribution, Triplet};
+use oic_schema::{AttrId, ClassId, Path, Schema, SubpathId};
+use oic_workload::LoadDistribution;
 
 /// Physical identity of an index allocation: the organization plus the
-/// exact `(class, attribute)` steps it covers.
+/// exact `(class, attribute)` steps it covers. Steps carry the *interned*
+/// attribute id from the schema layer — a `Copy` key — so signatures are
+/// built and compared without cloning attribute names.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct IndexSignature {
     /// The allocation choice.
     pub choice: Choice,
-    /// `(class, attribute)` per step.
-    pub steps: Vec<(ClassId, String)>,
+    /// `(class, interned attribute)` per step.
+    pub steps: Vec<(ClassId, AttrId)>,
 }
 
 /// Computes the signature of `sub` within `path`.
 pub fn signature(path: &Path, sub: SubpathId, choice: Choice) -> IndexSignature {
-    let steps = (sub.start..=sub.end)
-        .map(|l| {
-            let st = path.step(l);
-            (st.class, st.attr_name.clone())
-        })
-        .collect();
-    IndexSignature { choice, steps }
+    IndexSignature {
+        choice,
+        steps: path.step_keys(sub),
+    }
 }
 
 /// One path's inputs for the multi-path selection.
@@ -75,18 +74,6 @@ pub struct MultiPathPlan {
     pub consolidated_cost: f64,
 }
 
-/// Maintenance-only variant of a load distribution (queries zeroed).
-fn maintenance_only(ld: &LoadDistribution) -> LoadDistribution {
-    let mut out = ld.clone();
-    for l in 1..=out.len() {
-        for x in 0..out.nc(l) {
-            let t = *out.triplet_mut(l, x);
-            *out.triplet_mut(l, x) = Triplet::new(0.0, t.insert, t.delete);
-        }
-    }
-    out
-}
-
 /// Selects per-path optima, then consolidates: subpaths spanning identical
 /// `(class, attribute)` steps across paths are *harmonized* — for each
 /// candidate organization the combined cost (duplicated maintenance paid
@@ -104,7 +91,7 @@ pub fn optimize(_schema: &Schema, cases: &[PathCase<'_>]) -> MultiPathPlan {
     // Group allocations by step sequence (organization-agnostic).
     use std::collections::HashMap;
     type Owners = Vec<(usize, SubpathId, Choice)>;
-    let mut groups: HashMap<Vec<(ClassId, String)>, Owners> = HashMap::new();
+    let mut groups: HashMap<Vec<(ClassId, AttrId)>, Owners> = HashMap::new();
     for (i, (case, result)) in cases.iter().zip(&per_path).enumerate() {
         for &(sub, choice) in result.best.pairs() {
             if choice == Choice::NoIndex {
@@ -137,14 +124,14 @@ pub fn optimize(_schema: &Schema, cases: &[PathCase<'_>]) -> MultiPathPlan {
             let mut maint: Vec<f64> = owners
                 .iter()
                 .map(|&(i, sub, _)| {
-                    let m = maintenance_only(cases[i].ld);
+                    let m = cases[i].ld.maintenance_only();
                     pc::processing_cost(&cases[i].model, &m, sub, choice)
                 })
                 .collect();
             maint.sort_by(|a, b| b.total_cmp(a));
             let duplicated: f64 = maint[1..].iter().sum();
             let harmonized = full - duplicated;
-            if best.is_none_or(|(_, c)| harmonized < c) {
+            if best.map_or(true, |(_, c)| harmonized < c) {
                 best = Some((org, harmonized));
             }
         }

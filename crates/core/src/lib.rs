@@ -13,11 +13,17 @@
 //!    minima.
 //! 3. [`select::opt_ind_con`] — the `Opt_Ind_Con` procedure: branch-and-
 //!    bound over the `2^(n-1)` recombinations, counting evaluated
-//!    configurations; [`select::exhaustive`] is the brute-force baseline
-//!    used for verification and for the complexity experiment.
+//!    configurations; [`select::opt_ind_con_dp`] — the `O(n²·|Org|)`
+//!    interval dynamic program computing the same optimum in polynomial
+//!    time; [`select::exhaustive`] is the brute-force baseline used for
+//!    verification and for the complexity experiment.
 //! 4. Section 6 extensions: a *no-index* choice per subpath
 //!    ([`extensions::noindex`]) and a *multi-path* advisor
 //!    ([`extensions::multipath`]).
+//! 5. Workload scale: [`space::CandidateSpace`] interns physical subpath
+//!    candidates across paths; [`workload_advisor::WorkloadAdvisor`]
+//!    selects configurations for hundreds of paths at once, pricing each
+//!    shared physical index's maintenance exactly once during selection.
 //!
 //! [`fig6`] reproduces the paper's hypothetical walkthrough matrix;
 //! [`Advisor`] is the one-call user-facing API.
@@ -32,10 +38,14 @@ pub mod fig6;
 mod matrix;
 pub mod pc;
 pub mod select;
+pub mod space;
 pub mod trace;
+pub mod workload_advisor;
 
 pub use advisor::{Advisor, Recommendation};
 pub use config::{Choice, IndexConfiguration};
 pub use matrix::CostMatrix;
-pub use select::{exhaustive, opt_ind_con, SelectionResult};
+pub use select::{candidate_space_size, exhaustive, opt_ind_con, opt_ind_con_dp, SelectionResult};
+pub use space::{CandidateId, CandidateSpace};
 pub use trace::{opt_ind_con_traced, TraceEvent};
+pub use workload_advisor::{PathOutcome, SharedIndexOutcome, WorkloadAdvisor, WorkloadPlan};

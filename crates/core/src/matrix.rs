@@ -4,18 +4,26 @@ use crate::{pc, Choice};
 use oic_cost::{CostModel, Org};
 use oic_schema::SubpathId;
 use oic_workload::LoadDistribution;
-use std::collections::HashMap;
 
 /// The cost matrix: one row per subpath (`n(n+1)/2` rows, ordered by length
 /// then start, exactly as the paper numbers `S_1 … S_{n(n+1)/2}`), one
 /// column per organization, plus an optional no-index column (Section 6
 /// extension, disabled by default).
+///
+/// Storage is dense: rows are addressed by [`SubpathId::rank`] and columns
+/// by [`Org::index`], so the `pc`/`select` hot paths index flat arrays
+/// instead of hashing `(SubpathId, Org)` keys. Row minima (`Min_Cost`) are
+/// precomputed at build time.
 #[derive(Debug, Clone)]
 pub struct CostMatrix {
     path_len: usize,
     rows: Vec<SubpathId>,
-    costs: HashMap<(SubpathId, Org), f64>,
-    no_index: Option<HashMap<SubpathId, f64>>,
+    /// `[MX, MIX, NIX]` per rank; `INFINITY` for ranks without a row.
+    costs: Vec<[f64; 3]>,
+    /// No-index column per rank, when built.
+    no_index: Option<Vec<f64>>,
+    /// Precomputed `Min_Cost` per rank.
+    minima: Vec<(Choice, f64)>,
 }
 
 impl CostMatrix {
@@ -31,45 +39,66 @@ impl CostMatrix {
 
     fn build_inner(model: &CostModel<'_>, ld: &LoadDistribution, no_index: bool) -> Self {
         let path = model.path();
+        let n = path.len();
         let rows = path.subpath_ids();
-        let mut costs = HashMap::with_capacity(rows.len() * 3);
-        let mut ni = no_index.then(HashMap::new);
+        let mut costs = vec![[f64::INFINITY; 3]; SubpathId::count(n)];
+        let mut ni = no_index.then(|| vec![f64::INFINITY; SubpathId::count(n)]);
         for &sub in &rows {
+            let r = sub.rank(n);
             for org in Org::ALL {
-                costs.insert(
-                    (sub, org),
-                    pc::processing_cost(model, ld, sub, Choice::Index(org)),
-                );
+                costs[r][org.index()] = pc::processing_cost(model, ld, sub, Choice::Index(org));
             }
-            if let Some(map) = ni.as_mut() {
-                map.insert(sub, pc::processing_cost(model, ld, sub, Choice::NoIndex));
+            if let Some(col) = ni.as_mut() {
+                col[r] = pc::processing_cost(model, ld, sub, Choice::NoIndex);
             }
         }
-        CostMatrix {
-            path_len: path.len(),
-            rows,
-            costs,
-            no_index: ni,
-        }
+        Self::finish(n, rows, costs, ni)
     }
 
     /// Builds a matrix from explicit values (used for the paper's Figure 6
     /// hypothetical matrix and for tests). `values` maps each subpath to its
     /// `[MX, MIX, NIX]` costs.
     pub fn from_values(path_len: usize, values: &[(SubpathId, [f64; 3])]) -> Self {
-        let mut costs = HashMap::new();
+        let mut costs = vec![[f64::INFINITY; 3]; SubpathId::count(path_len)];
         let mut rows = Vec::new();
         for &(sub, v) in values {
             rows.push(sub);
-            costs.insert((sub, Org::Mx), v[0]);
-            costs.insert((sub, Org::Mix), v[1]);
-            costs.insert((sub, Org::Nix), v[2]);
+            costs[sub.rank(path_len)] = v;
         }
+        Self::finish(path_len, rows, costs, None)
+    }
+
+    fn finish(
+        path_len: usize,
+        rows: Vec<SubpathId>,
+        costs: Vec<[f64; 3]>,
+        no_index: Option<Vec<f64>>,
+    ) -> Self {
+        let minima = costs
+            .iter()
+            .enumerate()
+            .map(|(r, cells)| {
+                let mut best = (Choice::Index(Org::Mx), f64::INFINITY);
+                for org in Org::ALL {
+                    let c = cells[org.index()];
+                    if c < best.1 {
+                        best = (Choice::Index(org), c);
+                    }
+                }
+                if let Some(col) = &no_index {
+                    if col[r] < best.1 {
+                        best = (Choice::NoIndex, col[r]);
+                    }
+                }
+                best
+            })
+            .collect();
         CostMatrix {
             path_len,
             rows,
             costs,
-            no_index: None,
+            no_index,
+            minima,
         }
     }
 
@@ -85,30 +114,35 @@ impl CostMatrix {
 
     /// `a_{ij}` — the processing cost of subpath `sub` under `org`.
     pub fn cost(&self, sub: SubpathId, org: Org) -> f64 {
-        self.costs[&(sub, org)]
+        self.costs[sub.rank(self.path_len)][org.index()]
+    }
+
+    /// The cost of `sub` under `choice` (no-index cells read the optional
+    /// column; `INFINITY` when absent).
+    pub fn choice_cost(&self, sub: SubpathId, choice: Choice) -> f64 {
+        match choice {
+            Choice::Index(org) => self.cost(sub, org),
+            Choice::NoIndex => self.no_index_cost(sub).unwrap_or(f64::INFINITY),
+        }
     }
 
     /// The no-index cost for `sub`, if the column was built.
     pub fn no_index_cost(&self, sub: SubpathId) -> Option<f64> {
-        self.no_index.as_ref().map(|m| m[&sub])
+        self.no_index
+            .as_ref()
+            .map(|col| col[sub.rank(self.path_len)])
+    }
+
+    /// Whether the Section 6 no-index column was built.
+    pub fn has_no_index(&self) -> bool {
+        self.no_index.is_some()
     }
 
     /// `Min_Cost` — the best choice and cost for one row (the underlined
     /// entry in Figure 6/8). Considers the no-index column when present.
+    /// Precomputed at build time; this is a flat array read.
     pub fn min_cost(&self, sub: SubpathId) -> (Choice, f64) {
-        let mut best = (Choice::Index(Org::Mx), f64::INFINITY);
-        for org in Org::ALL {
-            let c = self.cost(sub, org);
-            if c < best.1 {
-                best = (Choice::Index(org), c);
-            }
-        }
-        if let Some(c) = self.no_index_cost(sub) {
-            if c < best.1 {
-                best = (Choice::NoIndex, c);
-            }
-        }
-        best
+        self.minima[sub.rank(self.path_len)]
     }
 
     /// Renders the matrix as an aligned text table (Figure 6/8 style), with

@@ -1,0 +1,232 @@
+//! The shared candidate space: an interned, arena-backed catalog of the
+//! *physical* subpath candidates a workload exposes.
+//!
+//! Two subpaths of different paths that traverse the same `(class,
+//! attribute)` step sequence *in the same role* (embedded vs terminal —
+//! see [`CandidateSpace`]) denote the same physical index opportunity — an
+//! index built for one serves the other. The space interns each distinct
+//! identity once, hands out dense [`CandidateId`]s (plain `u32` ranks into
+//! the arena), and memoizes the maintenance price of each `(candidate,
+//! organization)` pair so a physical index shared by many paths is priced
+//! exactly once, no matter how many selections consult it.
+
+use oic_cost::Org;
+use oic_schema::{AttrId, ClassId, Path, SubpathId};
+use std::collections::HashMap;
+
+/// Dense identifier of an interned physical candidate. Ids are assigned in
+/// first-seen order and index flat arrays directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CandidateId(pub u32);
+
+impl CandidateId {
+    /// The dense index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One step of a physical candidate: the hierarchy root class and the
+/// interned attribute traversed at that position.
+pub type CandidateStep = (ClassId, AttrId);
+
+/// Interned arena of physical subpath candidates shared across paths.
+///
+/// Candidate identity is the step sequence **plus** whether the subpath is
+/// *embedded* (followed by more steps in its path) or *terminal*. The same
+/// steps price maintenance differently in the two roles: an embedded
+/// subpath absorbs the Section 4 boundary-deletion (`CMD`) traffic of the
+/// class that follows it and clamps its key domain by that class's
+/// population, while a terminal subpath has no successor. A path may
+/// legally end on a reference attribute, so one path's terminal subpath
+/// can spell the same steps as another path's embedded one — those are
+/// distinct physical pricing contexts and get distinct ids.
+#[derive(Debug, Default)]
+pub struct CandidateSpace {
+    /// Arena: the `(steps, embedded)` identity of each candidate.
+    sigs: Vec<(Box<[CandidateStep]>, bool)>,
+    /// Reverse lookup used only at interning time.
+    lookup: HashMap<(Box<[CandidateStep]>, bool), CandidateId>,
+    /// Memoized maintenance price per `(candidate, org)`; `NaN` = unpriced.
+    maint: Vec<[f64; 3]>,
+    /// How many times a maintenance price was actually computed (not read
+    /// from the memo) — the never-price-twice witness.
+    pricings: u64,
+}
+
+impl CandidateSpace {
+    /// New, empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns one step sequence in its role (`embedded` = more steps
+    /// follow in the owning path), returning its dense id (the existing id
+    /// if this `(steps, embedded)` pair was seen before).
+    pub fn intern(&mut self, steps: &[CandidateStep], embedded: bool) -> CandidateId {
+        use std::collections::hash_map::Entry;
+        match self.lookup.entry((Box::from(steps), embedded)) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = CandidateId(self.sigs.len() as u32);
+                self.sigs.push((e.key().0.clone(), embedded));
+                self.maint.push([f64::NAN; 3]);
+                *e.insert(id)
+            }
+        }
+    }
+
+    /// Interns every subpath of `path`, returning one candidate id per
+    /// subpath, indexed by [`SubpathId::rank`]. Subpaths ending before the
+    /// path's last position intern as embedded.
+    pub fn intern_path(&mut self, path: &Path) -> Vec<CandidateId> {
+        let n = path.len();
+        (0..SubpathId::count(n))
+            .map(|r| {
+                let sub = SubpathId::from_rank(n, r);
+                self.intern(&path.step_keys(sub), sub.end < n)
+            })
+            .collect()
+    }
+
+    /// Number of distinct candidates interned so far.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// The step sequence of a candidate.
+    pub fn steps(&self, id: CandidateId) -> &[CandidateStep] {
+        &self.sigs[id.index()].0
+    }
+
+    /// Whether a candidate is embedded (more steps follow it in its owning
+    /// paths) or terminal.
+    pub fn is_embedded(&self, id: CandidateId) -> bool {
+        self.sigs[id.index()].1
+    }
+
+    /// The memoized maintenance price of `(id, org)`, computing it with
+    /// `price` on first request only. Subsequent calls — from the same path
+    /// or any other path sharing the candidate — return the memo.
+    pub fn maintenance_cost(
+        &mut self,
+        id: CandidateId,
+        org: Org,
+        price: impl FnOnce() -> f64,
+    ) -> f64 {
+        let cell = &mut self.maint[id.index()][org.index()];
+        if cell.is_nan() {
+            *cell = price();
+            self.pricings += 1;
+        }
+        *cell
+    }
+
+    /// The already-memoized maintenance price, if `(id, org)` was priced.
+    pub fn priced_maintenance(&self, id: CandidateId, org: Org) -> Option<f64> {
+        let v = self.maint[id.index()][org.index()];
+        (!v.is_nan()).then_some(v)
+    }
+
+    /// Number of maintenance prices actually computed. Equals the number of
+    /// distinct `(candidate, org)` pairs ever priced — by construction a
+    /// shared physical subpath is never priced twice.
+    pub fn maintenance_pricings(&self) -> u64 {
+        self.pricings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_schema::fixtures;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let mut space = CandidateSpace::new();
+        let a = space.intern_path(&pexa);
+        assert_eq!(a.len(), SubpathId::count(4));
+        assert_eq!(space.len(), SubpathId::count(4), "all subpaths distinct");
+        // Re-interning the same path adds nothing.
+        let b = space.intern_path(&pexa);
+        assert_eq!(a, b);
+        assert_eq!(space.len(), SubpathId::count(4));
+        // Ids are dense, first-seen ordered.
+        assert_eq!(a[0], CandidateId(0));
+        assert!(a.iter().all(|id| id.index() < space.len()));
+    }
+
+    #[test]
+    fn overlapping_paths_share_prefix_candidates() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let pe = fixtures::paper_path_pe(&schema);
+        let mut space = CandidateSpace::new();
+        let a = space.intern_path(&pexa);
+        let before = space.len();
+        let b = space.intern_path(&pe);
+        // Pe = Per.owns.man.name shares Per.owns, man and Per.owns.man with
+        // Pexa; its other three subpaths (ending in Company.name) are new.
+        let shared = b.iter().filter(|id| id.index() < before).count();
+        assert_eq!(shared, 3, "S1,1 S2,2 S1,2 are physically shared");
+        let r11 = SubpathId { start: 1, end: 1 }.rank(3);
+        assert_eq!(a[SubpathId { start: 1, end: 1 }.rank(4)], b[r11]);
+    }
+
+    #[test]
+    fn terminal_and_embedded_roles_are_distinct_candidates() {
+        // Person.owns is a complete path (paths may end on a reference
+        // attribute) *and* the first subpath of Person.owns.man.name. The
+        // two roles price maintenance differently — the embedded one pays
+        // the boundary CMD of Vehicle deletions — so they must not share a
+        // memo slot.
+        let (schema, _) = fixtures::paper_schema();
+        let owns = Path::parse(&schema, "Person", &["owns"]).unwrap();
+        let pe = fixtures::paper_path_pe(&schema);
+        let mut space = CandidateSpace::new();
+        let terminal = space.intern_path(&owns)[0];
+        let ids = space.intern_path(&pe);
+        let embedded = ids[SubpathId { start: 1, end: 1 }.rank(3)];
+        assert_eq!(space.steps(terminal), space.steps(embedded), "same steps");
+        assert_ne!(terminal, embedded, "different roles, different identity");
+        assert!(!space.is_embedded(terminal));
+        assert!(space.is_embedded(embedded));
+        // Each role keeps its own maintenance memo.
+        assert_eq!(space.maintenance_cost(terminal, Org::Mx, || 1.0), 1.0);
+        assert_eq!(space.maintenance_cost(embedded, Org::Mx, || 2.0), 2.0);
+        assert_eq!(space.priced_maintenance(terminal, Org::Mx), Some(1.0));
+        assert_eq!(space.priced_maintenance(embedded, Org::Mx), Some(2.0));
+    }
+
+    #[test]
+    fn maintenance_priced_once() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let mut space = CandidateSpace::new();
+        let ids = space.intern_path(&pexa);
+        let id = ids[0];
+        let mut calls = 0;
+        let first = space.maintenance_cost(id, Org::Mx, || {
+            calls += 1;
+            42.0
+        });
+        let second = space.maintenance_cost(id, Org::Mx, || {
+            calls += 1;
+            99.0
+        });
+        assert_eq!(first, 42.0);
+        assert_eq!(second, 42.0, "memo wins; the second closure never runs");
+        assert_eq!(calls, 1);
+        assert_eq!(space.maintenance_pricings(), 1);
+        assert_eq!(space.priced_maintenance(id, Org::Mx), Some(42.0));
+        assert_eq!(space.priced_maintenance(id, Org::Nix), None);
+    }
+}

@@ -1,0 +1,561 @@
+//! Workload-scale selection: optimal index configurations for N paths at
+//! once over a shared [`CandidateSpace`].
+//!
+//! The paper optimizes one path; real workloads (CoPhy, Dash et al.) are
+//! hundreds of paths whose subpaths overlap. The advisor exploits two
+//! structural facts:
+//!
+//! 1. **Processing cost is linear in the load** (Proposition 4.2 plus the
+//!    `frequency × unit cost` shape of every `PC` term), so each cell
+//!    splits exactly into a *query share* `Q_i(S, X)` — path-specific,
+//!    because probe counts depend on the full path downstream of `S` — and
+//!    a *maintenance share* `M(c, X)` that depends only on the physical
+//!    candidate `c` — its step sequence, its embedded-vs-terminal role
+//!    (part of the candidate identity: an embedded subpath absorbs the
+//!    boundary `CMD` traffic of the class that follows it), and the shared
+//!    per-class statistics and update rates — not on which path embeds it.
+//! 2. **A physical index is built once.** When several paths allocate the
+//!    same `(candidate, organization)`, its maintenance is paid once, so
+//!    the workload objective is
+//!    `Σ_i Q_i(selection_i) + Σ_{distinct (c, X) selected} M(c, X)`.
+//!
+//! Selection runs [`opt_ind_con_dp`] per path over an *effective* matrix —
+//! a candidate already selected by another path contributes `Q_i` only —
+//! and sweeps the paths in rounds (coordinate descent on the workload
+//! objective, which is monotone nonincreasing and therefore converges)
+//! until no selection changes. Maintenance prices are memoized in the
+//! candidate space: a shared physical subpath is never priced twice.
+
+use crate::select::opt_ind_con_dp;
+use crate::space::{CandidateId, CandidateSpace};
+use crate::{pc, Choice, CostMatrix, IndexConfiguration};
+use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
+use oic_schema::{ClassId, Path, Schema, SubpathId};
+use oic_workload::{LoadDistribution, Triplet};
+use std::collections::HashMap;
+
+/// Maximum coordinate-descent rounds; the objective is monotone, so this is
+/// a safety net, not a tuning knob (workloads converge in 2–3 sweeps).
+const MAX_SWEEPS: usize = 8;
+
+/// Builder for workload-scale selection. Class statistics and maintenance
+/// rates are shared across the workload — the consistency that makes a
+/// shared physical index's maintenance a property of the candidate alone;
+/// query rates are per path.
+pub struct WorkloadAdvisor<'a> {
+    schema: &'a Schema,
+    params: CostParams,
+    /// `ClassStats` per class, dense by `ClassId`.
+    stats: Vec<ClassStats>,
+    /// `(β, γ)` insert/delete rates per class, dense by `ClassId`.
+    maint: Vec<(f64, f64)>,
+    /// Paths with their per-class query rates (dense by `ClassId`).
+    paths: Vec<(Path, Vec<f64>)>,
+}
+
+/// One path's outcome in a [`WorkloadPlan`].
+#[derive(Debug, Clone)]
+pub struct PathOutcome {
+    /// The path.
+    pub path: Path,
+    /// The selected configuration.
+    pub selection: IndexConfiguration,
+    /// The path-specific query share of the selection's cost.
+    pub query_cost: f64,
+    /// What the path would cost optimizing alone (paying all maintenance
+    /// itself) — the single-path `Opt_Ind_Con` baseline.
+    pub standalone_cost: f64,
+}
+
+/// A physical index selected by two or more paths.
+#[derive(Debug, Clone)]
+pub struct SharedIndexOutcome {
+    /// The interned candidate.
+    pub candidate: CandidateId,
+    /// Its organization.
+    pub org: Org,
+    /// Indices (into [`WorkloadPlan::paths`]) of the owning paths.
+    pub owners: Vec<usize>,
+    /// The maintenance price, paid once.
+    pub maintenance: f64,
+    /// Maintenance avoided versus every owner paying separately.
+    pub saving: f64,
+}
+
+/// The workload-scale physical design.
+#[derive(Debug)]
+pub struct WorkloadPlan {
+    /// Per-path outcomes, in insertion order.
+    pub paths: Vec<PathOutcome>,
+    /// Physical indexes shared by ≥ 2 paths, by candidate id then org.
+    pub shared: Vec<SharedIndexOutcome>,
+    /// Σ of the standalone per-path optima.
+    pub independent_cost: f64,
+    /// The workload objective of the final selection: per-path query shares
+    /// plus each distinct physical index's maintenance, once.
+    pub total_cost: f64,
+    /// Distinct `(candidate, organization)` pairs selected — the number of
+    /// physical indexes the plan actually builds.
+    pub physical_indexes: usize,
+    /// Distinct physical candidates interned across the workload.
+    pub candidates: usize,
+    /// Maintenance prices computed (memo misses). Never exceeds
+    /// `3 × candidates`, regardless of the path count.
+    pub maintenance_pricings: u64,
+    /// Coordinate-descent rounds until the selections stabilized.
+    pub sweeps: usize,
+}
+
+impl<'a> WorkloadAdvisor<'a> {
+    /// Binds the schema and physical parameters. Every class starts with
+    /// singleton statistics and zero maintenance; override with
+    /// [`Self::with_stats`] / [`Self::with_maintenance`].
+    pub fn new(schema: &'a Schema, params: CostParams) -> Self {
+        let nc = schema.class_count();
+        WorkloadAdvisor {
+            schema,
+            params,
+            stats: vec![ClassStats::new(1.0, 1.0, 1.0); nc],
+            maint: vec![(0.0, 0.0); nc],
+            paths: Vec::new(),
+        }
+    }
+
+    /// Sets the shared per-class statistics.
+    pub fn with_stats(mut self, mut stats: impl FnMut(ClassId) -> ClassStats) -> Self {
+        for c in self.schema.class_ids() {
+            self.stats[c.index()] = stats(c);
+        }
+        self
+    }
+
+    /// Sets the shared per-class `(insert, delete)` rates.
+    pub fn with_maintenance(mut self, mut rates: impl FnMut(ClassId) -> (f64, f64)) -> Self {
+        for c in self.schema.class_ids() {
+            self.maint[c.index()] = rates(c);
+        }
+        self
+    }
+
+    /// Adds one path with its per-class query rates.
+    pub fn add_path(mut self, path: Path, mut queries: impl FnMut(ClassId) -> f64) -> Self {
+        let rates = self.schema.class_ids().map(&mut queries).collect();
+        self.paths.push((path, rates));
+        self
+    }
+
+    /// Number of paths added so far.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Runs the workload-scale selection.
+    ///
+    /// # Panics
+    /// Panics if no path was added.
+    pub fn optimize(&self) -> WorkloadPlan {
+        assert!(!self.paths.is_empty(), "add at least one path");
+        // Per-path derived inputs. Characteristics/loads come from the
+        // shared providers, so a candidate's maintenance price is the same
+        // through any owner's model.
+        let inputs: Vec<(PathCharacteristics, LoadDistribution)> = self
+            .paths
+            .iter()
+            .map(|(path, alphas)| {
+                let chars =
+                    PathCharacteristics::build(self.schema, path, |c| self.stats[c.index()]);
+                let ld = LoadDistribution::build(self.schema, path, |c| {
+                    let (beta, gamma) = self.maint[c.index()];
+                    Triplet::new(alphas[c.index()], beta, gamma)
+                });
+                (chars, ld)
+            })
+            .collect();
+        let models: Vec<CostModel<'_>> = self
+            .paths
+            .iter()
+            .zip(&inputs)
+            .map(|((path, _), (chars, _))| CostModel::new(self.schema, path, chars, self.params))
+            .collect();
+        let query_lds: Vec<LoadDistribution> =
+            inputs.iter().map(|(_, ld)| ld.query_only()).collect();
+        let maint_lds: Vec<LoadDistribution> =
+            inputs.iter().map(|(_, ld)| ld.maintenance_only()).collect();
+
+        // Shared candidate space + per-path query shares by rank.
+        let mut space = CandidateSpace::new();
+        let cands: Vec<Vec<CandidateId>> = self
+            .paths
+            .iter()
+            .map(|(path, _)| space.intern_path(path))
+            .collect();
+        let query_costs: Vec<Vec<[f64; 3]>> = self
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(i, (path, _))| {
+                let n = path.len();
+                (0..SubpathId::count(n))
+                    .map(|r| {
+                        let sub = SubpathId::from_rank(n, r);
+                        let mut cell = [0.0; 3];
+                        for org in Org::ALL {
+                            cell[org.index()] = pc::processing_cost(
+                                &models[i],
+                                &query_lds[i],
+                                sub,
+                                Choice::Index(org),
+                            );
+                        }
+                        cell
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // One path's effective matrix under the current ownership: a
+        // candidate already covered elsewhere contributes its query share
+        // only. Maintenance prices flow through the space's memo — a shared
+        // physical subpath is priced at most once across the whole run.
+        let select_path = |i: usize,
+                           space: &mut CandidateSpace,
+                           covered: &HashMap<(CandidateId, Org), usize>|
+         -> (Vec<(SubpathId, Org)>, f64) {
+            let n = self.paths[i].0.len();
+            let values: Vec<(SubpathId, [f64; 3])> = (0..SubpathId::count(n))
+                .map(|r| {
+                    let sub = SubpathId::from_rank(n, r);
+                    let cand = cands[i][r];
+                    let mut cell = [0.0; 3];
+                    for org in Org::ALL {
+                        let m = space.maintenance_cost(cand, org, || {
+                            pc::processing_cost(&models[i], &maint_lds[i], sub, Choice::Index(org))
+                        });
+                        let shared = covered.get(&(cand, org)).is_some_and(|&c| c > 0);
+                        cell[org.index()] =
+                            query_costs[i][r][org.index()] + if shared { 0.0 } else { m };
+                    }
+                    (sub, cell)
+                })
+                .collect();
+            let result = opt_ind_con_dp(&CostMatrix::from_values(n, &values));
+            let pairs = result
+                .best
+                .pairs()
+                .iter()
+                .map(|&(sub, choice)| match choice {
+                    Choice::Index(org) => (sub, org),
+                    Choice::NoIndex => unreachable!("no no-index column at workload scale"),
+                })
+                .collect();
+            (pairs, result.cost)
+        };
+
+        // Pass 1 — standalone optima: every path pays its own maintenance.
+        let empty = HashMap::new();
+        let mut selections: Vec<Vec<(SubpathId, Org)>> = Vec::with_capacity(self.paths.len());
+        let mut standalone = Vec::with_capacity(self.paths.len());
+        for i in 0..self.paths.len() {
+            let (pairs, cost) = select_path(i, &mut space, &empty);
+            selections.push(pairs);
+            standalone.push(cost);
+        }
+        let independent_cost: f64 = standalone.iter().sum();
+
+        // Sweeps — re-optimize each path against the others' selections.
+        let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
+        for (i, sel) in selections.iter().enumerate() {
+            for &(sub, org) in sel {
+                let n = self.paths[i].0.len();
+                *owned.entry((cands[i][sub.rank(n)], org)).or_default() += 1;
+            }
+        }
+        let mut sweeps = 0;
+        for _ in 0..MAX_SWEEPS {
+            sweeps += 1;
+            let mut changed = false;
+            for i in 0..self.paths.len() {
+                let n = self.paths[i].0.len();
+                for &(sub, org) in &selections[i] {
+                    let key = (cands[i][sub.rank(n)], org);
+                    let count = owned.get_mut(&key).expect("selection was registered");
+                    *count -= 1;
+                    if *count == 0 {
+                        owned.remove(&key);
+                    }
+                }
+                let (pairs, _) = select_path(i, &mut space, &owned);
+                changed |= pairs != selections[i];
+                for &(sub, org) in &pairs {
+                    *owned.entry((cands[i][sub.rank(n)], org)).or_default() += 1;
+                }
+                selections[i] = pairs;
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Assemble the plan: query shares per path, each distinct physical
+        // index's maintenance exactly once.
+        let mut owners: HashMap<(CandidateId, Org), Vec<usize>> = HashMap::new();
+        let mut paths_out = Vec::with_capacity(self.paths.len());
+        for (i, sel) in selections.iter().enumerate() {
+            let (path, _) = &self.paths[i];
+            let n = path.len();
+            let mut query_cost = 0.0;
+            let mut pairs = Vec::with_capacity(sel.len());
+            for &(sub, org) in sel {
+                query_cost += query_costs[i][sub.rank(n)][org.index()];
+                owners
+                    .entry((cands[i][sub.rank(n)], org))
+                    .or_default()
+                    .push(i);
+                pairs.push((sub, Choice::Index(org)));
+            }
+            paths_out.push(PathOutcome {
+                path: path.clone(),
+                selection: IndexConfiguration::new(pairs, n)
+                    .expect("DP selections concatenate to the full path"),
+                query_cost,
+                standalone_cost: standalone[i],
+            });
+        }
+        let mut shared: Vec<SharedIndexOutcome> = owners
+            .iter()
+            .filter(|(_, own)| own.len() >= 2)
+            .map(|(&(cand, org), own)| {
+                let maintenance = space
+                    .priced_maintenance(cand, org)
+                    .expect("selected pairs were priced");
+                SharedIndexOutcome {
+                    candidate: cand,
+                    org,
+                    owners: own.clone(),
+                    maintenance,
+                    saving: maintenance * (own.len() - 1) as f64,
+                }
+            })
+            .collect();
+        shared.sort_by_key(|s| (s.candidate, s.org));
+        let maintenance_total: f64 = owners
+            .keys()
+            .map(|&(cand, org)| {
+                space
+                    .priced_maintenance(cand, org)
+                    .expect("selected pairs were priced")
+            })
+            .sum();
+        let total_cost = paths_out.iter().map(|p| p.query_cost).sum::<f64>() + maintenance_total;
+        debug_assert!(
+            total_cost <= independent_cost + 1e-6 * independent_cost.abs().max(1.0),
+            "sharing can only reduce the objective: {total_cost} vs {independent_cost}"
+        );
+        WorkloadPlan {
+            paths: paths_out,
+            shared,
+            independent_cost,
+            total_cost,
+            physical_indexes: owners.len(),
+            candidates: space.len(),
+            maintenance_pricings: space.maintenance_pricings(),
+            sweeps,
+        }
+    }
+}
+
+impl WorkloadPlan {
+    /// Human-readable report.
+    pub fn render(&self, schema: &Schema) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "workload plan: {} paths, {} physical indexes over {} candidates",
+            self.paths.len(),
+            self.physical_indexes,
+            self.candidates
+        );
+        for (i, p) in self.paths.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  path {}: {}  (queries {:.2}, standalone {:.2})",
+                i + 1,
+                p.selection.render(schema, &p.path),
+                p.query_cost,
+                p.standalone_cost
+            );
+        }
+        for s in &self.shared {
+            let _ = writeln!(
+                out,
+                "  shared {} × {} paths: maintenance {:.2} paid once (saves {:.2})",
+                s.org,
+                s.owners.len(),
+                s.maintenance,
+                s.saving
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total {:.2} vs independent {:.2} ({} sweeps, {} maintenance pricings)",
+            self.total_cost, self.independent_cost, self.sweeps, self.maintenance_pricings
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_schema::fixtures;
+
+    fn fig7_stats(schema: &Schema) -> impl FnMut(ClassId) -> ClassStats + '_ {
+        |c| match schema.class_name(c) {
+            "Person" => ClassStats::new(200_000.0, 20_000.0, 1.0),
+            "Vehicle" => ClassStats::new(10_000.0, 5_000.0, 3.0),
+            "Bus" | "Truck" => ClassStats::new(5_000.0, 2_500.0, 2.0),
+            "Company" => ClassStats::new(1_000.0, 250.0, 4.0),
+            "Division" => ClassStats::new(1_000.0, 1_000.0, 1.0),
+            _ => ClassStats::new(1.0, 1.0, 1.0),
+        }
+    }
+
+    fn two_path_advisor(schema: &Schema) -> WorkloadAdvisor<'_> {
+        let pexa = fixtures::paper_path_pexa(schema);
+        let pe = fixtures::paper_path_pe(schema);
+        WorkloadAdvisor::new(schema, CostParams::default())
+            .with_stats(fig7_stats(schema))
+            .with_maintenance(|_| (0.1, 0.1))
+            .add_path(pexa, |_| 0.2)
+            .add_path(pe, |_| 0.3)
+    }
+
+    #[test]
+    fn single_path_matches_the_standalone_advisor() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let plan = WorkloadAdvisor::new(&schema, CostParams::default())
+            .with_stats(fig7_stats(&schema))
+            .with_maintenance(|_| (0.1, 0.1))
+            .add_path(pexa.clone(), |_| 0.25)
+            .optimize();
+        // Cross-check against the single-path pipeline on the same inputs.
+        let chars = PathCharacteristics::build(&schema, &pexa, |c| fig7_stats(&schema)(c));
+        let ld = LoadDistribution::build(&schema, &pexa, |c| {
+            let _ = c;
+            Triplet::new(0.25, 0.1, 0.1)
+        });
+        let model = CostModel::new(&schema, &pexa, &chars, CostParams::default());
+        let single = crate::select::opt_ind_con(&CostMatrix::build(&model, &ld));
+        assert!((plan.total_cost - single.cost).abs() < 1e-6);
+        assert_eq!(plan.paths[0].selection.pairs(), single.best.pairs());
+        assert!(plan.shared.is_empty());
+    }
+
+    #[test]
+    fn shared_prefix_is_priced_once() {
+        let (schema, _) = fixtures::paper_schema();
+        let plan = two_path_advisor(&schema).optimize();
+        assert_eq!(plan.paths.len(), 2);
+        // 10 Pexa subpaths + 3 Pe-only ones; priced at most once per org.
+        assert_eq!(plan.candidates, 13);
+        assert!(plan.maintenance_pricings <= 3 * plan.candidates as u64);
+        assert!(plan.total_cost <= plan.independent_cost + 1e-9);
+    }
+
+    #[test]
+    fn identical_paths_collapse_to_one_physical_design() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let mut adv = WorkloadAdvisor::new(&schema, CostParams::default())
+            .with_stats(fig7_stats(&schema))
+            .with_maintenance(|_| (0.1, 0.1));
+        for _ in 0..5 {
+            adv = adv.add_path(pexa.clone(), |_| 0.2);
+        }
+        let plan = adv.optimize();
+        // Five copies of the path expose exactly one path's candidates, and
+        // pricing them never repeats per (candidate, org).
+        assert_eq!(plan.candidates, SubpathId::count(4));
+        assert_eq!(plan.maintenance_pricings, 3 * SubpathId::count(4) as u64);
+        // All five paths select the same configuration; its indexes are
+        // shared by all of them and maintenance is paid once.
+        let first = plan.paths[0].selection.pairs().to_vec();
+        for p in &plan.paths {
+            assert_eq!(p.selection.pairs(), &first[..]);
+        }
+        for s in &plan.shared {
+            assert_eq!(s.owners.len(), 5);
+        }
+        let expected: f64 = plan.paths.iter().map(|p| p.query_cost).sum::<f64>()
+            + plan.shared.iter().map(|s| s.maintenance).sum::<f64>();
+        assert!((plan.total_cost - expected).abs() < 1e-9);
+        // Sharing 4 extra copies of the maintenance is a strict win.
+        assert!(plan.total_cost < plan.independent_cost - 1e-9);
+    }
+
+    #[test]
+    fn terminal_and_embedded_spellings_do_not_cross_contaminate() {
+        // Person.owns as a complete path spells the same steps as the
+        // first subpath of Pexa, but the embedded role pays the Vehicle
+        // boundary-CMD and must be priced separately — whichever the
+        // advisor prices first must not leak into the other. Verify the
+        // workload totals re-derive from independently computed shares.
+        let (schema, _) = fixtures::paper_schema();
+        let owns = Path::parse(&schema, "Person", &["owns"]).unwrap();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let plan = WorkloadAdvisor::new(&schema, CostParams::default())
+            .with_stats(fig7_stats(&schema))
+            .with_maintenance(|_| (0.1, 0.1))
+            .add_path(owns.clone(), |_| 0.4)
+            .add_path(pexa.clone(), |_| 0.2)
+            .optimize();
+        // The len-1 path optimizing alone must cost exactly its standalone
+        // single-path optimum — no contamination from Pexa's embedded
+        // Person.owns pricing (and vice versa).
+        for (path, alpha, outcome) in [(&owns, 0.4, &plan.paths[0]), (&pexa, 0.2, &plan.paths[1])] {
+            let chars = PathCharacteristics::build(&schema, path, |c| fig7_stats(&schema)(c));
+            let ld = LoadDistribution::build(&schema, path, |_| Triplet::new(alpha, 0.1, 0.1));
+            let model = CostModel::new(&schema, path, &chars, CostParams::default());
+            let single = crate::select::opt_ind_con(&CostMatrix::build(&model, &ld));
+            assert!(
+                (outcome.standalone_cost - single.cost).abs() < 1e-9 * single.cost.max(1.0),
+                "standalone {} vs single-path optimum {}",
+                outcome.standalone_cost,
+                single.cost
+            );
+        }
+        // The two spellings are distinct candidates; nothing is shared, so
+        // the workload total equals the independent total.
+        assert!(plan.shared.is_empty());
+        assert!((plan.total_cost - plan.independent_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maintenance_price_is_owner_independent() {
+        // The decomposition hinges on M(candidate, org) being the same
+        // through any owner's model; verify it directly for the shared
+        // Per.owns.man prefix of Pexa and Pe.
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let pe = fixtures::paper_path_pe(&schema);
+        let mut stats = fig7_stats(&schema);
+        let chars_a = PathCharacteristics::build(&schema, &pexa, &mut stats);
+        let chars_b = PathCharacteristics::build(&schema, &pe, &mut stats);
+        let maint = |_: ClassId| Triplet::new(0.0, 0.1, 0.1);
+        let ld_a = LoadDistribution::build(&schema, &pexa, maint);
+        let ld_b = LoadDistribution::build(&schema, &pe, maint);
+        let model_a = CostModel::new(&schema, &pexa, &chars_a, CostParams::default());
+        let model_b = CostModel::new(&schema, &pe, &chars_b, CostParams::default());
+        let sub = SubpathId { start: 1, end: 2 };
+        for org in Org::ALL {
+            let via_a = pc::processing_cost(&model_a, &ld_a, sub, Choice::Index(org));
+            let via_b = pc::processing_cost(&model_b, &ld_b, sub, Choice::Index(org));
+            assert!(
+                (via_a - via_b).abs() < 1e-9 * via_a.abs().max(1.0),
+                "{org}: {via_a} vs {via_b}"
+            );
+        }
+    }
+}

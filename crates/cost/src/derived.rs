@@ -7,15 +7,75 @@
 use crate::PathCharacteristics;
 
 /// Derived-quantity calculator over a full path's characteristics.
+///
+/// Construction memoizes every per-position Table-2 aggregate (`Σ_x k`,
+/// weighted-average `nin`, hierarchy distinct-value unions, the `noid⁺`
+/// suffix products) so the selection hot paths — which evaluate these
+/// quantities for all `n(n+1)/2` subpaths — read precomputed tables instead
+/// of recomputing hierarchy sums per call.
 #[derive(Debug, Clone)]
 pub struct Derived<'a> {
     chars: &'a PathCharacteristics,
+    /// `Σ_x k_{l,x}` per position (index `l-1`).
+    sum_k: Vec<f64>,
+    /// Weighted-average `nin` per position (index `l-1`).
+    wavg_nin: Vec<f64>,
+    /// Distinct-value union per position (index `l-1`).
+    d_union: Vec<f64>,
+    /// `noid⁺_l` per position (index `l-1`); `noid⁺_{n+1} = 1` is implicit.
+    noid_plus: Vec<f64>,
 }
 
 impl<'a> Derived<'a> {
-    /// Wraps the characteristics.
+    /// Wraps the characteristics and precomputes the per-position tables.
     pub fn new(chars: &'a PathCharacteristics) -> Self {
-        Derived { chars }
+        let n = chars.len();
+        let sum_k: Vec<f64> = (1..=n)
+            .map(|l| (0..chars.nc(l)).map(|x| chars.stats(l, x).k()).sum())
+            .collect();
+        let wavg_nin: Vec<f64> = (1..=n)
+            .map(|l| {
+                let total_n = chars.total_n(l);
+                if total_n <= 0.0 {
+                    1.0
+                } else {
+                    (0..chars.nc(l))
+                        .map(|x| {
+                            let s = chars.stats(l, x);
+                            s.n * s.nin
+                        })
+                        .sum::<f64>()
+                        / total_n
+                }
+            })
+            .collect();
+        let d_union: Vec<f64> = (1..=n)
+            .map(|l| {
+                let m = (0..chars.nc(l))
+                    .map(|x| chars.stats(l, x).d)
+                    .fold(0.0f64, f64::max)
+                    .max(1.0);
+                if l < n {
+                    m.min(chars.total_n(l + 1).max(1.0))
+                } else {
+                    m
+                }
+            })
+            .collect();
+        // Suffix products: noid⁺_l = Π_{i=l..n} Σ_x k_{i,x}.
+        let mut noid_plus = vec![1.0; n];
+        let mut acc = 1.0;
+        for l in (1..=n).rev() {
+            acc *= sum_k[l - 1];
+            noid_plus[l - 1] = acc;
+        }
+        Derived {
+            chars,
+            sum_k,
+            wavg_nin,
+            d_union,
+            noid_plus,
+        }
     }
 
     /// Path length `n`.
@@ -30,18 +90,14 @@ impl<'a> Derived<'a> {
 
     /// `Σ_x k_{l,x}` over the hierarchy at position `l`.
     pub fn sum_k(&self, l: usize) -> f64 {
-        (0..self.chars.nc(l)).map(|x| self.k(l, x)).sum()
+        self.sum_k[l - 1]
     }
 
     /// `noid_{l,x}` — oids of class `(l,x)` qualifying per value of the
     /// ending attribute `A_n` (equality predicate):
     /// `k_{l,x} · Π_{i=l+1..n} Σ_j k_{i,j}`.
     pub fn noid(&self, l: usize, x: usize) -> f64 {
-        let mut v = self.k(l, x);
-        for i in l + 1..=self.n() {
-            v *= self.sum_k(i);
-        }
-        v
+        self.k(l, x) * self.noid_plus(l + 1)
     }
 
     /// `noid⁺_l = Σ_x noid_{l,x}` — qualifying oids over the whole hierarchy
@@ -49,13 +105,10 @@ impl<'a> Derived<'a> {
     /// convention (Section 3.1).
     pub fn noid_plus(&self, l: usize) -> f64 {
         if l > self.n() {
-            return 1.0;
+            1.0
+        } else {
+            self.noid_plus[l - 1]
         }
-        let mut v = 1.0;
-        for i in l..=self.n() {
-            v *= self.sum_k(i);
-        }
-        v
     }
 
     /// Number of keys probed in an index at position `l` while processing a
@@ -77,17 +130,7 @@ impl<'a> Derived<'a> {
 
     /// Weighted-average `nin` at position `l` (weights = object counts).
     pub fn wavg_nin(&self, l: usize) -> f64 {
-        let total_n = self.chars.total_n(l);
-        if total_n <= 0.0 {
-            return 1.0;
-        }
-        (0..self.chars.nc(l))
-            .map(|x| {
-                let s = self.chars.stats(l, x);
-                s.n * s.nin
-            })
-            .sum::<f64>()
-            / total_n
+        self.wavg_nin[l - 1]
     }
 
     /// `nin̄_{l,x}` w.r.t. ending position `e` — the average number of
@@ -106,15 +149,7 @@ impl<'a> Derived<'a> {
     /// clamped by the referenced population for reference attributes
     /// (DESIGN.md: the domain of a mid-path attribute is the oids at `l+1`).
     pub fn d_union(&self, l: usize) -> f64 {
-        let m = (0..self.chars.nc(l))
-            .map(|x| self.chars.stats(l, x).d)
-            .fold(0.0f64, f64::max)
-            .max(1.0);
-        if l < self.n() {
-            m.min(self.chars.total_n(l + 1).max(1.0))
-        } else {
-            m
-        }
+        self.d_union[l - 1]
     }
 
     /// `occ_{l,x}` w.r.t. ending position `e`: average number of objects of

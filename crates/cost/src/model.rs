@@ -16,6 +16,13 @@ use crate::{CostParams, Org, PathCharacteristics};
 use oic_schema::{Path, Schema, SubpathId};
 
 /// Analytic cost model bound to one full path.
+///
+/// Construction is *batched*: the Table-2 derived quantities (via
+/// [`Derived`]), the MX/MIX B-tree estimates per position, and the NIX
+/// physical statistics per subpath are computed once and cached, keyed by
+/// position or dense subpath rank. The per-subpath cost entry points then
+/// read the caches instead of re-deriving the same `O(n·nc)` aggregates for
+/// every one of the `n(n+1)/2 × |Org|` matrix cells.
 #[derive(Debug, Clone)]
 pub struct CostModel<'a> {
     schema: &'a Schema,
@@ -26,6 +33,14 @@ pub struct CostModel<'a> {
     /// paper's equality predicates, `>1` for range predicates (“the
     /// extension to range predicates is straightforward”, Section 3).
     matched_values: f64,
+    /// Memoized Table-2 derived quantities.
+    derived: Derived<'a>,
+    /// Cached MX estimate per `(position, hierarchy class)`.
+    mx_ests: Vec<Vec<IndexEst>>,
+    /// Cached MIX estimate per position.
+    mix_ests: Vec<IndexEst>,
+    /// Cached NIX statistics per subpath, indexed by [`SubpathId::rank`].
+    nix_cache: Vec<NixStats>,
 }
 
 /// NIX physical statistics for one subpath (primary + auxiliary index);
@@ -57,13 +72,30 @@ impl<'a> CostModel<'a> {
             chars.len(),
             "characteristics must cover every path position"
         );
-        CostModel {
+        let mut model = CostModel {
             schema,
             path,
             chars,
             params,
             matched_values: 1.0,
-        }
+            derived: Derived::new(chars),
+            mx_ests: Vec::new(),
+            mix_ests: Vec::new(),
+            nix_cache: Vec::new(),
+        };
+        let n = path.len();
+        model.mx_ests = (1..=n)
+            .map(|l| {
+                (0..chars.nc(l))
+                    .map(|x| model.compute_est_mx(l, x))
+                    .collect()
+            })
+            .collect();
+        model.mix_ests = (1..=n).map(|l| model.compute_est_mix(l)).collect();
+        model.nix_cache = (0..SubpathId::count(n))
+            .map(|r| model.compute_nix_stats(SubpathId::from_rank(n, r)))
+            .collect();
+        model
     }
 
     /// Switches the model to range predicates matching `m` ending-attribute
@@ -101,8 +133,8 @@ impl<'a> CostModel<'a> {
         &self.params
     }
 
-    fn derived(&self) -> Derived<'_> {
-        Derived::new(self.chars)
+    fn derived(&self) -> &Derived<'a> {
+        &self.derived
     }
 
     fn n(&self) -> usize {
@@ -127,7 +159,7 @@ impl<'a> CostModel<'a> {
         p.record_overhead + self.key_len_at(l) + k * (p.oid_len + p.entry_overhead)
     }
 
-    fn est_mx(&self, l: usize, x: usize) -> IndexEst {
+    fn compute_est_mx(&self, l: usize, x: usize) -> IndexEst {
         let d = self.chars.stats(l, x).d.max(1.0);
         estimate_btree(
             d,
@@ -137,13 +169,17 @@ impl<'a> CostModel<'a> {
         )
     }
 
+    fn est_mx(&self, l: usize, x: usize) -> &IndexEst {
+        &self.mx_ests[l - 1][x]
+    }
+
     fn mx_retrieval_tail(&self, sub: SubpathId, from: usize) -> f64 {
         let mut total = 0.0;
         for i in from..=sub.end {
             for j in 0..self.chars.nc(i) {
                 let est = self.est_mx(i, j);
                 let pr = est.pr_full(&self.params);
-                total += crt(&est, &self.params, self.probe(i), pr);
+                total += crt(est, &self.params, self.probe(i), pr);
             }
         }
         total
@@ -152,7 +188,7 @@ impl<'a> CostModel<'a> {
     fn mx_retrieval(&self, sub: SubpathId, l: usize, x: usize) -> f64 {
         let est = self.est_mx(l, x);
         let pr = est.pr_full(&self.params);
-        crt(&est, &self.params, self.probe(l), pr) + self.mx_retrieval_tail(sub, l + 1)
+        crt(est, &self.params, self.probe(l), pr) + self.mx_retrieval_tail(sub, l + 1)
     }
 
     fn mx_retrieval_traversal(&self, sub: SubpathId) -> f64 {
@@ -161,7 +197,7 @@ impl<'a> CostModel<'a> {
             .map(|x| {
                 let est = self.est_mx(s, x);
                 let pr = est.pr_full(&self.params);
-                crt(&est, &self.params, self.probe(s), pr)
+                crt(est, &self.params, self.probe(s), pr)
             })
             .sum();
         head + self.mx_retrieval_tail(sub, s + 1)
@@ -169,15 +205,15 @@ impl<'a> CostModel<'a> {
 
     fn mx_insert(&self, _sub: SubpathId, l: usize, x: usize) -> f64 {
         let nin = self.chars.stats(l, x).nin;
-        cmt(&self.est_mx(l, x), &self.params, nin, self.params.pm_entry)
+        cmt(self.est_mx(l, x), &self.params, nin, self.params.pm_entry)
     }
 
     fn mx_delete(&self, sub: SubpathId, l: usize, x: usize) -> f64 {
         let nin = self.chars.stats(l, x).nin;
-        let mut total = cmt(&self.est_mx(l, x), &self.params, nin, self.params.pm_entry);
+        let mut total = cmt(self.est_mx(l, x), &self.params, nin, self.params.pm_entry);
         if l > sub.start {
             for j in 0..self.chars.nc(l - 1) {
-                total += cml(&self.est_mx(l - 1, j), &self.params, self.params.pm_entry);
+                total += cml(self.est_mx(l - 1, j), &self.params, self.params.pm_entry);
             }
         }
         total
@@ -192,7 +228,7 @@ impl<'a> CostModel<'a> {
             .map(|j| {
                 let est = self.est_mx(e, j);
                 let pages = self.params.record_pages(est.record_len);
-                cml(&est, &self.params, pages)
+                cml(est, &self.params, pages)
             })
             .sum()
     }
@@ -209,9 +245,13 @@ impl<'a> CostModel<'a> {
         p.record_overhead + self.key_len_at(l) + dir + body
     }
 
-    fn est_mix(&self, l: usize) -> IndexEst {
+    fn compute_est_mix(&self, l: usize) -> IndexEst {
         let d = self.derived().d_union(l);
         estimate_btree(d, self.mix_record_len(l), self.key_len_at(l), &self.params)
+    }
+
+    fn est_mix(&self, l: usize) -> &IndexEst {
+        &self.mix_ests[l - 1]
     }
 
     /// Retrieval pages for one class's section of a (possibly spanning)
@@ -242,14 +282,14 @@ impl<'a> CostModel<'a> {
         (from..=sub.end)
             .map(|i| {
                 let est = self.est_mix(i);
-                crt(&est, &self.params, self.probe(i), self.mix_pr(i, None))
+                crt(est, &self.params, self.probe(i), self.mix_pr(i, None))
             })
             .sum()
     }
 
     fn mix_retrieval(&self, sub: SubpathId, l: usize, x: usize) -> f64 {
         let est = self.est_mix(l);
-        crt(&est, &self.params, self.probe(l), self.mix_pr(l, Some(x)))
+        crt(est, &self.params, self.probe(l), self.mix_pr(l, Some(x)))
             + self.mix_retrieval_tail(sub, l + 1)
     }
 
@@ -259,14 +299,14 @@ impl<'a> CostModel<'a> {
 
     fn mix_insert(&self, _sub: SubpathId, l: usize, x: usize) -> f64 {
         let nin = self.chars.stats(l, x).nin;
-        cmt(&self.est_mix(l), &self.params, nin, self.params.pm_entry)
+        cmt(self.est_mix(l), &self.params, nin, self.params.pm_entry)
     }
 
     fn mix_delete(&self, sub: SubpathId, l: usize, x: usize) -> f64 {
         let nin = self.chars.stats(l, x).nin;
-        let mut total = cmt(&self.est_mix(l), &self.params, nin, self.params.pm_entry);
+        let mut total = cmt(self.est_mix(l), &self.params, nin, self.params.pm_entry);
         if l > sub.start {
-            total += cml(&self.est_mix(l - 1), &self.params, self.params.pm_entry);
+            total += cml(self.est_mix(l - 1), &self.params, self.params.pm_entry);
         }
         total
     }
@@ -274,7 +314,7 @@ impl<'a> CostModel<'a> {
     fn mix_boundary_delete(&self, sub: SubpathId) -> f64 {
         let est = self.est_mix(sub.end);
         let pages = self.params.record_pages(est.record_len);
-        cml(&est, &self.params, pages)
+        cml(est, &self.params, pages)
     }
 
     // ---- NIX ------------------------------------------------------------
@@ -308,8 +348,18 @@ impl<'a> CostModel<'a> {
         p.record_overhead + self.key_len_at(sub.end) + classes * p.class_dir_len + body
     }
 
-    /// Physical statistics of a NIX allocated on `sub`.
+    /// Physical statistics of a NIX allocated on `sub` (cached per rank;
+    /// this clones the cached value — internal callers borrow the cache).
     pub fn nix_stats(&self, sub: SubpathId) -> NixStats {
+        self.nix(sub).clone()
+    }
+
+    /// Cached NIX statistics for `sub`.
+    fn nix(&self, sub: SubpathId) -> &NixStats {
+        &self.nix_cache[sub.rank(self.n())]
+    }
+
+    fn compute_nix_stats(&self, sub: SubpathId) -> NixStats {
         let d = self.derived();
         let primary = estimate_btree(
             d.d_union(sub.end),
@@ -381,14 +431,14 @@ impl<'a> CostModel<'a> {
     }
 
     fn nix_retrieval(&self, sub: SubpathId, l: usize, x: usize) -> f64 {
-        let stats = self.nix_stats(sub);
-        let pr = self.nix_pr(sub, &stats, NixSection::Class(l, x));
+        let stats = self.nix(sub);
+        let pr = self.nix_pr(sub, stats, NixSection::Class(l, x));
         crt(&stats.primary, &self.params, self.probe(sub.end), pr)
     }
 
     fn nix_retrieval_traversal(&self, sub: SubpathId) -> f64 {
-        let stats = self.nix_stats(sub);
-        let pr = self.nix_pr(sub, &stats, NixSection::Position(sub.start));
+        let stats = self.nix(sub);
+        let pr = self.nix_pr(sub, stats, NixSection::Position(sub.start));
         crt(&stats.primary, &self.params, self.probe(sub.end), pr)
     }
 
@@ -416,7 +466,7 @@ impl<'a> CostModel<'a> {
 
     fn nix_insert(&self, sub: SubpathId, l: usize, x: usize) -> f64 {
         let d = self.derived();
-        let stats = self.nix_stats(sub);
+        let stats = self.nix(sub);
         // Steps 2+4 (CSI24): children 3-tuples gain a parent; the new
         // object's own 3-tuple is inserted (classes after the first).
         let children = if l < sub.end {
@@ -430,9 +480,9 @@ impl<'a> CostModel<'a> {
         } else {
             0.0
         };
-        let aux = self.nix_aux_touch(&stats, children, nar + own);
+        let aux = self.nix_aux_touch(stats, children, nar + own);
         // Step 3 (CSI3): the object's oid enters its nin̄ primary records.
-        let pm = self.nix_maintenance_pm(sub, &stats, l, x);
+        let pm = self.nix_maintenance_pm(sub, stats, l, x);
         let primary = cmt(&stats.primary, &self.params, d.ninbar(l, x, sub.end), pm);
         aux + primary
     }
@@ -479,7 +529,7 @@ impl<'a> CostModel<'a> {
 
     fn nix_delete(&self, sub: SubpathId, l: usize, x: usize) -> f64 {
         let d = self.derived();
-        let stats = self.nix_stats(sub);
+        let stats = self.nix(sub);
         // CSD2: children 3-tuples lose a parent; own 3-tuple removed.
         let children = if l < sub.end {
             self.chars.stats(l, x).nin
@@ -492,11 +542,11 @@ impl<'a> CostModel<'a> {
         } else {
             0.0
         };
-        let csd2 = self.nix_aux_touch(&stats, children + own, nar + own);
+        let csd2 = self.nix_aux_touch(stats, children + own, nar + own);
         // CS3a: edit the nin̄ primary records containing the object.
         // `pmd_NIX = prd_NIX` (Section 3.1): the relevant pages fetched are
         // the pages rewritten, ancestor sections included (the cascade).
-        let pm = self.nix_delete_pm(sub, &stats, l, x);
+        let pm = self.nix_delete_pm(sub, stats, l, x);
         let cs3a = cmt(&stats.primary, &self.params, d.ninbar(l, x, sub.end), pm);
         // Steps 3b/3c: ancestor 3-tuples at positions (s+1 .. l-1) lose
         // pointers; their class records are rewritten (CU3bc) after being
@@ -506,7 +556,7 @@ impl<'a> CostModel<'a> {
         let mut narp_sum = 0.0;
         if l >= sub.start + 2 {
             for i in sub.start + 1..l {
-                cu3bc += self.nix_aux_touch(&stats, 0.0, d.narp(l, i));
+                cu3bc += self.nix_aux_touch(stats, 0.0, d.narp(l, i));
                 anc_tuples += d.ancestors_at(l, i);
                 narp_sum += d.narp(l, i);
             }
@@ -528,7 +578,7 @@ impl<'a> CostModel<'a> {
     }
 
     fn nix_boundary_delete(&self, sub: SubpathId) -> f64 {
-        let stats = self.nix_stats(sub);
+        let stats = self.nix(sub);
         let pages = self.params.record_pages(stats.primary.record_len);
         let mut total = cml(&stats.primary, &self.params, pages);
         // delpoint: drop, from the auxiliary index, every pointer into the
@@ -620,16 +670,16 @@ impl<'a> CostModel<'a> {
                 let mut total = 0.0;
                 for l in sub.start..=sub.end {
                     for x in 0..self.chars.nc(l) {
-                        total += sum_levels(&self.est_mx(l, x));
+                        total += sum_levels(self.est_mx(l, x));
                     }
                 }
                 total
             }
             Org::Mix => (sub.start..=sub.end)
-                .map(|l| sum_levels(&self.est_mix(l)))
+                .map(|l| sum_levels(self.est_mix(l)))
                 .sum(),
             Org::Nix => {
-                let stats = self.nix_stats(sub);
+                let stats = self.nix(sub);
                 sum_levels(&stats.primary) + stats.auxiliary.as_ref().map_or(0.0, sum_levels)
             }
         }
@@ -657,15 +707,15 @@ impl<'a> CostModel<'a> {
             Org::Mx => {
                 let est = self.est_mx(sub.end, 0);
                 let pr = est.pr_full(&self.params);
-                crl(&est, &self.params, pr)
+                crl(est, &self.params, pr)
             }
             Org::Mix => {
                 let est = self.est_mix(sub.end);
                 let pr = est.pr_full(&self.params);
-                crl(&est, &self.params, pr)
+                crl(est, &self.params, pr)
             }
             Org::Nix => {
-                let stats = self.nix_stats(sub);
+                let stats = self.nix(sub);
                 let pr = stats.primary.pr_full(&self.params);
                 crl(&stats.primary, &self.params, pr)
             }

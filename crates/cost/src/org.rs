@@ -20,6 +20,13 @@ pub enum Org {
 impl Org {
     /// All organizations, in the paper's column order (Figure 6).
     pub const ALL: [Org; 3] = [Org::Mx, Org::Mix, Org::Nix];
+
+    /// Dense column index (position in [`Org::ALL`]) — used wherever costs
+    /// are stored in rank-indexed arrays instead of hash maps.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl fmt::Display for Org {

@@ -1,6 +1,6 @@
 //! Paths through the aggregation hierarchy (Definition 2.1 of the paper).
 
-use crate::{AttrKind, Attribute, ClassId, Schema, SchemaError};
+use crate::{AttrId, AttrKind, Attribute, ClassId, Schema, SchemaError};
 use std::fmt;
 
 /// One step of a path: the class `C_l` at position `l` (the *root* of the
@@ -11,8 +11,21 @@ pub struct PathStep {
     pub class: ClassId,
     /// Name of `A_l`.
     pub attr_name: String,
+    /// Interned identifier of `A_l` (declaring class + slot) — the cheap
+    /// `Copy` key used wherever steps are compared or hashed across paths.
+    pub attr_id: AttrId,
     /// Definition of `A_l` (resolved, possibly inherited).
     pub attr: Attribute,
+}
+
+impl PathStep {
+    /// The `(class, attribute)` pair identifying this step physically: two
+    /// steps with equal keys traverse the same attribute of the same
+    /// hierarchy, so indexes built over them are interchangeable.
+    #[inline]
+    pub fn key(&self) -> (ClassId, AttrId) {
+        (self.class, self.attr_id)
+    }
 }
 
 /// Identifier of a subpath `S_{i,j} = C_i.A_i.....A_j` within a path, using
@@ -37,6 +50,41 @@ impl SubpathId {
     #[inline]
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// Number of subpaths of a path of length `n`: `n(n+1)/2`.
+    #[inline]
+    pub fn count(n: usize) -> usize {
+        n * (n + 1) / 2
+    }
+
+    /// Dense rank of this subpath within a path of length `n`, in the
+    /// matrix-row order of Section 5 (lengths ascending, starts ascending —
+    /// exactly the order of [`Path::subpath_ids`]). Ranks are contiguous in
+    /// `0 .. count(n)`, so they index arrays directly where the paper's
+    /// `S_1 … S_{n(n+1)/2}` numbering would hash.
+    #[inline]
+    pub fn rank(&self, n: usize) -> usize {
+        debug_assert!(self.start >= 1 && self.start <= self.end && self.end <= n);
+        let len = self.len();
+        // Rows before this length band: Σ_{l=1}^{len-1} (n - l + 1).
+        (len - 1) * (2 * n - len + 2) / 2 + (self.start - 1)
+    }
+
+    /// Inverse of [`SubpathId::rank`].
+    #[inline]
+    pub fn from_rank(n: usize, rank: usize) -> SubpathId {
+        debug_assert!(rank < Self::count(n));
+        let mut remaining = rank;
+        let mut len = 1;
+        while remaining > n - len {
+            remaining -= n - len + 1;
+            len += 1;
+        }
+        SubpathId {
+            start: remaining + 1,
+            end: remaining + len,
+        }
     }
 }
 
@@ -93,11 +141,13 @@ impl Path {
             seen.push(current);
             let (_, attr) = schema.resolve_attribute(current, name)?;
             let attr = attr.clone();
+            let attr_id = schema.attr_id(current, name)?;
             match attr.kind {
                 AttrKind::Reference(next) => {
                     steps.push(PathStep {
                         class: current,
                         attr_name: name.to_string(),
+                        attr_id,
                         attr,
                     });
                     current = next;
@@ -112,6 +162,7 @@ impl Path {
                     steps.push(PathStep {
                         class: current,
                         attr_name: name.to_string(),
+                        attr_id,
                         attr,
                     });
                 }
@@ -219,6 +270,18 @@ impl Path {
         out
     }
 
+    /// The interned `(class, attribute)` keys of subpath `id`'s steps — the
+    /// physical identity of an index allocated on that subpath. No strings
+    /// are cloned; the result is a slice-sized `Copy` vector suitable for
+    /// candidate-space interning.
+    pub fn step_keys(&self, id: SubpathId) -> Vec<(ClassId, AttrId)> {
+        debug_assert!(id.start >= 1 && id.end <= self.len() && id.start <= id.end);
+        self.steps[id.start - 1..id.end]
+            .iter()
+            .map(PathStep::key)
+            .collect()
+    }
+
     /// Human-readable form, e.g. `Person.owns.man.name`.
     pub fn display(&self) -> &str {
         &self.display
@@ -303,6 +366,53 @@ mod tests {
         assert_eq!(ids[3], SubpathId { start: 4, end: 4 });
         assert_eq!(ids[4], SubpathId { start: 1, end: 2 });
         assert_eq!(*ids.last().unwrap(), SubpathId { start: 1, end: 4 });
+    }
+
+    #[test]
+    fn rank_is_dense_and_matches_subpath_ids_order() {
+        for n in 1..=12 {
+            let mut seen = vec![false; SubpathId::count(n)];
+            let mut expected = Vec::new();
+            for len in 1..=n {
+                for start in 1..=(n - len + 1) {
+                    expected.push(SubpathId {
+                        start,
+                        end: start + len - 1,
+                    });
+                }
+            }
+            for (i, &sub) in expected.iter().enumerate() {
+                assert_eq!(sub.rank(n), i, "n={n} {sub}");
+                assert_eq!(SubpathId::from_rank(n, i), sub, "n={n} rank {i}");
+                seen[i] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "ranks cover 0..count(n)");
+        }
+    }
+
+    #[test]
+    fn step_keys_are_shared_across_overlapping_paths() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = Path::parse(&schema, "Person", &["owns", "man", "divs", "name"]).unwrap();
+        let pe = Path::parse(&schema, "Person", &["owns", "man", "name"]).unwrap();
+        // Per.owns.man is positions 1–2 in both paths: identical keys.
+        let a = pexa.step_keys(SubpathId { start: 1, end: 2 });
+        let b = pe.step_keys(SubpathId { start: 1, end: 2 });
+        assert_eq!(a, b);
+        // The ending attributes differ (Division.name vs Company.name).
+        let ta = pexa.step_keys(SubpathId { start: 4, end: 4 });
+        let tb = pe.step_keys(SubpathId { start: 3, end: 3 });
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn attr_ids_resolve_to_declaring_class() {
+        let (schema, _) = fixtures::paper_schema();
+        let p = Path::parse(&schema, "Person", &["owns", "man", "name"]).unwrap();
+        for st in p.steps() {
+            assert_eq!(schema.attr_name(st.attr_id), st.attr_name);
+            assert_eq!(schema.attribute(st.attr_id), &st.attr);
+        }
     }
 
     #[test]

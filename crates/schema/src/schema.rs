@@ -1,6 +1,6 @@
 //! The schema: a set of classes with inheritance and aggregation structure.
 
-use crate::{AttrKind, Attribute, Cardinality, Class, ClassId, SchemaError};
+use crate::{AttrId, AttrKind, Attribute, Cardinality, Class, ClassId, SchemaError};
 use std::collections::HashMap;
 
 /// A validated schema.
@@ -120,6 +120,35 @@ impl Schema {
                 class: self.class_name(id).to_string(),
                 attribute: name.to_string(),
             })
+    }
+
+    /// Resolves an attribute name on `id` (inherited attributes included) to
+    /// its interned identifier: the *declaring* class plus the slot in that
+    /// class's own attribute list. Two classes inheriting the same attribute
+    /// resolve to the same `AttrId`, so the id is a cheap `Copy` stand-in
+    /// for the attribute name in signatures and candidate keys.
+    pub fn attr_id(&self, id: ClassId, name: &str) -> Result<AttrId, SchemaError> {
+        let (decl, _) = self.resolve_attribute(id, name)?;
+        let slot = self
+            .class(decl)
+            .attributes
+            .iter()
+            .position(|a| a.name == name)
+            .expect("resolve_attribute found the declaring class") as u32;
+        Ok(AttrId { class: decl, slot })
+    }
+
+    /// The attribute definition behind an interned [`AttrId`].
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this schema.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.class(id.class).attributes[id.slot as usize]
+    }
+
+    /// Name of the attribute behind an interned [`AttrId`].
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attribute(id).name
     }
 
     /// Classes whose declared or inherited attributes reference `target`

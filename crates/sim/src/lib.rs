@@ -14,7 +14,10 @@
 //!   deletions across the subpath chain, measuring page accesses per
 //!   operation;
 //! * [`validate`] — tabulates measured vs predicted costs per organization
-//!   and operation type.
+//!   and operation type;
+//! * [`workload_gen`] — synthetic N-path workloads (class trees, shared
+//!   prefixes, per-path query rates) for workload-scale validation and the
+//!   `scaling_dp_vs_bb` bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,8 @@
 mod exec;
 mod gendb;
 pub mod validate;
+pub mod workload_gen;
 
 pub use exec::ConfiguredDb;
 pub use gendb::{generate, scale_chars, GenSpec, GeneratedDb};
+pub use workload_gen::{synth_workload, SynthWorkload, WorkloadSpec};

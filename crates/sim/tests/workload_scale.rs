@@ -1,0 +1,104 @@
+//! Workload-scale validation: a 50-path synthetic workload through the
+//! `WorkloadAdvisor`, cross-checked path by path against the single-path
+//! pipeline (DP vs branch-and-bound vs exhaustive enumeration) and audited
+//! for the never-price-a-shared-subpath-twice invariant.
+
+use oic_core::{exhaustive, opt_ind_con, opt_ind_con_dp, CostMatrix};
+use oic_cost::{CostModel, CostParams, PathCharacteristics};
+use oic_sim::{synth_workload, WorkloadSpec};
+use oic_workload::{LoadDistribution, Triplet};
+
+fn fifty_paths() -> oic_sim::SynthWorkload {
+    synth_workload(&WorkloadSpec {
+        paths: 50,
+        depth: 4,
+        fanout: 3,
+        seed: 7,
+    })
+}
+
+#[test]
+fn advisor_agrees_with_single_path_selectors_on_every_path() {
+    let w = fifty_paths();
+    let plan = w.advisor(CostParams::default()).optimize();
+    assert_eq!(plan.paths.len(), 50);
+    for (i, (path, alphas)) in w.paths.iter().zip(&w.queries).enumerate() {
+        // Rebuild the standalone pipeline for this path from the shared
+        // tables and compare all three selectors.
+        let chars = PathCharacteristics::build(&w.schema, path, |c| w.stats[c.index()]);
+        let ld = LoadDistribution::build(&w.schema, path, |c| {
+            let (beta, gamma) = w.maint[c.index()];
+            Triplet::new(alphas[c.index()], beta, gamma)
+        });
+        let model = CostModel::new(&w.schema, path, &chars, CostParams::default());
+        let matrix = CostMatrix::build(&model, &ld);
+        let dp = opt_ind_con_dp(&matrix);
+        let bb = opt_ind_con(&matrix);
+        let ex = exhaustive(&matrix);
+        assert!(
+            (dp.cost - ex.cost).abs() < 1e-9 * ex.cost.max(1.0),
+            "path {i}: dp {} vs exhaustive {}",
+            dp.cost,
+            ex.cost
+        );
+        assert!(
+            (bb.cost - ex.cost).abs() < 1e-9 * ex.cost.max(1.0),
+            "path {i}: bb {} vs exhaustive {}",
+            bb.cost,
+            ex.cost
+        );
+        // The plan's standalone baseline is that same optimum.
+        assert!(
+            (plan.paths[i].standalone_cost - ex.cost).abs() < 1e-6 * ex.cost.max(1.0),
+            "path {i}: standalone {} vs exhaustive {}",
+            plan.paths[i].standalone_cost,
+            ex.cost
+        );
+    }
+}
+
+#[test]
+fn shared_subpaths_are_priced_once_and_sharing_only_helps() {
+    let w = fifty_paths();
+    let plan = w.advisor(CostParams::default()).optimize();
+
+    // Interning collapses the workload's subpath instances into far fewer
+    // physical candidates (tree walks share prefixes aggressively).
+    let instances = w.subpath_instances();
+    assert!(
+        plan.candidates < instances,
+        "{} candidates should undercut {} subpath instances",
+        plan.candidates,
+        instances
+    );
+
+    // The pricing counter is the never-twice witness: at most one pricing
+    // per (candidate, organization), no matter that 50 paths consulted the
+    // space across several selection sweeps each.
+    assert!(
+        plan.maintenance_pricings <= 3 * plan.candidates as u64,
+        "{} pricings for {} candidates",
+        plan.maintenance_pricings,
+        plan.candidates
+    );
+
+    // 50 overlapping walks must actually share physical indexes, and the
+    // workload objective can only improve on independent selection.
+    assert!(!plan.shared.is_empty(), "overlapping walks must share");
+    assert!(plan.total_cost <= plan.independent_cost + 1e-9);
+    for s in &plan.shared {
+        assert!(s.owners.len() >= 2);
+        assert!(s.maintenance >= 0.0 && s.saving >= 0.0);
+    }
+
+    // Every path still gets a covering configuration.
+    for p in &plan.paths {
+        let covered: usize = p
+            .selection
+            .pairs()
+            .iter()
+            .map(|(sub, _)| sub.end - sub.start + 1)
+            .sum();
+        assert_eq!(covered, p.path.len());
+    }
+}

@@ -108,6 +108,30 @@ impl LoadDistribution {
     pub fn total_query_mass(&self) -> f64 {
         self.positions.iter().flatten().map(|(_, t)| t.query).sum()
     }
+
+    /// The query share of this distribution: same `α` everywhere, `β = γ =
+    /// 0`. Processing cost is linear in the triplets, so
+    /// `PC(ld) = PC(ld.query_only()) + PC(ld.maintenance_only())` exactly —
+    /// the decomposition the workload advisor uses to price a shared
+    /// index's maintenance once while charging retrievals per path.
+    pub fn query_only(&self) -> LoadDistribution {
+        self.map_triplets(|t| Triplet::new(t.query, 0.0, 0.0))
+    }
+
+    /// The maintenance share of this distribution: `α = 0`, same `β`/`γ`.
+    pub fn maintenance_only(&self) -> LoadDistribution {
+        self.map_triplets(|t| Triplet::new(0.0, t.insert, t.delete))
+    }
+
+    fn map_triplets(&self, f: impl Fn(Triplet) -> Triplet) -> LoadDistribution {
+        LoadDistribution {
+            positions: self
+                .positions
+                .iter()
+                .map(|pos| pos.iter().map(|&(c, t)| (c, f(t))).collect())
+                .collect(),
+        }
+    }
 }
 
 /// The load distribution of the paper's **Figure 7** (`LD_name(Pexa)`):
@@ -173,6 +197,25 @@ mod tests {
         let ld = LoadDistribution::uniform(&schema, &path, Triplet::new(1.0, 0.0, 0.0));
         assert_eq!(ld.nc(2), 3);
         assert_eq!(ld.triplet(2, 2).query, 1.0);
+    }
+
+    #[test]
+    fn query_and_maintenance_shares_partition_the_load() {
+        let (schema, _) = fixtures::paper_schema();
+        let path = fixtures::paper_path_pexa(&schema);
+        let ld = example51_load(&schema, &path);
+        let q = ld.query_only();
+        let m = ld.maintenance_only();
+        for l in 1..=ld.len() {
+            for x in 0..ld.nc(l) {
+                let t = ld.triplet(l, x);
+                assert_eq!(q.triplet(l, x), Triplet::new(t.query, 0.0, 0.0));
+                assert_eq!(m.triplet(l, x), Triplet::new(0.0, t.insert, t.delete));
+                assert_eq!(q.class(l, x), ld.class(l, x));
+            }
+        }
+        assert_eq!(q.total_query_mass(), ld.total_query_mass());
+        assert_eq!(m.total_query_mass(), 0.0);
     }
 
     #[test]

@@ -70,7 +70,7 @@ fn main() {
                 .signature
                 .steps
                 .iter()
-                .map(|(c, a)| format!("{}.{a}", schema.class_name(*c)))
+                .map(|&(c, a)| format!("{}.{}", schema.class_name(c), schema.attr_name(a)))
                 .collect();
             println!(
                 "shared {} index on [{}] across paths {:?}: maintenance saving {:.2}",
@@ -82,4 +82,22 @@ fn main() {
         }
     }
     println!("consolidated total: {:.2}", plan.consolidated_cost);
+
+    // The workload-scale engine: both paths through one shared candidate
+    // space, duplicate physical subpaths priced once *during* selection.
+    let wplan = WorkloadAdvisor::new(&schema, params)
+        .with_stats(|c| match schema.class_name(c) {
+            "Person" => ClassStats::new(200_000.0, 20_000.0, 1.0),
+            "Vehicle" => ClassStats::new(10_000.0, 5_000.0, 3.0),
+            "Bus" | "Truck" => ClassStats::new(5_000.0, 2_500.0, 2.0),
+            "Company" => ClassStats::new(1_000.0, 250.0, 4.0),
+            "Division" => ClassStats::new(1_000.0, 1_000.0, 1.0),
+            _ => ClassStats::new(1.0, 1.0, 1.0),
+        })
+        .with_maintenance(|_| (0.1, 0.08))
+        .add_path(pexa.clone(), |_| 0.2)
+        .add_path(pe.clone(), |_| 0.25)
+        .optimize();
+    println!("\n--- workload advisor (shared candidate space) ---\n");
+    print!("{}", wplan.render(&schema));
 }

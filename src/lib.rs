@@ -17,9 +17,11 @@
 //! * [`cost`] — the analytic page-access model (Yao, `CRL/CML/CRT/CMT`,
 //!   per-organization costs, `CMD`);
 //! * [`workload`] — load distributions and subpath load derivation;
-//! * [`core`] — index configurations, the cost matrix, branch-and-bound
-//!   selection, and the Section 6 extensions;
-//! * [`sim`] — synthetic databases and the analytic-vs-measured validation.
+//! * [`core`] — index configurations, the cost matrix, branch-and-bound and
+//!   polynomial-DP selection, the shared candidate space, the workload-scale
+//!   advisor, and the Section 6 extensions;
+//! * [`sim`] — synthetic databases, synthetic multi-path workloads, and the
+//!   analytic-vs-measured validation.
 //!
 //! ## Quickstart
 //!
@@ -65,8 +67,9 @@ pub use oic_workload as workload;
 /// Most-used types in one import.
 pub mod prelude {
     pub use oic_core::{
-        exhaustive, opt_ind_con, Advisor, Choice, CostMatrix, IndexConfiguration, Recommendation,
-        SelectionResult,
+        exhaustive, opt_ind_con, opt_ind_con_dp, Advisor, CandidateId, CandidateSpace, Choice,
+        CostMatrix, IndexConfiguration, Recommendation, SelectionResult, WorkloadAdvisor,
+        WorkloadPlan,
     };
     pub use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
     pub use oic_schema::{

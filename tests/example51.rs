@@ -59,6 +59,27 @@ fn splitting_beats_whole_path_nix_by_a_paper_scale_factor() {
 }
 
 #[test]
+fn dp_finds_the_paper_optimum_too() {
+    // The polynomial DP must land on the same Example 5.1 optimum as the
+    // paper's enumeration: {(Per.owns.man, NIX), (Comp.divs.name, MX)}.
+    let (schema, path, chars, ld) = setup();
+    let model = CostModel::new(&schema, &path, &chars, CostParams::paper());
+    let matrix = CostMatrix::build(&model, &ld);
+    let dp = opt_ind_con_dp(&matrix);
+    let ex = exhaustive(&matrix);
+    assert!((dp.cost - ex.cost).abs() < 1e-9);
+    assert_eq!(
+        dp.best.pairs(),
+        &[
+            (SubpathId { start: 1, end: 2 }, Choice::Index(Org::Nix)),
+            (SubpathId { start: 3, end: 4 }, Choice::Index(Org::Mx)),
+        ]
+    );
+    // Polynomial transition count: 10 pieces × 3 organizations.
+    assert_eq!(dp.evaluated, 30);
+}
+
+#[test]
 fn branch_and_bound_prunes_like_the_paper() {
     // “The procedure found the optimal configuration by exploring 4 index
     //  configurations instead of exploring all the 8.”

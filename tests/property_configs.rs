@@ -68,6 +68,44 @@ proptest! {
         prop_assert!((derived - bb.cost).abs() < 1e-9);
     }
 
+    /// The interval DP agrees with branch and bound and exhaustive
+    /// enumeration on random cost matrices up to n = 12: same optimal cost,
+    /// and the same configuration up to cost ties (when the configurations
+    /// differ, both must re-derive to the optimal cost from the matrix).
+    #[test]
+    fn dp_is_exact_up_to_ties(n in 2usize..=12, m in matrix_strategy(12)) {
+        let mut values = Vec::new();
+        for len in 1..=n {
+            for start in 1..=(n - len + 1) {
+                let sub = sid(start, start + len - 1);
+                values.push((sub, [
+                    m.cost(sub, Org::Mx),
+                    m.cost(sub, Org::Mix),
+                    m.cost(sub, Org::Nix),
+                ]));
+            }
+        }
+        let m = CostMatrix::from_values(n, &values);
+        let dp = opt_ind_con_dp(&m);
+        let bb = opt_ind_con(&m);
+        let ex = exhaustive(&m);
+        prop_assert!((dp.cost - ex.cost).abs() < 1e-9, "dp {} vs ex {}", dp.cost, ex.cost);
+        prop_assert!((bb.cost - ex.cost).abs() < 1e-9);
+        // Transition count is the closed form n(n+1)/2 · |Org|.
+        prop_assert_eq!(dp.evaluated, (n * (n + 1) / 2 * 3) as u64);
+        // Configuration agreement up to ties: each selector's configuration
+        // re-derives to the same optimal cost.
+        for r in [&dp, &bb, &ex] {
+            let derived: f64 = r.best.pairs().iter().map(|&(sub, choice)| {
+                match choice {
+                    Choice::Index(org) => m.cost(sub, org),
+                    Choice::NoIndex => unreachable!("no-index column not built"),
+                }
+            }).sum();
+            prop_assert!((derived - ex.cost).abs() < 1e-9);
+        }
+    }
+
     /// The optimum is monotone: raising any single matrix cell can never
     /// *decrease* the optimal cost.
     #[test]
@@ -137,6 +175,58 @@ proptest! {
         );
         let total2 = oo_index_config::core::pc::configuration_cost(&model, &ld2, &config);
         prop_assert!((total2 - total * scale).abs() < 1e-6 * (1.0 + total2.abs()), "linearity");
+    }
+
+    /// End-to-end on *random schemas and paths* (n ≤ 12): matrices built
+    /// from the real cost model with random statistics and workloads give
+    /// the same optimum through the DP, branch and bound, and exhaustive
+    /// enumeration — and the configurations agree up to cost ties.
+    #[test]
+    fn dp_bb_exhaustive_agree_on_random_schema_paths(
+        n in 2usize..=12,
+        seed in 0u64..500,
+        q in 0.01f64..1.0, ins in 0.0f64..0.5, del in 0.0f64..0.5,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Random chain schema C1 → … → Cn → name.
+        let mut b = SchemaBuilder::new();
+        let mut prev = b.declare(format!("C{n}")).unwrap();
+        b.atomic(prev, "name", AtomicType::Str).unwrap();
+        for i in (1..n).rev() {
+            let c = b.declare(format!("C{i}")).unwrap();
+            b.reference(c, "next", prev, Cardinality::Single).unwrap();
+            prev = c;
+        }
+        let schema = b.build().unwrap();
+        let mut attrs: Vec<&str> = vec!["next"; n - 1];
+        attrs.push("name");
+        let path = Path::parse(&schema, "C1", &attrs).unwrap();
+        // Random statistics per class.
+        let chars = PathCharacteristics::build(&schema, &path, |_| {
+            let count = rng.gen_range(100..50_000) as f64;
+            let d = (count / rng.gen_range(1..30) as f64).max(1.0).round();
+            ClassStats::new(count, d, 1.0)
+        });
+        let ld = LoadDistribution::uniform(&schema, &path, Triplet::new(q, ins, del));
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        let m = CostMatrix::build(&model, &ld);
+        let dp = opt_ind_con_dp(&m);
+        let bb = opt_ind_con(&m);
+        let ex = exhaustive(&m);
+        let scale = ex.cost.abs().max(1.0);
+        prop_assert!((dp.cost - ex.cost).abs() < 1e-9 * scale, "dp {} vs ex {}", dp.cost, ex.cost);
+        prop_assert!((bb.cost - ex.cost).abs() < 1e-9 * scale, "bb {} vs ex {}", bb.cost, ex.cost);
+        // Configurations agree up to cost ties.
+        for r in [&dp, &bb] {
+            let derived: f64 = r.best.pairs().iter().map(|&(sub, choice)| {
+                match choice {
+                    Choice::Index(org) => m.cost(sub, org),
+                    Choice::NoIndex => unreachable!("no-index column not built"),
+                }
+            }).sum();
+            prop_assert!((derived - ex.cost).abs() < 1e-9 * scale);
+        }
     }
 
     /// The advisor's chosen cost is a true lower envelope: it never exceeds
