@@ -145,7 +145,7 @@ fn main() {
             fanout: 3,
             seed: 1994,
         });
-        let adv = w.advisor(CostParams::default());
+        let mut adv = w.advisor(CostParams::default());
         let t = Instant::now();
         let plan = adv.optimize();
         let elapsed = t.elapsed();

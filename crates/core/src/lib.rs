@@ -21,9 +21,13 @@
 //!    ([`extensions::noindex`]) and a *multi-path* advisor
 //!    ([`extensions::multipath`]).
 //! 5. Workload scale: [`space::CandidateSpace`] interns physical subpath
-//!    candidates across paths; [`workload_advisor::WorkloadAdvisor`]
-//!    selects configurations for hundreds of paths at once, pricing each
-//!    shared physical index's maintenance exactly once during selection.
+//!    candidates across paths (refcounted, with class-keyed invalidation);
+//!    [`workload_advisor::WorkloadAdvisor`] is an online engine selecting
+//!    configurations for hundreds of paths at once, pricing each shared
+//!    physical index's maintenance exactly once during selection, and
+//!    re-optimizing incrementally as paths arrive/depart and statistics
+//!    drift (`add_path`/`remove_path`/`update_stats`/`update_rates` +
+//!    `reoptimize`).
 //!
 //! [`fig6`] reproduces the paper's hypothetical walkthrough matrix;
 //! [`Advisor`] is the one-call user-facing API.
@@ -48,4 +52,6 @@ pub use matrix::CostMatrix;
 pub use select::{candidate_space_size, exhaustive, opt_ind_con, opt_ind_con_dp, SelectionResult};
 pub use space::{CandidateId, CandidateSpace};
 pub use trace::{opt_ind_con_traced, TraceEvent};
-pub use workload_advisor::{PathOutcome, SharedIndexOutcome, WorkloadAdvisor, WorkloadPlan};
+pub use workload_advisor::{
+    PathId, PathOutcome, SharedIndexOutcome, WorkloadAdvisor, WorkloadPlan,
+};

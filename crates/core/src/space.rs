@@ -1,5 +1,5 @@
-//! The shared candidate space: an interned, arena-backed catalog of the
-//! *physical* subpath candidates a workload exposes.
+//! The shared candidate space: an interned, refcounted, arena-backed
+//! catalog of the *physical* subpath candidates a workload exposes.
 //!
 //! Two subpaths of different paths that traverse the same `(class,
 //! attribute)` step sequence *in the same role* (embedded vs terminal —
@@ -8,14 +8,53 @@
 //! identity once, hands out dense [`CandidateId`]s (plain `u32` ranks into
 //! the arena), and memoizes the maintenance price of each `(candidate,
 //! organization)` pair so a physical index shared by many paths is priced
-//! exactly once, no matter how many selections consult it.
+//! exactly once per epoch, no matter how many selections consult it.
+//!
+//! Three epoch-mutation facilities support the online
+//! [`WorkloadAdvisor`](crate::WorkloadAdvisor):
+//!
+//! * **Reference counting** — [`CandidateSpace::intern_path`] acquires one
+//!   reference per owning path and [`CandidateSpace::release_path`] drops
+//!   them; when the last owner departs the candidate is freed (its memo
+//!   cleared, its id recycled), so the space tracks the *live* workload
+//!   rather than everything ever seen.
+//! * **Class invalidation** — each candidate records the dependency class
+//!   set of its maintenance price (computed by
+//!   [`oic_cost::invalidation::maintenance_dependencies`]: the step
+//!   hierarchies plus, for embedded candidates, the successor hierarchy).
+//!   [`CandidateSpace::invalidate_class`] clears exactly the memo rows that
+//!   a statistics or update-rate change for one class can move.
+//! * **Pricing telemetry** — [`CandidateSpace::maintenance_pricings`]
+//!   counts actual computations (memo misses), the never-price-twice
+//!   witness the workload tests and benches audit.
+//!
+//! The priced-once invariant, pinned:
+//!
+//! ```
+//! use oic_core::CandidateSpace;
+//! use oic_cost::Org;
+//! use oic_schema::fixtures;
+//!
+//! let (schema, _) = fixtures::paper_schema();
+//! let pexa = fixtures::paper_path_pexa(&schema);
+//! let mut space = CandidateSpace::new();
+//! let ids = space.intern_path(&schema, &pexa);
+//! // Two requests for the same (candidate, organization): the second is a
+//! // memo hit — the pricing closure never runs again.
+//! let first = space.maintenance_cost(ids[0], Org::Mx, || 42.0);
+//! let second = space.maintenance_cost(ids[0], Org::Mx, || unreachable!());
+//! assert_eq!((first, second), (42.0, 42.0));
+//! assert_eq!(space.maintenance_pricings(), 1);
+//! ```
 
 use oic_cost::Org;
-use oic_schema::{AttrId, ClassId, Path, SubpathId};
+use oic_schema::{AttrId, ClassId, Path, Schema, SubpathId};
 use std::collections::HashMap;
 
-/// Dense identifier of an interned physical candidate. Ids are assigned in
-/// first-seen order and index flat arrays directly.
+/// Dense identifier of an interned physical candidate. Ids index flat
+/// arrays directly; the id of a freed candidate (refcount zero) is recycled
+/// for the next fresh interning, so ids stay dense under churn. An id is
+/// stable for as long as any path holds a reference to its candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CandidateId(pub u32);
 
@@ -31,6 +70,20 @@ impl CandidateId {
 /// interned attribute traversed at that position.
 pub type CandidateStep = (ClassId, AttrId);
 
+/// One arena slot: a candidate's identity, dependency set, and refcount.
+#[derive(Debug)]
+struct Slot {
+    /// The `(steps, embedded)` identity of the candidate.
+    steps: Box<[CandidateStep]>,
+    /// Whether more steps follow the candidate in its owning paths.
+    embedded: bool,
+    /// Classes whose statistics or update rates its maintenance price
+    /// reads (sorted, deduplicated — see `oic_cost::invalidation`).
+    deps: Box<[ClassId]>,
+    /// Number of owning path-subpath references; 0 = free slot.
+    refs: u32,
+}
+
 /// Interned arena of physical subpath candidates shared across paths.
 ///
 /// Candidate identity is the step sequence **plus** whether the subpath is
@@ -44,14 +97,18 @@ pub type CandidateStep = (ClassId, AttrId);
 /// distinct physical pricing contexts and get distinct ids.
 #[derive(Debug, Default)]
 pub struct CandidateSpace {
-    /// Arena: the `(steps, embedded)` identity of each candidate.
-    sigs: Vec<(Box<[CandidateStep]>, bool)>,
-    /// Reverse lookup used only at interning time.
+    /// Arena slots; freed slots stay in place (refs = 0) until recycled.
+    slots: Vec<Slot>,
+    /// Reverse lookup used at interning time; freed candidates are removed.
     lookup: HashMap<(Box<[CandidateStep]>, bool), CandidateId>,
     /// Memoized maintenance price per `(candidate, org)`; `NaN` = unpriced.
     maint: Vec<[f64; 3]>,
+    /// Recycled ids of freed slots.
+    free: Vec<CandidateId>,
     /// How many times a maintenance price was actually computed (not read
-    /// from the memo) — the never-price-twice witness.
+    /// from the memo) — the never-price-twice witness. Monotone across
+    /// epochs; invalidation makes re-pricing legitimate, so compare deltas
+    /// per epoch, not absolutes, in evolving workloads.
     pricings: u64,
 }
 
@@ -62,58 +119,144 @@ impl CandidateSpace {
     }
 
     /// Interns one step sequence in its role (`embedded` = more steps
-    /// follow in the owning path), returning its dense id (the existing id
-    /// if this `(steps, embedded)` pair was seen before).
-    pub fn intern(&mut self, steps: &[CandidateStep], embedded: bool) -> CandidateId {
+    /// follow in the owning path) with its maintenance dependency class
+    /// set, **acquiring one reference**: the existing id if this `(steps,
+    /// embedded)` pair is live, a recycled or fresh id otherwise.
+    pub fn intern(
+        &mut self,
+        steps: &[CandidateStep],
+        embedded: bool,
+        deps: impl FnOnce() -> Vec<ClassId>,
+    ) -> CandidateId {
         use std::collections::hash_map::Entry;
         match self.lookup.entry((Box::from(steps), embedded)) {
-            Entry::Occupied(e) => *e.get(),
+            Entry::Occupied(e) => {
+                let id = *e.get();
+                self.slots[id.index()].refs += 1;
+                id
+            }
             Entry::Vacant(e) => {
-                let id = CandidateId(self.sigs.len() as u32);
-                self.sigs.push((e.key().0.clone(), embedded));
-                self.maint.push([f64::NAN; 3]);
+                let slot = Slot {
+                    steps: e.key().0.clone(),
+                    embedded,
+                    deps: deps().into(),
+                    refs: 1,
+                };
+                let id = match self.free.pop() {
+                    Some(id) => {
+                        self.slots[id.index()] = slot;
+                        self.maint[id.index()] = [f64::NAN; 3];
+                        id
+                    }
+                    None => {
+                        let id = CandidateId(self.slots.len() as u32);
+                        self.slots.push(slot);
+                        self.maint.push([f64::NAN; 3]);
+                        id
+                    }
+                };
                 *e.insert(id)
             }
         }
     }
 
     /// Interns every subpath of `path`, returning one candidate id per
-    /// subpath, indexed by [`SubpathId::rank`]. Subpaths ending before the
-    /// path's last position intern as embedded.
-    pub fn intern_path(&mut self, path: &Path) -> Vec<CandidateId> {
+    /// subpath, indexed by [`SubpathId::rank`], and acquiring one reference
+    /// each (a path never exposes the same candidate twice: a class appears
+    /// at most once along a path). Subpaths ending before the path's last
+    /// position intern as embedded. Pass the resulting ids back to
+    /// [`CandidateSpace::release_path`] when the path departs.
+    pub fn intern_path(&mut self, schema: &Schema, path: &Path) -> Vec<CandidateId> {
         let n = path.len();
         (0..SubpathId::count(n))
             .map(|r| {
                 let sub = SubpathId::from_rank(n, r);
-                self.intern(&path.step_keys(sub), sub.end < n)
+                self.intern(&path.step_keys(sub), sub.end < n, || {
+                    oic_cost::invalidation::maintenance_dependencies(schema, path, sub)
+                })
             })
             .collect()
     }
 
-    /// Number of distinct candidates interned so far.
+    /// Releases one reference per id (the inverse of
+    /// [`CandidateSpace::intern_path`]). A candidate whose last reference
+    /// drops is freed: its memo is cleared, its identity leaves the lookup,
+    /// and its id is recycled for future internings.
+    ///
+    /// # Panics
+    /// Panics if an id is not live (double release).
+    pub fn release_path(&mut self, ids: &[CandidateId]) {
+        for &id in ids {
+            let slot = &mut self.slots[id.index()];
+            assert!(slot.refs > 0, "release of a dead candidate {id:?}");
+            slot.refs -= 1;
+            if slot.refs == 0 {
+                let key = (std::mem::take(&mut slot.steps), slot.embedded);
+                slot.deps = Box::default();
+                self.lookup.remove(&key);
+                self.maint[id.index()] = [f64::NAN; 3];
+                self.free.push(id);
+            }
+        }
+    }
+
+    /// Clears the memoized maintenance prices of every live candidate whose
+    /// dependency set contains `class` — exactly the prices a statistics or
+    /// update-rate change for that class can move (the
+    /// `oic_cost::invalidation` contract). Returns the number of candidates
+    /// invalidated.
+    pub fn invalidate_class(&mut self, class: ClassId) -> usize {
+        let mut touched = 0;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.refs > 0 && slot.deps.binary_search(&class).is_ok() {
+                self.maint[i] = [f64::NAN; 3];
+                touched += 1;
+            }
+        }
+        touched
+    }
+
+    /// Number of **live** candidates (refcount > 0).
     pub fn len(&self) -> usize {
-        self.sigs.len()
+        self.slots.len() - self.free.len()
     }
 
-    /// Whether the space is empty.
+    /// Whether no candidate is live.
     pub fn is_empty(&self) -> bool {
-        self.sigs.is_empty()
+        self.len() == 0
     }
 
-    /// The step sequence of a candidate.
+    /// Whether `id` refers to a live candidate.
+    pub fn is_live(&self, id: CandidateId) -> bool {
+        self.slots.get(id.index()).is_some_and(|slot| slot.refs > 0)
+    }
+
+    /// Number of owning references a live candidate holds (0 if freed).
+    pub fn ref_count(&self, id: CandidateId) -> u32 {
+        self.slots[id.index()].refs
+    }
+
+    /// The step sequence of a live candidate.
     pub fn steps(&self, id: CandidateId) -> &[CandidateStep] {
-        &self.sigs[id.index()].0
+        debug_assert!(self.is_live(id), "steps of a dead candidate");
+        &self.slots[id.index()].steps
     }
 
     /// Whether a candidate is embedded (more steps follow it in its owning
     /// paths) or terminal.
     pub fn is_embedded(&self, id: CandidateId) -> bool {
-        self.sigs[id.index()].1
+        self.slots[id.index()].embedded
+    }
+
+    /// The maintenance dependency class set of a live candidate (sorted).
+    pub fn dependencies(&self, id: CandidateId) -> &[ClassId] {
+        &self.slots[id.index()].deps
     }
 
     /// The memoized maintenance price of `(id, org)`, computing it with
     /// `price` on first request only. Subsequent calls — from the same path
-    /// or any other path sharing the candidate — return the memo.
+    /// or any other path sharing the candidate — return the memo until
+    /// [`CandidateSpace::invalidate_class`] clears it.
     pub fn maintenance_cost(
         &mut self,
         id: CandidateId,
@@ -128,15 +271,17 @@ impl CandidateSpace {
         *cell
     }
 
-    /// The already-memoized maintenance price, if `(id, org)` was priced.
+    /// The already-memoized maintenance price, if `(id, org)` was priced
+    /// (and not invalidated or freed since).
     pub fn priced_maintenance(&self, id: CandidateId, org: Org) -> Option<f64> {
         let v = self.maint[id.index()][org.index()];
         (!v.is_nan()).then_some(v)
     }
 
-    /// Number of maintenance prices actually computed. Equals the number of
-    /// distinct `(candidate, org)` pairs ever priced — by construction a
-    /// shared physical subpath is never priced twice.
+    /// Number of maintenance prices actually computed, cumulatively. Within
+    /// one epoch (no invalidation) at most one pricing happens per live
+    /// `(candidate, org)` pair — by construction a shared physical subpath
+    /// is never priced twice for the same statistics.
     pub fn maintenance_pricings(&self) -> u64 {
         self.pricings
     }
@@ -152,13 +297,14 @@ mod tests {
         let (schema, _) = fixtures::paper_schema();
         let pexa = fixtures::paper_path_pexa(&schema);
         let mut space = CandidateSpace::new();
-        let a = space.intern_path(&pexa);
+        let a = space.intern_path(&schema, &pexa);
         assert_eq!(a.len(), SubpathId::count(4));
         assert_eq!(space.len(), SubpathId::count(4), "all subpaths distinct");
-        // Re-interning the same path adds nothing.
-        let b = space.intern_path(&pexa);
+        // Re-interning the same path adds nothing (but acquires references).
+        let b = space.intern_path(&schema, &pexa);
         assert_eq!(a, b);
         assert_eq!(space.len(), SubpathId::count(4));
+        assert!(a.iter().all(|&id| space.ref_count(id) == 2));
         // Ids are dense, first-seen ordered.
         assert_eq!(a[0], CandidateId(0));
         assert!(a.iter().all(|id| id.index() < space.len()));
@@ -170,15 +316,18 @@ mod tests {
         let pexa = fixtures::paper_path_pexa(&schema);
         let pe = fixtures::paper_path_pe(&schema);
         let mut space = CandidateSpace::new();
-        let a = space.intern_path(&pexa);
+        let a = space.intern_path(&schema, &pexa);
         let before = space.len();
-        let b = space.intern_path(&pe);
+        let b = space.intern_path(&schema, &pe);
         // Pe = Per.owns.man.name shares Per.owns, man and Per.owns.man with
         // Pexa; its other three subpaths (ending in Company.name) are new.
         let shared = b.iter().filter(|id| id.index() < before).count();
         assert_eq!(shared, 3, "S1,1 S2,2 S1,2 are physically shared");
         let r11 = SubpathId { start: 1, end: 1 }.rank(3);
         assert_eq!(a[SubpathId { start: 1, end: 1 }.rank(4)], b[r11]);
+        // Shared candidates carry two references, private ones a single one.
+        assert_eq!(space.ref_count(b[r11]), 2);
+        assert_eq!(space.ref_count(*b.last().unwrap()), 1);
     }
 
     #[test]
@@ -192,13 +341,18 @@ mod tests {
         let owns = Path::parse(&schema, "Person", &["owns"]).unwrap();
         let pe = fixtures::paper_path_pe(&schema);
         let mut space = CandidateSpace::new();
-        let terminal = space.intern_path(&owns)[0];
-        let ids = space.intern_path(&pe);
+        let terminal = space.intern_path(&schema, &owns)[0];
+        let ids = space.intern_path(&schema, &pe);
         let embedded = ids[SubpathId { start: 1, end: 1 }.rank(3)];
         assert_eq!(space.steps(terminal), space.steps(embedded), "same steps");
         assert_ne!(terminal, embedded, "different roles, different identity");
         assert!(!space.is_embedded(terminal));
         assert!(space.is_embedded(embedded));
+        // The embedded role depends on the successor (Vehicle) hierarchy;
+        // the terminal role sees Person only.
+        let veh = schema.class_by_name("Vehicle").unwrap();
+        assert!(space.dependencies(embedded).binary_search(&veh).is_ok());
+        assert!(space.dependencies(terminal).binary_search(&veh).is_err());
         // Each role keeps its own maintenance memo.
         assert_eq!(space.maintenance_cost(terminal, Org::Mx, || 1.0), 1.0);
         assert_eq!(space.maintenance_cost(embedded, Org::Mx, || 2.0), 2.0);
@@ -211,7 +365,7 @@ mod tests {
         let (schema, _) = fixtures::paper_schema();
         let pexa = fixtures::paper_path_pexa(&schema);
         let mut space = CandidateSpace::new();
-        let ids = space.intern_path(&pexa);
+        let ids = space.intern_path(&schema, &pexa);
         let id = ids[0];
         let mut calls = 0;
         let first = space.maintenance_cost(id, Org::Mx, || {
@@ -228,5 +382,131 @@ mod tests {
         assert_eq!(space.maintenance_pricings(), 1);
         assert_eq!(space.priced_maintenance(id, Org::Mx), Some(42.0));
         assert_eq!(space.priced_maintenance(id, Org::Nix), None);
+    }
+
+    #[test]
+    fn releasing_the_last_owner_frees_the_candidate() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let pe = fixtures::paper_path_pe(&schema);
+        let mut space = CandidateSpace::new();
+        let a = space.intern_path(&schema, &pexa);
+        let b = space.intern_path(&schema, &pe);
+        let shared = b[SubpathId { start: 1, end: 2 }.rank(3)]; // Per.owns.man
+        space.maintenance_cost(shared, Org::Nix, || 7.0);
+        let live_before = space.len();
+
+        // Dropping Pexa keeps Pe's candidates alive — including the shared
+        // prefix, whose memo survives.
+        space.release_path(&a);
+        assert!(space.is_live(shared));
+        assert_eq!(space.ref_count(shared), 1);
+        assert_eq!(space.priced_maintenance(shared, Org::Nix), Some(7.0));
+        assert_eq!(space.len(), live_before - (a.len() - 3));
+
+        // Dropping Pe frees everything: refcounts hit zero, memos clear.
+        space.release_path(&b);
+        assert!(!space.is_live(shared));
+        assert!(space.is_empty());
+        assert_eq!(space.priced_maintenance(shared, Org::Nix), None);
+    }
+
+    #[test]
+    fn freed_ids_are_recycled_without_leaking_memos() {
+        let (schema, _) = fixtures::paper_schema();
+        let owns = Path::parse(&schema, "Person", &["owns"]).unwrap();
+        let pe = fixtures::paper_path_pe(&schema);
+        let mut space = CandidateSpace::new();
+        let a = space.intern_path(&schema, &owns);
+        space.maintenance_cost(a[0], Org::Mx, || 123.0);
+        space.release_path(&a);
+        assert!(space.is_empty());
+        // The next interning recycles the freed slot: same dense index, but
+        // a fresh identity whose memo must NOT see the stale 123.0.
+        let b = space.intern_path(&schema, &pe);
+        assert!(b.contains(&a[0]), "freed id recycled");
+        for &id in &b {
+            assert_eq!(space.priced_maintenance(id, Org::Mx), None);
+        }
+        // Re-interning the departed path now yields a *different* id for
+        // the same steps — identity is live-set-relative…
+        let c = space.intern_path(&schema, &owns);
+        assert!(space.is_live(c[0]));
+        // …and the arena stays dense: no slot is wasted.
+        assert_eq!(space.len(), SubpathId::count(3) + 1);
+    }
+
+    #[test]
+    fn invalidate_class_clears_exactly_the_dependent_memos() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema); // Per.owns.man.divs.name
+        let mut space = CandidateSpace::new();
+        let ids = space.intern_path(&schema, &pexa);
+        let n = 4;
+        for (r, &id) in ids.iter().enumerate() {
+            space.maintenance_cost(id, Org::Mx, || r as f64);
+        }
+        let division = schema.class_by_name("Division").unwrap();
+        // Division appears at position 4 only: the dependent candidates are
+        // the subpaths containing position 4 plus the embedded ones ending
+        // at position 3 (their boundary CMD is Division deletions).
+        let touched = space.invalidate_class(division);
+        let mut expect = 0;
+        for (r, &id) in ids.iter().enumerate() {
+            let sub = SubpathId::from_rank(n, r);
+            let dependent = sub.end >= 3;
+            if dependent {
+                expect += 1;
+                assert_eq!(space.priced_maintenance(id, Org::Mx), None, "{sub}");
+            } else {
+                assert!(space.priced_maintenance(id, Org::Mx).is_some(), "{sub}");
+            }
+        }
+        assert_eq!(touched, expect);
+        // Person sits at position 1: every subpath starting there depends
+        // on it; the rest were already invalidated or remain priced.
+        let person = schema.class_by_name("Person").unwrap();
+        let touched = space.invalidate_class(person);
+        assert_eq!(touched, n, "S1,1 S1,2 S1,3 S1,4");
+    }
+
+    /// The cross-crate half of the `oic_cost::invalidation` contract:
+    /// re-pricing after an out-of-dependency drift reproduces the memoized
+    /// price bit-identically, and an in-dependency drift moves it.
+    #[test]
+    fn invalidation_contract_matches_priced_costs() {
+        use crate::{pc, Choice};
+        use oic_cost::{CostModel, CostParams, PathCharacteristics};
+        use oic_workload::{LoadDistribution, Triplet};
+
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let division = schema.class_by_name("Division").unwrap();
+        let sub = SubpathId { start: 1, end: 2 }; // deps exclude Division
+        let deps = oic_cost::invalidation::maintenance_dependencies(&schema, &pexa, sub);
+        assert!(deps.binary_search(&division).is_err());
+
+        let price = |div_scale: f64| {
+            let chars = PathCharacteristics::build(&schema, &pexa, |c| {
+                let s = oic_cost::ClassStats::new(10_000.0, 1_000.0, 2.0);
+                if c == division {
+                    oic_cost::ClassStats::new(s.n * div_scale, s.d * div_scale, s.nin)
+                } else {
+                    s
+                }
+            });
+            let model = CostModel::new(&schema, &pexa, &chars, CostParams::default());
+            let ld = LoadDistribution::build(&schema, &pexa, |_| Triplet::new(0.0, 0.1, 0.1));
+            pc::processing_cost(&model, &ld, sub, Choice::Index(Org::Nix))
+        };
+        // Drifting Division does not move the price of Per.owns.man…
+        assert_eq!(price(1.0).to_bits(), price(5.0).to_bits());
+        // …which is why invalidate_class(Division) may skip its memo row.
+        let mut space = CandidateSpace::new();
+        let ids = space.intern_path(&schema, &pexa);
+        let id = ids[sub.rank(4)];
+        space.maintenance_cost(id, Org::Nix, || price(1.0));
+        space.invalidate_class(division);
+        assert_eq!(space.priced_maintenance(id, Org::Nix), Some(price(5.0)));
     }
 }

@@ -1,8 +1,12 @@
-//! Workload-scale selection: optimal index configurations for N paths at
-//! once over a shared [`CandidateSpace`].
+//! Workload-scale selection as an **online engine**: optimal index
+//! configurations for N paths at once over a shared, delta-maintained
+//! [`CandidateSpace`], with incremental re-optimization when the workload
+//! evolves.
 //!
-//! The paper optimizes one path; real workloads (CoPhy, Dash et al.) are
-//! hundreds of paths whose subpaths overlap. The advisor exploits two
+//! The paper optimizes one path under a fixed access pattern; real advisor
+//! deployments (CoPhy's what-if loops, Meta's AIM observe→re-optimize
+//! cycle) face hundreds of overlapping paths whose population statistics,
+//! update rates and query mix drift continuously. The advisor exploits two
 //! structural facts:
 //!
 //! 1. **Processing cost is linear in the load** (Proposition 4.2 plus the
@@ -19,18 +23,44 @@
 //!    the workload objective is
 //!    `Σ_i Q_i(selection_i) + Σ_{distinct (c, X) selected} M(c, X)`.
 //!
-//! Selection runs [`opt_ind_con_dp`] per path over an *effective* matrix —
-//! a candidate already selected by another path contributes `Q_i` only —
-//! and sweeps the paths in rounds (coordinate descent on the workload
-//! objective, which is monotone nonincreasing and therefore converges)
-//! until no selection changes. Maintenance prices are memoized in the
-//! candidate space: a shared physical subpath is never priced twice.
+//! # The evolving-workload model
+//!
+//! Mutations arrive through four entry points — [`WorkloadAdvisor::add_path`],
+//! [`WorkloadAdvisor::remove_path`], [`WorkloadAdvisor::update_stats`],
+//! [`WorkloadAdvisor::update_rates`] (plus the per-path
+//! [`WorkloadAdvisor::update_query_rates`]) — which delta-maintain three
+//! memo layers instead of discarding them (see DESIGN.md §5.11 for the
+//! invalidation matrix):
+//!
+//! * the **interned candidate space**: refcounted per owning path, so a
+//!   departing path frees exactly the candidates it alone exposed;
+//! * the **maintenance memo** per `(candidate, organization)`: a class
+//!   mutation invalidates only the candidates whose dependency set (step
+//!   hierarchies + embedded boundary, per `oic_cost::invalidation`)
+//!   contains that class;
+//! * the **per-path artifacts**: query-share vectors, standalone optima and
+//!   last best-response selections, invalidated only for paths whose scope
+//!   contains a mutated class (or whose own query rates changed).
+//!
+//! [`WorkloadAdvisor::reoptimize`] then re-prices only the dirty paths and
+//! re-runs the selection sweeps with memoized best responses: an untouched
+//! path whose sharing context is unchanged is a cache hit, not a DP run.
+//! The warm start is deliberately *computational*, not trajectorial — the
+//! sweep replays the cold algorithm's exact iteration over cached values —
+//! so an incremental `reoptimize()` returns a plan whose cost equals a
+//! cold [`WorkloadAdvisor::optimize`] on a freshly
+//! [rebuilt](WorkloadAdvisor::rebuild) advisor (the anchor invariant,
+//! property-tested in `oic-sim/tests/evolving.rs`).
+//!
+//! **Invariant:** epoch mutations must go through the advisor API. Editing
+//! a [`CandidateSpace`] directly bypasses the invalidation bookkeeping and
+//! can leave stale maintenance prices in the memo.
 
 use crate::select::opt_ind_con_dp;
 use crate::space::{CandidateId, CandidateSpace};
 use crate::{pc, Choice, CostMatrix, IndexConfiguration};
 use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
-use oic_schema::{ClassId, Path, Schema, SubpathId};
+use oic_schema::{ClassId, Path, PathSignature, Schema, SubpathId};
 use oic_workload::{LoadDistribution, Triplet};
 use std::collections::HashMap;
 
@@ -38,24 +68,58 @@ use std::collections::HashMap;
 /// a safety net, not a tuning knob (workloads converge in 2–3 sweeps).
 const MAX_SWEEPS: usize = 8;
 
-/// Builder for workload-scale selection. Class statistics and maintenance
-/// rates are shared across the workload — the consistency that makes a
-/// shared physical index's maintenance a property of the candidate alone;
-/// query rates are per path.
-pub struct WorkloadAdvisor<'a> {
-    schema: &'a Schema,
-    params: CostParams,
-    /// `ClassStats` per class, dense by `ClassId`.
-    stats: Vec<ClassStats>,
-    /// `(β, γ)` insert/delete rates per class, dense by `ClassId`.
-    maint: Vec<(f64, f64)>,
-    /// Paths with their per-class query rates (dense by `ClassId`).
-    paths: Vec<(Path, Vec<f64>)>,
+/// One path's selection: the chosen `(subpath, organization)` pieces.
+type Selection = Vec<(SubpathId, Org)>;
+
+/// Stable handle of one path in the advisor, valid across epochs until the
+/// path is removed. Handles are never reused within one advisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// The raw handle value (diagnostics only).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Per-path engine state: the path, its load, and every cached artifact
+/// with the dirty bits that gate recomputation.
+#[derive(Debug)]
+struct PathState {
+    id: PathId,
+    path: Path,
+    /// Epoch-stable physical identity (used by re-arrival diagnostics).
+    signature: PathSignature,
+    /// Per-class query rates, dense by `ClassId`.
+    alphas: Vec<f64>,
+    /// Sorted class set whose statistics this path's query shares read
+    /// (`oic_cost::invalidation::query_dependencies`).
+    scope: Vec<ClassId>,
+    /// Interned candidate per subpath rank; the path holds one reference
+    /// to each (released on removal).
+    cands: Vec<CandidateId>,
+    /// Query share per rank and organization; valid unless `dirty_query`.
+    query_costs: Vec<[f64; 3]>,
+    /// Standalone optimum (selection + cost, maintenance unshared); `None`
+    /// when stale.
+    standalone: Option<(Selection, f64)>,
+    /// Last best response: the sharing context (3-bit covered mask per
+    /// rank) and the selection the DP produced for it. Valid across epochs
+    /// while the path is clean — a sweep whose context matches is a memo
+    /// hit, not a DP run.
+    sweep_memo: Option<(Vec<u8>, Selection)>,
+    /// Query shares stale (class statistics in scope, or own rates, moved).
+    dirty_query: bool,
+    /// Maintenance prices of this path's candidates possibly unpriced.
+    dirty_maint: bool,
 }
 
 /// One path's outcome in a [`WorkloadPlan`].
 #[derive(Debug, Clone)]
 pub struct PathOutcome {
+    /// The advisor handle of the path.
+    pub id: PathId,
     /// The path.
     pub path: Path,
     /// The selected configuration.
@@ -82,12 +146,13 @@ pub struct SharedIndexOutcome {
     pub saving: f64,
 }
 
-/// The workload-scale physical design.
+/// The workload-scale physical design, with the epoch telemetry that makes
+/// incremental re-optimization auditable.
 #[derive(Debug)]
 pub struct WorkloadPlan {
     /// Per-path outcomes, in insertion order.
     pub paths: Vec<PathOutcome>,
-    /// Physical indexes shared by ≥ 2 paths, by candidate id then org.
+    /// Physical indexes shared by ≥ 2 paths, in deterministic order.
     pub shared: Vec<SharedIndexOutcome>,
     /// Σ of the standalone per-path optima.
     pub independent_cost: f64,
@@ -97,19 +162,62 @@ pub struct WorkloadPlan {
     /// Distinct `(candidate, organization)` pairs selected — the number of
     /// physical indexes the plan actually builds.
     pub physical_indexes: usize,
-    /// Distinct physical candidates interned across the workload.
+    /// Live physical candidates interned across the workload.
     pub candidates: usize,
-    /// Maintenance prices computed (memo misses). Never exceeds
-    /// `3 × candidates`, regardless of the path count.
+    /// Maintenance prices computed since the advisor was created
+    /// (cumulative memo misses). Within one epoch this grows by at most
+    /// `3 ×` the candidates touched by that epoch's mutations.
     pub maintenance_pricings: u64,
+    /// Maintenance prices computed during *this* re-optimization.
+    pub epoch_pricings: u64,
     /// Coordinate-descent rounds until the selections stabilized.
     pub sweeps: usize,
+    /// 1-based re-optimization epoch (how many plans this advisor built).
+    pub epoch: u64,
+    /// Mutations applied since the previous plan.
+    pub mutations: u64,
+    /// Paths whose models were rebuilt this epoch (the dirty set).
+    pub repriced_paths: usize,
+    /// Per-path DP selections actually run this epoch.
+    pub dp_runs: u64,
+    /// Per-path DP selections answered from the best-response memo.
+    pub dp_memo_hits: u64,
+}
+
+/// The online workload-scale advisor. Class statistics and maintenance
+/// rates are shared across the workload — the consistency that makes a
+/// shared physical index's maintenance a property of the candidate alone;
+/// query rates are per path.
+///
+/// Build one with [`WorkloadAdvisor::new`] (+ the chainable
+/// [`WorkloadAdvisor::with_stats`] / [`WorkloadAdvisor::with_maintenance`]),
+/// feed it paths with [`WorkloadAdvisor::add_path`], and call
+/// [`WorkloadAdvisor::optimize`]. As the workload evolves, apply mutations
+/// and call [`WorkloadAdvisor::reoptimize`] — the result is identical to a
+/// cold run on the mutated workload, at a fraction of the work.
+pub struct WorkloadAdvisor<'a> {
+    schema: &'a Schema,
+    params: CostParams,
+    /// `ClassStats` per class, dense by `ClassId`.
+    stats: Vec<ClassStats>,
+    /// `(β, γ)` insert/delete rates per class, dense by `ClassId`.
+    maint: Vec<(f64, f64)>,
+    /// Live paths in insertion order (removal preserves relative order).
+    paths: Vec<PathState>,
+    /// Shared candidate arena + maintenance memo.
+    space: CandidateSpace,
+    next_id: u32,
+    /// Completed re-optimizations.
+    epoch: u64,
+    /// Mutations applied since the last completed re-optimization.
+    mutations: u64,
 }
 
 impl<'a> WorkloadAdvisor<'a> {
     /// Binds the schema and physical parameters. Every class starts with
     /// singleton statistics and zero maintenance; override with
-    /// [`Self::with_stats`] / [`Self::with_maintenance`].
+    /// [`Self::with_stats`] / [`Self::with_maintenance`] (or later, per
+    /// class, with [`Self::update_stats`] / [`Self::update_rates`]).
     pub fn new(schema: &'a Schema, params: CostParams) -> Self {
         let nc = schema.class_count();
         WorkloadAdvisor {
@@ -118,178 +226,307 @@ impl<'a> WorkloadAdvisor<'a> {
             stats: vec![ClassStats::new(1.0, 1.0, 1.0); nc],
             maint: vec![(0.0, 0.0); nc],
             paths: Vec::new(),
+            space: CandidateSpace::new(),
+            next_id: 0,
+            epoch: 0,
+            mutations: 0,
         }
     }
 
-    /// Sets the shared per-class statistics.
+    /// Sets the shared per-class statistics (chainable; equivalent to
+    /// [`Self::update_stats`] per class).
     pub fn with_stats(mut self, mut stats: impl FnMut(ClassId) -> ClassStats) -> Self {
         for c in self.schema.class_ids() {
-            self.stats[c.index()] = stats(c);
+            self.update_stats(c, stats(c));
         }
         self
     }
 
-    /// Sets the shared per-class `(insert, delete)` rates.
+    /// Sets the shared per-class `(insert, delete)` rates (chainable;
+    /// equivalent to [`Self::update_rates`] per class).
     pub fn with_maintenance(mut self, mut rates: impl FnMut(ClassId) -> (f64, f64)) -> Self {
         for c in self.schema.class_ids() {
-            self.maint[c.index()] = rates(c);
+            self.update_rates(c, rates(c));
         }
         self
     }
 
-    /// Adds one path with its per-class query rates.
-    pub fn add_path(mut self, path: Path, mut queries: impl FnMut(ClassId) -> f64) -> Self {
-        let rates = self.schema.class_ids().map(&mut queries).collect();
-        self.paths.push((path, rates));
-        self
+    // ---- epoch mutations --------------------------------------------------
+
+    /// Adds one path with its per-class query rates, interning (and
+    /// refcounting) its candidates into the shared space. Returns the
+    /// path's stable handle.
+    pub fn add_path(&mut self, path: Path, mut queries: impl FnMut(ClassId) -> f64) -> PathId {
+        let alphas = self.schema.class_ids().map(&mut queries).collect();
+        self.add_path_dense(path, alphas)
     }
 
-    /// Number of paths added so far.
+    /// [`Self::add_path`] with the dense per-class rate vector prebuilt.
+    pub fn add_path_dense(&mut self, path: Path, alphas: Vec<f64>) -> PathId {
+        assert_eq!(alphas.len(), self.schema.class_count());
+        let id = PathId(self.next_id);
+        self.next_id += 1;
+        let cands = self.space.intern_path(self.schema, &path);
+        let n = path.len();
+        self.paths.push(PathState {
+            id,
+            signature: path.signature(),
+            scope: oic_cost::invalidation::query_dependencies(self.schema, &path),
+            alphas,
+            cands,
+            query_costs: vec![[0.0; 3]; SubpathId::count(n)],
+            standalone: None,
+            sweep_memo: None,
+            dirty_query: true,
+            dirty_maint: true,
+            path,
+        });
+        self.mutations += 1;
+        id
+    }
+
+    /// Removes a path, releasing its candidate references; candidates it
+    /// alone exposed are freed from the space (their ids recycle) and can
+    /// never be cited by a subsequent plan. Returns the removed path, or
+    /// `None` for an unknown/already-removed handle.
+    pub fn remove_path(&mut self, id: PathId) -> Option<Path> {
+        let i = self.find(id)?;
+        let st = self.paths.remove(i);
+        self.space.release_path(&st.cands);
+        self.mutations += 1;
+        Some(st.path)
+    }
+
+    /// Updates one class's shared statistics, invalidating exactly the
+    /// memo layers that read them: the maintenance prices of candidates
+    /// whose dependency set contains `class`, and every cached artifact of
+    /// paths whose scope contains it. A no-op (returning `false`) when the
+    /// statistics are unchanged.
+    pub fn update_stats(&mut self, class: ClassId, stats: ClassStats) -> bool {
+        if self.stats[class.index()] == stats {
+            return false;
+        }
+        self.stats[class.index()] = stats;
+        self.space.invalidate_class(class);
+        for st in &mut self.paths {
+            if st.scope.binary_search(&class).is_ok() {
+                st.dirty_query = true;
+                st.dirty_maint = true;
+                st.standalone = None;
+                st.sweep_memo = None;
+            }
+        }
+        self.mutations += 1;
+        true
+    }
+
+    /// Updates one class's shared `(insert, delete)` rates. Query shares
+    /// are untouched (they are priced under the query-only load); the
+    /// maintenance prices of dependent candidates are invalidated and the
+    /// owning paths marked for re-pricing. A no-op when unchanged.
+    pub fn update_rates(&mut self, class: ClassId, rates: (f64, f64)) -> bool {
+        if self.maint[class.index()] == rates {
+            return false;
+        }
+        self.maint[class.index()] = rates;
+        self.space.invalidate_class(class);
+        for st in &mut self.paths {
+            if st.scope.binary_search(&class).is_ok() {
+                st.dirty_maint = true;
+                st.standalone = None;
+                st.sweep_memo = None;
+            }
+        }
+        self.mutations += 1;
+        true
+    }
+
+    /// Replaces one path's per-class query rates. Only that path's query
+    /// shares go stale — maintenance prices are query-blind. Like
+    /// [`Self::update_stats`] / [`Self::update_rates`], returns whether a
+    /// mutation was applied: `false` for an unknown handle *or* when the
+    /// new rates equal the old ones (a recognized no-op).
+    pub fn update_query_rates(
+        &mut self,
+        id: PathId,
+        mut queries: impl FnMut(ClassId) -> f64,
+    ) -> bool {
+        let alphas: Vec<f64> = self.schema.class_ids().map(&mut queries).collect();
+        let Some(i) = self.find(id) else {
+            return false;
+        };
+        let st = &mut self.paths[i];
+        if st.alphas == alphas {
+            return false;
+        }
+        st.alphas = alphas;
+        st.dirty_query = true;
+        st.standalone = None;
+        st.sweep_memo = None;
+        self.mutations += 1;
+        true
+    }
+
+    // ---- introspection ----------------------------------------------------
+
+    /// Number of live paths.
     pub fn path_count(&self) -> usize {
         self.paths.len()
     }
 
-    /// Runs the workload-scale selection.
-    ///
-    /// # Panics
-    /// Panics if no path was added.
-    pub fn optimize(&self) -> WorkloadPlan {
-        assert!(!self.paths.is_empty(), "add at least one path");
-        // Per-path derived inputs. Characteristics/loads come from the
-        // shared providers, so a candidate's maintenance price is the same
-        // through any owner's model.
-        let inputs: Vec<(PathCharacteristics, LoadDistribution)> = self
-            .paths
-            .iter()
-            .map(|(path, alphas)| {
-                let chars =
-                    PathCharacteristics::build(self.schema, path, |c| self.stats[c.index()]);
-                let ld = LoadDistribution::build(self.schema, path, |c| {
-                    let (beta, gamma) = self.maint[c.index()];
-                    Triplet::new(alphas[c.index()], beta, gamma)
-                });
-                (chars, ld)
-            })
-            .collect();
-        let models: Vec<CostModel<'_>> = self
-            .paths
-            .iter()
-            .zip(&inputs)
-            .map(|((path, _), (chars, _))| CostModel::new(self.schema, path, chars, self.params))
-            .collect();
-        let query_lds: Vec<LoadDistribution> =
-            inputs.iter().map(|(_, ld)| ld.query_only()).collect();
-        let maint_lds: Vec<LoadDistribution> =
-            inputs.iter().map(|(_, ld)| ld.maintenance_only()).collect();
+    /// Live path handles, in insertion order.
+    pub fn path_ids(&self) -> Vec<PathId> {
+        self.paths.iter().map(|st| st.id).collect()
+    }
 
-        // Shared candidate space + per-path query shares by rank.
-        let mut space = CandidateSpace::new();
-        let cands: Vec<Vec<CandidateId>> = self
-            .paths
-            .iter()
-            .map(|(path, _)| space.intern_path(path))
-            .collect();
-        let query_costs: Vec<Vec<[f64; 3]>> = self
-            .paths
-            .iter()
-            .enumerate()
-            .map(|(i, (path, _))| {
-                let n = path.len();
-                (0..SubpathId::count(n))
-                    .map(|r| {
-                        let sub = SubpathId::from_rank(n, r);
-                        let mut cell = [0.0; 3];
-                        for org in Org::ALL {
-                            cell[org.index()] = pc::processing_cost(
-                                &models[i],
-                                &query_lds[i],
-                                sub,
-                                Choice::Index(org),
-                            );
-                        }
-                        cell
-                    })
-                    .collect()
-            })
-            .collect();
+    /// The path behind a handle.
+    pub fn path(&self, id: PathId) -> Option<&Path> {
+        self.find(id).map(|i| &self.paths[i].path)
+    }
 
-        // One path's effective matrix under the current ownership: a
-        // candidate already covered elsewhere contributes its query share
-        // only. Maintenance prices flow through the space's memo — a shared
-        // physical subpath is priced at most once across the whole run.
-        let select_path = |i: usize,
-                           space: &mut CandidateSpace,
-                           covered: &HashMap<(CandidateId, Org), usize>|
-         -> (Vec<(SubpathId, Org)>, f64) {
-            let n = self.paths[i].0.len();
-            let values: Vec<(SubpathId, [f64; 3])> = (0..SubpathId::count(n))
-                .map(|r| {
-                    let sub = SubpathId::from_rank(n, r);
-                    let cand = cands[i][r];
-                    let mut cell = [0.0; 3];
-                    for org in Org::ALL {
-                        let m = space.maintenance_cost(cand, org, || {
-                            pc::processing_cost(&models[i], &maint_lds[i], sub, Choice::Index(org))
-                        });
-                        let shared = covered.get(&(cand, org)).is_some_and(|&c| c > 0);
-                        cell[org.index()] =
-                            query_costs[i][r][org.index()] + if shared { 0.0 } else { m };
-                    }
-                    (sub, cell)
-                })
-                .collect();
-            let result = opt_ind_con_dp(&CostMatrix::from_values(n, &values));
-            let pairs = result
-                .best
-                .pairs()
-                .iter()
-                .map(|&(sub, choice)| match choice {
-                    Choice::Index(org) => (sub, org),
-                    Choice::NoIndex => unreachable!("no no-index column at workload scale"),
-                })
-                .collect();
-            (pairs, result.cost)
-        };
+    /// The epoch-stable physical identity of a live path — equal for any
+    /// later re-arrival of the same step sequence.
+    pub fn path_signature(&self, id: PathId) -> Option<&PathSignature> {
+        self.find(id).map(|i| &self.paths[i].signature)
+    }
 
-        // Pass 1 — standalone optima: every path pays its own maintenance.
-        let empty = HashMap::new();
-        let mut selections: Vec<Vec<(SubpathId, Org)>> = Vec::with_capacity(self.paths.len());
-        let mut standalone = Vec::with_capacity(self.paths.len());
-        for i in 0..self.paths.len() {
-            let (pairs, cost) = select_path(i, &mut space, &empty);
-            selections.push(pairs);
-            standalone.push(cost);
+    /// The shared candidate space (read-only: epoch mutations must go
+    /// through the advisor API so invalidation stays sound).
+    pub fn candidate_space(&self) -> &CandidateSpace {
+        &self.space
+    }
+
+    /// Completed re-optimizations.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A cold copy: a fresh advisor over the same schema, parameters,
+    /// statistics, rates and live paths (same order), with every cache
+    /// empty. `rebuild().optimize()` is the from-scratch baseline that
+    /// [`Self::reoptimize`] must match — benches time the two against each
+    /// other; the property tests pin the cost equality.
+    pub fn rebuild(&self) -> WorkloadAdvisor<'a> {
+        let mut adv = WorkloadAdvisor::new(self.schema, self.params);
+        adv.stats.clone_from(&self.stats);
+        adv.maint.clone_from(&self.maint);
+        for st in &self.paths {
+            adv.add_path_dense(st.path.clone(), st.alphas.clone());
         }
-        let independent_cost: f64 = standalone.iter().sum();
+        adv.mutations = 0;
+        adv
+    }
 
-        // Sweeps — re-optimize each path against the others' selections.
+    fn find(&self, id: PathId) -> Option<usize> {
+        self.paths.iter().position(|st| st.id == id)
+    }
+
+    // ---- (re-)optimization ------------------------------------------------
+
+    /// Runs the workload-scale selection. On a freshly built advisor this
+    /// is the cold path (everything is dirty); after mutations it is
+    /// exactly [`Self::reoptimize`].
+    pub fn optimize(&mut self) -> WorkloadPlan {
+        self.reoptimize()
+    }
+
+    /// Incrementally re-optimizes the evolved workload.
+    ///
+    /// Three phases, each skipping clean work:
+    ///
+    /// 1. **Re-price** — rebuild the cost model for dirty paths only; the
+    ///    maintenance memo turns shared-candidate pricing into hits except
+    ///    for invalidated cells.
+    /// 2. **Standalone** — recompute the per-path unshared optimum where
+    ///    stale (it seeds the sweeps and prices `independent_cost`).
+    /// 3. **Sweeps** — coordinate descent over all paths from the
+    ///    standalone seed, replaying the cold trajectory; a path whose
+    ///    sharing context matches its memoized best response is a cache
+    ///    hit. Convergence: the objective is monotone nonincreasing.
+    ///
+    /// Because every cached value equals what a cold run would recompute
+    /// and the trajectory is replayed rather than warm-seeded, the
+    /// resulting plan cost **equals** a cold `optimize()` on
+    /// [`Self::rebuild`] (up to float-summation noise; see DESIGN.md
+    /// §5.11). An empty workload yields an empty plan.
+    pub fn reoptimize(&mut self) -> WorkloadPlan {
+        self.epoch += 1;
+        let mutations = std::mem::take(&mut self.mutations);
+
+        // Phase 1 — re-price dirty paths.
+        let pricings_before = self.space.maintenance_pricings();
+        let mut repriced = 0usize;
+        for i in 0..self.paths.len() {
+            if self.paths[i].dirty_query || self.paths[i].dirty_maint {
+                self.reprice(i);
+                repriced += 1;
+            }
+        }
+
+        // Phase 2 — standalone optima (maintenance unshared).
+        let mut dp_runs = 0u64;
+        for i in 0..self.paths.len() {
+            if self.paths[i].standalone.is_some() {
+                continue;
+            }
+            let result = Self::best_response(&self.paths[i], &self.space, None);
+            dp_runs += 1;
+            self.paths[i].standalone = Some(result);
+        }
+        let independent_cost: f64 = self
+            .paths
+            .iter()
+            .map(|st| st.standalone.as_ref().expect("phase 2 filled it").1)
+            .sum();
+
+        // Phase 3 — coordinate-descent sweeps from the standalone seed.
+        let mut selections: Vec<Vec<(SubpathId, Org)>> = self
+            .paths
+            .iter()
+            .map(|st| st.standalone.as_ref().expect("phase 2 filled it").0.clone())
+            .collect();
         let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
-        for (i, sel) in selections.iter().enumerate() {
+        for (st, sel) in self.paths.iter().zip(&selections) {
+            let n = st.path.len();
             for &(sub, org) in sel {
-                let n = self.paths[i].0.len();
-                *owned.entry((cands[i][sub.rank(n)], org)).or_default() += 1;
+                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
             }
         }
         let mut sweeps = 0;
+        let mut dp_memo_hits = 0u64;
         for _ in 0..MAX_SWEEPS {
             sweeps += 1;
             let mut changed = false;
-            for i in 0..self.paths.len() {
-                let n = self.paths[i].0.len();
-                for &(sub, org) in &selections[i] {
-                    let key = (cands[i][sub.rank(n)], org);
+            for (i, sel) in selections.iter_mut().enumerate() {
+                let st = &self.paths[i];
+                let n = st.path.len();
+                for &(sub, org) in sel.iter() {
+                    let key = (st.cands[sub.rank(n)], org);
                     let count = owned.get_mut(&key).expect("selection was registered");
                     *count -= 1;
                     if *count == 0 {
                         owned.remove(&key);
                     }
                 }
-                let (pairs, _) = select_path(i, &mut space, &owned);
-                changed |= pairs != selections[i];
+                let context = Self::context_key(st, &owned);
+                let pairs = match &st.sweep_memo {
+                    Some((key, pairs)) if *key == context => {
+                        dp_memo_hits += 1;
+                        pairs.clone()
+                    }
+                    _ => {
+                        let (pairs, _) = Self::best_response(st, &self.space, Some(&context));
+                        dp_runs += 1;
+                        self.paths[i].sweep_memo = Some((context, pairs.clone()));
+                        pairs
+                    }
+                };
+                let st = &self.paths[i];
+                changed |= pairs != *sel;
                 for &(sub, org) in &pairs {
-                    *owned.entry((cands[i][sub.rank(n)], org)).or_default() += 1;
+                    *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
                 }
-                selections[i] = pairs;
+                *sel = pairs;
             }
             if !changed {
                 break;
@@ -300,34 +537,37 @@ impl<'a> WorkloadAdvisor<'a> {
         // index's maintenance exactly once.
         let mut owners: HashMap<(CandidateId, Org), Vec<usize>> = HashMap::new();
         let mut paths_out = Vec::with_capacity(self.paths.len());
-        for (i, sel) in selections.iter().enumerate() {
-            let (path, _) = &self.paths[i];
-            let n = path.len();
+        for (i, (st, sel)) in self.paths.iter().zip(&selections).enumerate() {
+            let n = st.path.len();
             let mut query_cost = 0.0;
             let mut pairs = Vec::with_capacity(sel.len());
             for &(sub, org) in sel {
-                query_cost += query_costs[i][sub.rank(n)][org.index()];
+                query_cost += st.query_costs[sub.rank(n)][org.index()];
                 owners
-                    .entry((cands[i][sub.rank(n)], org))
+                    .entry((st.cands[sub.rank(n)], org))
                     .or_default()
                     .push(i);
                 pairs.push((sub, Choice::Index(org)));
             }
             paths_out.push(PathOutcome {
-                path: path.clone(),
+                id: st.id,
+                path: st.path.clone(),
                 selection: IndexConfiguration::new(pairs, n)
                     .expect("DP selections concatenate to the full path"),
                 query_cost,
-                standalone_cost: standalone[i],
+                standalone_cost: st.standalone.as_ref().expect("phase 2 filled it").1,
             });
         }
+        let priced = |cand, org| {
+            self.space
+                .priced_maintenance(cand, org)
+                .expect("selected pairs were priced in phase 1")
+        };
         let mut shared: Vec<SharedIndexOutcome> = owners
             .iter()
             .filter(|(_, own)| own.len() >= 2)
             .map(|(&(cand, org), own)| {
-                let maintenance = space
-                    .priced_maintenance(cand, org)
-                    .expect("selected pairs were priced");
+                let maintenance = priced(cand, org);
                 SharedIndexOutcome {
                     candidate: cand,
                     org,
@@ -337,15 +577,19 @@ impl<'a> WorkloadAdvisor<'a> {
                 }
             })
             .collect();
-        shared.sort_by_key(|s| (s.candidate, s.org));
-        let maintenance_total: f64 = owners
-            .keys()
-            .map(|&(cand, org)| {
-                space
-                    .priced_maintenance(cand, org)
-                    .expect("selected pairs were priced")
+        // Candidate ids depend on interning history (recycled slots), so a
+        // warm advisor and its cold rebuild may disagree on them; order and
+        // sum by history-independent keys to keep plans comparable.
+        shared.sort_by(|a, b| {
+            (&a.owners, a.org).cmp(&(&b.owners, b.org)).then_with(|| {
+                self.space
+                    .steps(a.candidate)
+                    .cmp(self.space.steps(b.candidate))
             })
-            .sum();
+        });
+        let mut maint_prices: Vec<f64> = owners.keys().map(|&(c, o)| priced(c, o)).collect();
+        maint_prices.sort_by(f64::total_cmp);
+        let maintenance_total: f64 = maint_prices.iter().sum();
         let total_cost = paths_out.iter().map(|p| p.query_cost).sum::<f64>() + maintenance_total;
         debug_assert!(
             total_cost <= independent_cost + 1e-6 * independent_cost.abs().max(1.0),
@@ -357,10 +601,111 @@ impl<'a> WorkloadAdvisor<'a> {
             independent_cost,
             total_cost,
             physical_indexes: owners.len(),
-            candidates: space.len(),
-            maintenance_pricings: space.maintenance_pricings(),
+            candidates: self.space.len(),
+            maintenance_pricings: self.space.maintenance_pricings(),
+            epoch_pricings: self.space.maintenance_pricings() - pricings_before,
             sweeps,
+            epoch: self.epoch,
+            mutations,
+            repriced_paths: repriced,
+            dp_runs,
+            dp_memo_hits,
         }
+    }
+
+    /// Rebuilds the cost model of path `i` and refreshes its cached query
+    /// shares (when stale) and its candidates' maintenance memo cells
+    /// (memoized: only invalidated or never-priced cells compute).
+    fn reprice(&mut self, i: usize) {
+        let st = &mut self.paths[i];
+        let chars = PathCharacteristics::build(self.schema, &st.path, |c| self.stats[c.index()]);
+        let model = CostModel::new(self.schema, &st.path, &chars, self.params);
+        let n = st.path.len();
+        if st.dirty_query {
+            let alphas = &st.alphas;
+            let qld = LoadDistribution::build(self.schema, &st.path, |c| {
+                Triplet::new(alphas[c.index()], 0.0, 0.0)
+            });
+            for r in 0..SubpathId::count(n) {
+                let sub = SubpathId::from_rank(n, r);
+                for org in Org::ALL {
+                    st.query_costs[r][org.index()] =
+                        pc::processing_cost(&model, &qld, sub, Choice::Index(org));
+                }
+            }
+        }
+        let mld = LoadDistribution::build(self.schema, &st.path, |c| {
+            let (beta, gamma) = self.maint[c.index()];
+            Triplet::new(0.0, beta, gamma)
+        });
+        for r in 0..SubpathId::count(n) {
+            let sub = SubpathId::from_rank(n, r);
+            for org in Org::ALL {
+                self.space.maintenance_cost(st.cands[r], org, || {
+                    pc::processing_cost(&model, &mld, sub, Choice::Index(org))
+                });
+            }
+        }
+        st.dirty_query = false;
+        st.dirty_maint = false;
+    }
+
+    /// The 3-bit-per-rank mask of this path's `(candidate, org)` cells that
+    /// some *other* path currently covers — the sharing context a best
+    /// response depends on.
+    fn context_key(st: &PathState, owned: &HashMap<(CandidateId, Org), usize>) -> Vec<u8> {
+        st.cands
+            .iter()
+            .map(|&cand| {
+                let mut mask = 0u8;
+                for org in Org::ALL {
+                    if owned.get(&(cand, org)).is_some_and(|&c| c > 0) {
+                        mask |= 1 << org.index();
+                    }
+                }
+                mask
+            })
+            .collect()
+    }
+
+    /// One path's optimal configuration under a sharing context: a covered
+    /// candidate contributes its query share only (`None` = standalone, no
+    /// sharing). All maintenance cells must already be priced.
+    fn best_response(
+        st: &PathState,
+        space: &CandidateSpace,
+        context: Option<&[u8]>,
+    ) -> (Vec<(SubpathId, Org)>, f64) {
+        let n = st.path.len();
+        let values: Vec<(SubpathId, [f64; 3])> = (0..SubpathId::count(n))
+            .map(|r| {
+                let sub = SubpathId::from_rank(n, r);
+                let covered = context.map_or(0, |ctx| ctx[r]);
+                let mut cell = [0.0; 3];
+                for org in Org::ALL {
+                    let m = if covered & (1 << org.index()) != 0 {
+                        0.0
+                    } else {
+                        space
+                            .priced_maintenance(st.cands[r], org)
+                            .expect("maintenance priced during reprice")
+                    };
+                    cell[org.index()] = st.query_costs[r][org.index()] + m;
+                }
+                (sub, cell)
+            })
+            .collect();
+        let result = opt_ind_con_dp(&CostMatrix::from_values(n, &values));
+        let pairs = result
+            .best
+            .pairs()
+            .iter()
+            .map(|&(sub, choice)| match choice {
+                Choice::Index(org) => (sub, org),
+                Choice::NoIndex => unreachable!("no no-index column at workload scale"),
+            })
+            .collect();
+        (pairs, result.cost)
     }
 }
 
@@ -371,7 +716,8 @@ impl WorkloadPlan {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "workload plan: {} paths, {} physical indexes over {} candidates",
+            "workload plan (epoch {}): {} paths, {} physical indexes over {} candidates",
+            self.epoch,
             self.paths.len(),
             self.physical_indexes,
             self.candidates
@@ -398,8 +744,15 @@ impl WorkloadPlan {
         }
         let _ = writeln!(
             out,
-            "total {:.2} vs independent {:.2} ({} sweeps, {} maintenance pricings)",
-            self.total_cost, self.independent_cost, self.sweeps, self.maintenance_pricings
+            "total {:.2} vs independent {:.2} ({} sweeps, {} repriced paths, \
+             {} pricings this epoch, {} DP runs, {} memo hits)",
+            self.total_cost,
+            self.independent_cost,
+            self.sweeps,
+            self.repriced_paths,
+            self.epoch_pricings,
+            self.dp_runs,
+            self.dp_memo_hits
         );
         out
     }
@@ -424,22 +777,39 @@ mod tests {
     fn two_path_advisor(schema: &Schema) -> WorkloadAdvisor<'_> {
         let pexa = fixtures::paper_path_pexa(schema);
         let pe = fixtures::paper_path_pe(schema);
-        WorkloadAdvisor::new(schema, CostParams::default())
+        let mut adv = WorkloadAdvisor::new(schema, CostParams::default())
             .with_stats(fig7_stats(schema))
-            .with_maintenance(|_| (0.1, 0.1))
-            .add_path(pexa, |_| 0.2)
-            .add_path(pe, |_| 0.3)
+            .with_maintenance(|_| (0.1, 0.1));
+        adv.add_path(pexa, |_| 0.2);
+        adv.add_path(pe, |_| 0.3);
+        adv
+    }
+
+    fn assert_costs_match(a: &WorkloadPlan, b: &WorkloadPlan) {
+        assert!(
+            (a.total_cost - b.total_cost).abs() < 1e-9 * a.total_cost.abs().max(1.0),
+            "warm {} vs cold {}",
+            a.total_cost,
+            b.total_cost
+        );
+        assert!(
+            (a.independent_cost - b.independent_cost).abs()
+                < 1e-9 * a.independent_cost.abs().max(1.0),
+            "warm independent {} vs cold {}",
+            a.independent_cost,
+            b.independent_cost
+        );
     }
 
     #[test]
     fn single_path_matches_the_standalone_advisor() {
         let (schema, _) = fixtures::paper_schema();
         let pexa = fixtures::paper_path_pexa(&schema);
-        let plan = WorkloadAdvisor::new(&schema, CostParams::default())
+        let mut adv = WorkloadAdvisor::new(&schema, CostParams::default())
             .with_stats(fig7_stats(&schema))
-            .with_maintenance(|_| (0.1, 0.1))
-            .add_path(pexa.clone(), |_| 0.25)
-            .optimize();
+            .with_maintenance(|_| (0.1, 0.1));
+        adv.add_path(pexa.clone(), |_| 0.25);
+        let plan = adv.optimize();
         // Cross-check against the single-path pipeline on the same inputs.
         let chars = PathCharacteristics::build(&schema, &pexa, |c| fig7_stats(&schema)(c));
         let ld = LoadDistribution::build(&schema, &pexa, |c| {
@@ -461,6 +831,7 @@ mod tests {
         // 10 Pexa subpaths + 3 Pe-only ones; priced at most once per org.
         assert_eq!(plan.candidates, 13);
         assert!(plan.maintenance_pricings <= 3 * plan.candidates as u64);
+        assert_eq!(plan.maintenance_pricings, plan.epoch_pricings);
         assert!(plan.total_cost <= plan.independent_cost + 1e-9);
     }
 
@@ -472,7 +843,7 @@ mod tests {
             .with_stats(fig7_stats(&schema))
             .with_maintenance(|_| (0.1, 0.1));
         for _ in 0..5 {
-            adv = adv.add_path(pexa.clone(), |_| 0.2);
+            adv.add_path(pexa.clone(), |_| 0.2);
         }
         let plan = adv.optimize();
         // Five copies of the path expose exactly one path's candidates, and
@@ -505,12 +876,12 @@ mod tests {
         let (schema, _) = fixtures::paper_schema();
         let owns = Path::parse(&schema, "Person", &["owns"]).unwrap();
         let pexa = fixtures::paper_path_pexa(&schema);
-        let plan = WorkloadAdvisor::new(&schema, CostParams::default())
+        let mut adv = WorkloadAdvisor::new(&schema, CostParams::default())
             .with_stats(fig7_stats(&schema))
-            .with_maintenance(|_| (0.1, 0.1))
-            .add_path(owns.clone(), |_| 0.4)
-            .add_path(pexa.clone(), |_| 0.2)
-            .optimize();
+            .with_maintenance(|_| (0.1, 0.1));
+        adv.add_path(owns.clone(), |_| 0.4);
+        adv.add_path(pexa.clone(), |_| 0.2);
+        let plan = adv.optimize();
         // The len-1 path optimizing alone must cost exactly its standalone
         // single-path optimum — no contamination from Pexa's embedded
         // Person.owns pricing (and vice versa).
@@ -557,5 +928,171 @@ mod tests {
                 "{org}: {via_a} vs {via_b}"
             );
         }
+    }
+
+    // ---- evolving-workload engine tests -----------------------------------
+
+    #[test]
+    fn clean_reoptimize_is_all_cache_hits() {
+        let (schema, _) = fixtures::paper_schema();
+        let mut adv = two_path_advisor(&schema);
+        let first = adv.optimize();
+        assert_eq!(first.epoch, 1);
+        assert_eq!(first.repriced_paths, 2);
+        // No mutations: the second plan re-derives from caches alone.
+        let second = adv.reoptimize();
+        assert_eq!(second.epoch, 2);
+        assert_eq!(second.mutations, 0);
+        assert_eq!(second.repriced_paths, 0, "no model rebuilds");
+        assert_eq!(second.epoch_pricings, 0, "no maintenance pricings");
+        assert!(
+            second.dp_runs < first.dp_runs,
+            "standalone optima cached, sweep responses partly memoized: {} vs {}",
+            second.dp_runs,
+            first.dp_runs
+        );
+        // Every sweep selection is either a DP run or a memo hit.
+        assert_eq!(
+            second.dp_runs + second.dp_memo_hits,
+            2 * second.sweeps as u64
+        );
+        assert_eq!(second.total_cost.to_bits(), first.total_cost.to_bits());
+    }
+
+    #[test]
+    fn stat_mutation_reprices_only_scoped_paths() {
+        let (schema, _) = fixtures::paper_schema();
+        let owns = Path::parse(&schema, "Person", &["owns"]).unwrap();
+        let divs = Path::parse(&schema, "Company", &["divs", "name"]).unwrap();
+        let mut adv = WorkloadAdvisor::new(&schema, CostParams::default())
+            .with_stats(fig7_stats(&schema))
+            .with_maintenance(|_| (0.1, 0.1));
+        adv.add_path(owns, |_| 0.4);
+        adv.add_path(divs, |_| 0.2);
+        adv.optimize();
+        // Division stats touch only the Company.divs.name path.
+        let division = schema.class_by_name("Division").unwrap();
+        assert!(adv.update_stats(division, ClassStats::new(2_000.0, 1_500.0, 1.0)));
+        let plan = adv.reoptimize();
+        assert_eq!(plan.mutations, 1);
+        assert_eq!(plan.repriced_paths, 1, "Person.owns is out of scope");
+        assert_costs_match(&plan, &adv.rebuild().optimize());
+        // Re-applying the same value is a recognized no-op.
+        assert!(!adv.update_stats(division, ClassStats::new(2_000.0, 1_500.0, 1.0)));
+        let plan = adv.reoptimize();
+        assert_eq!((plan.mutations, plan.repriced_paths), (0, 0));
+    }
+
+    #[test]
+    fn warm_reoptimize_matches_cold_rebuild_across_mutation_kinds() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let pe = fixtures::paper_path_pe(&schema);
+        let owns = Path::parse(&schema, "Person", &["owns"]).unwrap();
+        let mut adv = two_path_advisor(&schema);
+        adv.optimize();
+
+        // Arrival.
+        let owns_id = adv.add_path(owns.clone(), |_| 0.4);
+        assert_costs_match(&adv.reoptimize(), &adv.rebuild().optimize());
+        // Stat drift.
+        let vehicle = schema.class_by_name("Vehicle").unwrap();
+        adv.update_stats(vehicle, ClassStats::new(40_000.0, 9_000.0, 2.0));
+        assert_costs_match(&adv.reoptimize(), &adv.rebuild().optimize());
+        // Rate churn.
+        let person = schema.class_by_name("Person").unwrap();
+        adv.update_rates(person, (0.4, 0.02));
+        assert_costs_match(&adv.reoptimize(), &adv.rebuild().optimize());
+        // Per-path query churn.
+        let ids = adv.path_ids();
+        adv.update_query_rates(ids[0], |_| 0.05);
+        assert_costs_match(&adv.reoptimize(), &adv.rebuild().optimize());
+        // Departure + re-arrival under a fresh handle, same signature.
+        let removed = adv.remove_path(owns_id).expect("live handle");
+        assert_eq!(removed.signature(), owns.signature());
+        assert!(adv.remove_path(owns_id).is_none(), "handles are single-use");
+        let owns_id2 = adv.add_path(owns.clone(), |_| 0.1);
+        assert_ne!(owns_id, owns_id2);
+        assert_eq!(
+            adv.path_signature(owns_id2),
+            Some(&owns.signature()),
+            "re-arrival carries the same physical identity"
+        );
+        assert_costs_match(&adv.reoptimize(), &adv.rebuild().optimize());
+        // Several batched mutations at once.
+        adv.update_stats(person, ClassStats::new(150_000.0, 30_000.0, 1.0));
+        adv.update_rates(vehicle, (0.0, 0.3));
+        adv.remove_path(owns_id2);
+        adv.add_path(pe.clone(), |_| 0.15);
+        adv.add_path(pexa.clone(), |_| 0.05);
+        let warm = adv.reoptimize();
+        let cold = adv.rebuild().optimize();
+        assert_costs_match(&warm, &cold);
+        assert_eq!(warm.physical_indexes, cold.physical_indexes);
+        assert_eq!(warm.paths.len(), cold.paths.len());
+        for (w, c) in warm.paths.iter().zip(&cold.paths) {
+            assert_eq!(w.selection.pairs(), c.selection.pairs());
+        }
+    }
+
+    #[test]
+    fn removing_the_last_owner_frees_candidates_and_plans_cite_live_ids() {
+        let (schema, _) = fixtures::paper_schema();
+        let mut adv = two_path_advisor(&schema);
+        let plan = adv.optimize();
+        assert_eq!(plan.candidates, 13);
+        let pexa_id = adv.path_ids()[0];
+        // Dropping Pexa frees its 7 exclusive candidates (3 are shared
+        // with Pe).
+        adv.remove_path(pexa_id);
+        let plan = adv.reoptimize();
+        assert_eq!(plan.paths.len(), 1);
+        assert_eq!(plan.candidates, 6, "Pe's own subpaths only");
+        assert_eq!(adv.candidate_space().len(), 6);
+        // Every candidate the surviving plan cites is live, with a live
+        // maintenance price.
+        let pe_state_cands: Vec<CandidateId> = {
+            let st = &adv.paths[0];
+            let n = st.path.len();
+            plan.paths[0]
+                .selection
+                .pairs()
+                .iter()
+                .map(|&(sub, _)| st.cands[sub.rank(n)])
+                .collect()
+        };
+        for (id, &(_, choice)) in pe_state_cands.iter().zip(plan.paths[0].selection.pairs()) {
+            assert!(adv.candidate_space().is_live(*id));
+            let Choice::Index(org) = choice else {
+                unreachable!()
+            };
+            assert!(adv.candidate_space().priced_maintenance(*id, org).is_some());
+        }
+        // Removing the last path yields an empty plan, an empty space.
+        let pe_id = adv.path_ids()[0];
+        adv.remove_path(pe_id);
+        let plan = adv.reoptimize();
+        assert!(plan.paths.is_empty());
+        assert_eq!(plan.total_cost, 0.0);
+        assert_eq!(plan.physical_indexes, 0);
+        assert!(adv.candidate_space().is_empty());
+    }
+
+    #[test]
+    fn rate_churn_skips_query_share_recomputation() {
+        let (schema, _) = fixtures::paper_schema();
+        let mut adv = two_path_advisor(&schema);
+        adv.optimize();
+        let before: Vec<Vec<[f64; 3]>> =
+            adv.paths.iter().map(|st| st.query_costs.clone()).collect();
+        let person = schema.class_by_name("Person").unwrap();
+        adv.update_rates(person, (0.9, 0.9));
+        let plan = adv.reoptimize();
+        assert_eq!(plan.repriced_paths, 2, "both paths scope Person");
+        assert!(plan.epoch_pricings > 0, "invalidated cells repriced");
+        for (st, old) in adv.paths.iter().zip(&before) {
+            assert_eq!(&st.query_costs, old, "query shares are rate-blind");
+        }
+        assert_costs_match(&plan, &adv.rebuild().optimize());
     }
 }

@@ -117,6 +117,19 @@ impl PathCharacteristics {
     pub fn total_n(&self, l: usize) -> f64 {
         self.positions[l - 1].iter().map(|(_, s)| s.n).sum()
     }
+
+    /// A copy with every class's statistics transformed by `f` — the drift
+    /// helper behind the invalidation-contract tests and statistic sweeps.
+    pub fn map_stats(&self, mut f: impl FnMut(ClassId, ClassStats) -> ClassStats) -> Self {
+        PathCharacteristics {
+            positions: self
+                .positions
+                .iter()
+                .map(|pos| pos.iter().map(|&(c, s)| (c, f(c, s))).collect())
+                .collect(),
+            multi: self.multi.clone(),
+        }
+    }
 }
 
 /// The database characteristics of the paper's **Figure 7** for the path

@@ -28,6 +28,7 @@
 pub mod characteristics;
 pub mod derived;
 pub mod est;
+pub mod invalidation;
 pub mod model;
 mod org;
 mod params;

@@ -36,5 +36,5 @@ pub use attribute::{AtomicType, AttrKind, Attribute, Cardinality};
 pub use class::Class;
 pub use error::SchemaError;
 pub use ident::{AttrId, ClassId};
-pub use path::{Path, PathStep, SubpathId};
+pub use path::{Path, PathSignature, PathStep, SubpathId};
 pub use schema::{Schema, SchemaBuilder};

@@ -94,6 +94,36 @@ impl fmt::Display for SubpathId {
     }
 }
 
+/// The physical identity of a path, stable across advisor epochs: the
+/// interned `(class, attribute)` key of every step, in order.
+///
+/// Two `Path` values constructed at different times — or parsed from
+/// different spellings of the same attribute names — have equal signatures
+/// exactly when they traverse the same attributes of the same hierarchies,
+/// which is when every index built for one serves the other. Online engines
+/// use this to recognize a departed path re-arriving in a later epoch as
+/// the same logical workload entry (see `oic_core::WorkloadAdvisor`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathSignature(Box<[(ClassId, AttrId)]>);
+
+impl PathSignature {
+    /// The step keys backing the signature.
+    pub fn keys(&self) -> &[(ClassId, AttrId)] {
+        &self.0
+    }
+
+    /// Number of steps (`len(P)`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the signature has no steps (never the case for signatures
+    /// taken from valid paths, which have at least one step).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
 /// A path `P = C1.A1.A2.....An` (Definition 2.1):
 ///
 /// * `C1` is a class of the schema (the *starting class*),
@@ -282,6 +312,20 @@ impl Path {
             .collect()
     }
 
+    /// The path's epoch-stable physical identity: every step's interned
+    /// `(class, attribute)` key, in order.
+    ///
+    /// ```
+    /// use oic_schema::{fixtures, Path};
+    /// let (schema, _) = fixtures::paper_schema();
+    /// let a = Path::parse(&schema, "Person", &["owns", "man", "name"]).unwrap();
+    /// let b = Path::parse(&schema, "Person", &["owns", "man", "name"]).unwrap();
+    /// assert_eq!(a.signature(), b.signature());
+    /// ```
+    pub fn signature(&self) -> PathSignature {
+        PathSignature(self.steps.iter().map(PathStep::key).collect())
+    }
+
     /// Human-readable form, e.g. `Person.owns.man.name`.
     pub fn display(&self) -> &str {
         &self.display
@@ -403,6 +447,29 @@ mod tests {
         let ta = pexa.step_keys(SubpathId { start: 4, end: 4 });
         let tb = pe.step_keys(SubpathId { start: 3, end: 3 });
         assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn signatures_identify_paths_across_construction_epochs() {
+        let (schema, _) = fixtures::paper_schema();
+        let a = Path::parse(&schema, "Person", &["owns", "man", "name"]).unwrap();
+        let b = Path::parse(&schema, "Person", &["owns", "man", "name"]).unwrap();
+        assert_eq!(a.signature(), b.signature(), "same steps, same identity");
+        assert_eq!(a.signature().len(), 3);
+        // A different ending attribute is a different physical path.
+        let c = Path::parse(&schema, "Person", &["owns", "man", "divs", "name"]).unwrap();
+        assert_ne!(a.signature(), c.signature());
+        // Signatures are usable as map keys (the engine's re-arrival check).
+        let mut seen = std::collections::HashMap::new();
+        seen.insert(a.signature(), 1usize);
+        *seen.entry(b.signature()).or_insert(0) += 1;
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[&a.signature()], 2);
+        // A subpath spelling the same steps has the same signature: the
+        // shared Person.owns.man prefix of Pe and Pexa.
+        let pa = a.subpath(&schema, SubpathId { start: 1, end: 2 }).unwrap();
+        let pc = c.subpath(&schema, SubpathId { start: 1, end: 2 }).unwrap();
+        assert_eq!(pa.signature(), pc.signature());
     }
 
     #[test]

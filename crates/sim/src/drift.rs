@@ -1,0 +1,238 @@
+//! Workload drift: epoch-batched mutations against an online
+//! [`WorkloadAdvisor`], modeling the observe→re-optimize loop of
+//! production index management (AIM-style) over the paper's selection
+//! core.
+//!
+//! A [`DriftSim`] owns a deterministic RNG and, each [`DriftSim::step`],
+//! applies one epoch of churn to the advisor through its mutation API
+//! (never by editing the candidate space directly — that would bypass
+//! invalidation):
+//!
+//! * **arrivals** — new random walks over the same class tree as the seed
+//!   workload (shared prefixes keep candidate sharing realistic);
+//! * **departures** — uniformly chosen live paths are removed;
+//! * **stat drift** — class populations/distinct-counts scale by a random
+//!   factor in `[0.5, 2)`, the slow demographic change of a live system;
+//! * **rate drift** — per-class insert/delete rates are redrawn;
+//! * **query churn** — per-path query-rate vectors are redrawn, the
+//!   fastest-moving signal.
+//!
+//! The simulator is pure policy: all state lives in the advisor, so a
+//! `advisor.rebuild().optimize()` after any number of steps is the
+//! from-scratch baseline the warm `reoptimize()` is compared against (see
+//! `tests/evolving.rs` and `benches/evolving_workload.rs`).
+
+use crate::workload_gen::{random_query_rates, random_walk};
+use crate::SynthWorkload;
+use oic_core::WorkloadAdvisor;
+use oic_cost::ClassStats;
+use oic_schema::ClassId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-epoch churn volumes for a [`DriftSim`].
+#[derive(Debug, Clone)]
+pub struct DriftSpec {
+    /// New paths arriving per epoch.
+    pub arrivals: usize,
+    /// Live paths departing per epoch (capped by the live count; the
+    /// simulator never empties the workload below one path).
+    pub departures: usize,
+    /// Classes whose statistics drift per epoch.
+    pub stat_drifts: usize,
+    /// Classes whose `(insert, delete)` rates are redrawn per epoch.
+    pub rate_drifts: usize,
+    /// Paths whose per-class query rates are redrawn per epoch.
+    pub query_drifts: usize,
+    /// RNG seed; the mutation stream is fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for DriftSpec {
+    fn default() -> Self {
+        DriftSpec {
+            arrivals: 3,
+            departures: 3,
+            stat_drifts: 2,
+            rate_drifts: 2,
+            query_drifts: 4,
+            seed: 7,
+        }
+    }
+}
+
+/// What one epoch actually applied. Redrawn values that happen to equal
+/// the old ones are recognized by the advisor as no-ops and are **not**
+/// counted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochChurn {
+    /// Paths added.
+    pub arrived: usize,
+    /// Paths removed.
+    pub departed: usize,
+    /// Classes whose statistics changed.
+    pub stats_changed: usize,
+    /// Classes whose maintenance rates changed.
+    pub rates_changed: usize,
+    /// Paths whose query rates changed.
+    pub queries_changed: usize,
+}
+
+impl EpochChurn {
+    /// Total mutations applied.
+    pub fn total(&self) -> usize {
+        self.arrived
+            + self.departed
+            + self.stats_changed
+            + self.rates_changed
+            + self.queries_changed
+    }
+}
+
+/// Deterministic workload-drift generator bound to a seed workload's class
+/// tree. Mutates an advisor in place, one epoch per [`DriftSim::step`].
+pub struct DriftSim<'a> {
+    workload: &'a SynthWorkload,
+    spec: DriftSpec,
+    rng: StdRng,
+    /// Shadow of the advisor's per-class stats, so drifts compound.
+    stats: Vec<ClassStats>,
+}
+
+impl<'a> DriftSim<'a> {
+    /// Binds the simulator to the seed workload and churn spec.
+    pub fn new(workload: &'a SynthWorkload, spec: DriftSpec) -> Self {
+        let rng = StdRng::seed_from_u64(spec.seed);
+        DriftSim {
+            stats: workload.stats.clone(),
+            workload,
+            spec,
+            rng,
+        }
+    }
+
+    /// Applies one epoch of churn to `advisor` through its mutation API.
+    /// The advisor must be bound to `self`'s workload schema.
+    pub fn step(&mut self, advisor: &mut WorkloadAdvisor<'_>) -> EpochChurn {
+        let w = self.workload;
+        let class_count = w.schema.class_count();
+        let mut churn = EpochChurn::default();
+
+        // Departures first (a production queue drains before it refills —
+        // and this exercises candidate freeing before re-interning).
+        for _ in 0..self.spec.departures {
+            let ids = advisor.path_ids();
+            if ids.len() <= 1 {
+                break;
+            }
+            let victim = ids[self.rng.gen_range(0..ids.len())];
+            advisor.remove_path(victim).expect("live handle");
+            churn.departed += 1;
+        }
+        for _ in 0..self.spec.arrivals {
+            let path = random_walk(&w.schema, w.root, &w.children, &mut self.rng);
+            let alphas = random_query_rates(class_count, &mut self.rng);
+            advisor.add_path_dense(path, alphas);
+            churn.arrived += 1;
+        }
+        for _ in 0..self.spec.stat_drifts {
+            let class = ClassId(self.rng.gen_range(0..class_count) as u32);
+            let old = self.stats[class.index()];
+            let scale = self.rng.gen_range(500..2000) as f64 / 1000.0;
+            let new = ClassStats::new(
+                (old.n * scale).max(1.0).round(),
+                (old.d * scale).max(1.0).round(),
+                old.nin,
+            );
+            self.stats[class.index()] = new;
+            if advisor.update_stats(class, new) {
+                churn.stats_changed += 1;
+            }
+        }
+        for _ in 0..self.spec.rate_drifts {
+            let class = ClassId(self.rng.gen_range(0..class_count) as u32);
+            let rates = (
+                self.rng.gen_range(0..200) as f64 / 1000.0,
+                self.rng.gen_range(0..200) as f64 / 1000.0,
+            );
+            if advisor.update_rates(class, rates) {
+                churn.rates_changed += 1;
+            }
+        }
+        for _ in 0..self.spec.query_drifts {
+            let ids = advisor.path_ids();
+            if ids.is_empty() {
+                break;
+            }
+            let target = ids[self.rng.gen_range(0..ids.len())];
+            let alphas = random_query_rates(class_count, &mut self.rng);
+            if advisor.update_query_rates(target, move |c| alphas[c.index()]) {
+                churn.queries_changed += 1;
+            }
+        }
+        churn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synth_workload, WorkloadSpec};
+    use oic_cost::CostParams;
+
+    #[test]
+    fn drift_is_deterministic_per_seed() {
+        let w = synth_workload(&WorkloadSpec {
+            paths: 10,
+            depth: 4,
+            fanout: 2,
+            seed: 3,
+        });
+        let run = |seed| {
+            let mut adv = w.advisor(CostParams::default());
+            adv.optimize();
+            let mut sim = DriftSim::new(
+                &w,
+                DriftSpec {
+                    seed,
+                    ..DriftSpec::default()
+                },
+            );
+            let mut costs = Vec::new();
+            for _ in 0..3 {
+                sim.step(&mut adv);
+                costs.push(adv.reoptimize().total_cost);
+            }
+            costs
+        };
+        assert_eq!(run(11), run(11), "same seed, same trajectory");
+        assert_ne!(run(11), run(12), "different seed, different churn");
+    }
+
+    #[test]
+    fn churn_respects_the_floor_of_one_path() {
+        let w = synth_workload(&WorkloadSpec {
+            paths: 2,
+            depth: 3,
+            fanout: 2,
+            seed: 5,
+        });
+        let mut adv = w.advisor(CostParams::default());
+        adv.optimize();
+        let mut sim = DriftSim::new(
+            &w,
+            DriftSpec {
+                arrivals: 0,
+                departures: 10,
+                stat_drifts: 0,
+                rate_drifts: 0,
+                query_drifts: 0,
+                seed: 1,
+            },
+        );
+        let churn = sim.step(&mut adv);
+        assert_eq!(churn.departed, 1, "never drains below one path");
+        assert_eq!(adv.path_count(), 1);
+        assert!(adv.reoptimize().total_cost > 0.0);
+    }
+}

@@ -17,16 +17,22 @@
 //!   and operation type;
 //! * [`workload_gen`] — synthetic N-path workloads (class trees, shared
 //!   prefixes, per-path query rates) for workload-scale validation and the
-//!   `scaling_dp_vs_bb` bench.
+//!   `scaling_dp_vs_bb` bench;
+//! * [`drift`] — epoch-batched workload churn (path arrivals/departures,
+//!   statistic drift, rate and query churn) driving the online
+//!   `WorkloadAdvisor`'s incremental re-optimization, for the
+//!   `evolving_workload` bench and the warm-equals-cold property tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drift;
 mod exec;
 mod gendb;
 pub mod validate;
 pub mod workload_gen;
 
+pub use drift::{DriftSim, DriftSpec, EpochChurn};
 pub use exec::ConfiguredDb;
 pub use gendb::{generate, scale_chars, GenSpec, GeneratedDb};
 pub use workload_gen::{synth_workload, SynthWorkload, WorkloadSpec};

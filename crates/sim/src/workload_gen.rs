@@ -43,6 +43,12 @@ impl Default for WorkloadSpec {
 pub struct SynthWorkload {
     /// The class tree.
     pub schema: Schema,
+    /// Root class of the tree (every generated path starts here).
+    pub root: ClassId,
+    /// Children per class (dense by `ClassId`) — the adjacency the walks
+    /// descend; exposed so drift simulators can generate arrival paths
+    /// over the same tree.
+    pub children: Vec<Vec<ClassId>>,
     /// Generated paths (duplicates possible — duplicates *are* sharing).
     pub paths: Vec<Path>,
     /// Class statistics, dense by `ClassId`.
@@ -90,38 +96,55 @@ pub fn synth_workload(spec: &WorkloadSpec) -> SynthWorkload {
     let mut paths = Vec::with_capacity(spec.paths);
     let mut queries = Vec::with_capacity(spec.paths);
     for _ in 0..spec.paths {
-        let mut attrs: Vec<String> = Vec::new();
-        let mut current = root;
-        let mut first = true;
-        loop {
-            let kids = &children[current.index()];
-            let descend = !kids.is_empty() && (first || rng.gen_range(0..100) < 72);
-            first = false;
-            if descend {
-                let pick = rng.gen_range(0..kids.len());
-                attrs.push(format!("r{pick}"));
-                current = kids[pick];
-            } else {
-                attrs.push("name".to_string());
-                break;
-            }
-        }
-        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-        let path = Path::new(&schema, root, &attr_refs).expect("walks are valid paths");
-        paths.push(path);
-        queries.push(
-            (0..class_count)
-                .map(|_| rng.gen_range(0..500) as f64 / 1000.0)
-                .collect(),
-        );
+        paths.push(random_walk(&schema, root, &children, &mut rng));
+        queries.push(random_query_rates(class_count, &mut rng));
     }
     SynthWorkload {
         schema,
+        root,
+        children,
         paths,
         stats,
         maint,
         queries,
     }
+}
+
+/// One random root-to-leaf-ward walk over the class tree — the path shape
+/// `synth_workload` fills workloads with, exposed so drift simulators can
+/// generate arrivals from the same distribution.
+pub fn random_walk(
+    schema: &Schema,
+    root: ClassId,
+    children: &[Vec<ClassId>],
+    rng: &mut StdRng,
+) -> Path {
+    let mut attrs: Vec<String> = Vec::new();
+    let mut current = root;
+    let mut first = true;
+    loop {
+        let kids = &children[current.index()];
+        let descend = !kids.is_empty() && (first || rng.gen_range(0..100) < 72);
+        first = false;
+        if descend {
+            let pick = rng.gen_range(0..kids.len());
+            attrs.push(format!("r{pick}"));
+            current = kids[pick];
+        } else {
+            attrs.push("name".to_string());
+            break;
+        }
+    }
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    Path::new(schema, root, &attr_refs).expect("walks are valid paths")
+}
+
+/// Random dense per-class query rates in `[0, 0.5)` — the per-path α
+/// vector of `synth_workload`, exposed for drift arrivals and query churn.
+pub fn random_query_rates(class_count: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..class_count)
+        .map(|_| rng.gen_range(0..500) as f64 / 1000.0)
+        .collect()
 }
 
 fn build_tree(
@@ -154,7 +177,7 @@ impl SynthWorkload {
             .with_stats(|c| self.stats[c.index()])
             .with_maintenance(|c| self.maint[c.index()]);
         for (path, alphas) in self.paths.iter().zip(&self.queries) {
-            adv = adv.add_path(path.clone(), |c| alphas[c.index()]);
+            adv.add_path(path.clone(), |c| alphas[c.index()]);
         }
         adv
     }

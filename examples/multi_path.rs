@@ -85,7 +85,7 @@ fn main() {
 
     // The workload-scale engine: both paths through one shared candidate
     // space, duplicate physical subpaths priced once *during* selection.
-    let wplan = WorkloadAdvisor::new(&schema, params)
+    let mut wadv = WorkloadAdvisor::new(&schema, params)
         .with_stats(|c| match schema.class_name(c) {
             "Person" => ClassStats::new(200_000.0, 20_000.0, 1.0),
             "Vehicle" => ClassStats::new(10_000.0, 5_000.0, 3.0),
@@ -94,10 +94,10 @@ fn main() {
             "Division" => ClassStats::new(1_000.0, 1_000.0, 1.0),
             _ => ClassStats::new(1.0, 1.0, 1.0),
         })
-        .with_maintenance(|_| (0.1, 0.08))
-        .add_path(pexa.clone(), |_| 0.2)
-        .add_path(pe.clone(), |_| 0.25)
-        .optimize();
+        .with_maintenance(|_| (0.1, 0.08));
+    wadv.add_path(pexa.clone(), |_| 0.2);
+    wadv.add_path(pe.clone(), |_| 0.25);
+    let wplan = wadv.optimize();
     println!("\n--- workload advisor (shared candidate space) ---\n");
     print!("{}", wplan.render(&schema));
 }

@@ -31,4 +31,8 @@ run design_advisor "{(Person.owns.man.divs.name, —)}"
 # accesses and prints the Section 1 motivation factor.
 run model_validation "motivation (Section 1)"
 
+# evolving_workload drives the online advisor through drift epochs and
+# asserts the incremental plan matches a cold rebuild exactly.
+run evolving_workload "warm reoptimize == cold rebuild"
+
 echo "smoke: all examples alive"

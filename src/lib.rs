@@ -68,12 +68,13 @@ pub use oic_workload as workload;
 pub mod prelude {
     pub use oic_core::{
         exhaustive, opt_ind_con, opt_ind_con_dp, Advisor, CandidateId, CandidateSpace, Choice,
-        CostMatrix, IndexConfiguration, Recommendation, SelectionResult, WorkloadAdvisor,
+        CostMatrix, IndexConfiguration, PathId, Recommendation, SelectionResult, WorkloadAdvisor,
         WorkloadPlan,
     };
     pub use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
     pub use oic_schema::{
-        AtomicType, Attribute, Cardinality, ClassId, Path, Schema, SchemaBuilder, SubpathId,
+        AtomicType, Attribute, Cardinality, ClassId, Path, PathSignature, Schema, SchemaBuilder,
+        SubpathId,
     };
     pub use oic_storage::{Oid, Value};
     pub use oic_workload::{LoadDistribution, Triplet};
