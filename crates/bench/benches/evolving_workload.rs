@@ -11,11 +11,11 @@
 //! different answer.
 //!
 //! Writes a machine-readable snapshot to `BENCH_evolving_workload.json` at
-//! the repository root.
+//! the repository root via the shared `oic_bench::Json` writer.
 
+use oic_bench::{write_repo_snapshot, Json};
 use oic_cost::CostParams;
 use oic_sim::{synth_workload, DriftSim, DriftSpec, WorkloadSpec};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 fn main() {
@@ -54,16 +54,14 @@ fn main() {
         "{:>5} {:>9} {:>8} {:>9} {:>9} {:>8} {:>12} {:>12} {:>8}",
         "epoch", "mutations", "repriced", "pricings", "dp hits", "paths", "warm", "cold", "speedup"
     );
-    let mut json = String::from("{\n  \"bench\": \"evolving_workload\",\n");
-    let _ = write!(
-        json,
-        "  \"initial\": {{\"paths\": {}, \"candidates\": {}, \"physical_indexes\": {}, \
-         \"total_cost\": {:.3}, \"optimize_ns\": {initial_ns}}},\n  \"epochs\": [\n",
-        initial.paths.len(),
-        initial.candidates,
-        initial.physical_indexes,
-        initial.total_cost
-    );
+    let initial_json = Json::obj([
+        ("paths", Json::from(initial.paths.len())),
+        ("candidates", Json::from(initial.candidates)),
+        ("physical_indexes", Json::from(initial.physical_indexes)),
+        ("total_cost", Json::fixed(initial.total_cost, 3)),
+        ("optimize_ns", Json::from(initial_ns)),
+    ]);
+    let mut epochs = Vec::new();
     let mut total_warm = 0u128;
     let mut total_cold = 0u128;
     for epoch in 1..=8u32 {
@@ -103,31 +101,25 @@ fn main() {
             format!("{:.2?}", std::time::Duration::from_nanos(cold_ns as u64)),
             speedup
         );
-        if epoch > 1 {
-            json.push_str(",\n");
-        }
-        let _ = write!(
-            json,
-            "    {{\"epoch\": {epoch}, \"mutations\": {}, \"arrived\": {}, \"departed\": {}, \
-             \"paths\": {}, \"repriced_paths\": {}, \"epoch_pricings\": {}, \"dp_runs\": {}, \
-             \"dp_memo_hits\": {}, \"candidates\": {}, \"physical_indexes\": {}, \
-             \"total_cost\": {:.3}, \"warm_ns\": {warm_ns}, \"cold_ns\": {cold_ns}, \
-             \"speedup\": {speedup:.2}}}",
-            churn.total(),
-            churn.arrived,
-            churn.departed,
-            warm.paths.len(),
-            warm.repriced_paths,
-            warm.epoch_pricings,
-            warm.dp_runs,
-            warm.dp_memo_hits,
-            warm.candidates,
-            warm.physical_indexes,
-            warm.total_cost,
-        );
+        epochs.push(Json::obj([
+            ("epoch", Json::from(epoch)),
+            ("mutations", Json::from(churn.total())),
+            ("arrived", Json::from(churn.arrived)),
+            ("departed", Json::from(churn.departed)),
+            ("paths", Json::from(warm.paths.len())),
+            ("repriced_paths", Json::from(warm.repriced_paths)),
+            ("epoch_pricings", Json::from(warm.epoch_pricings)),
+            ("dp_runs", Json::from(warm.dp_runs)),
+            ("dp_memo_hits", Json::from(warm.dp_memo_hits)),
+            ("candidates", Json::from(warm.candidates)),
+            ("physical_indexes", Json::from(warm.physical_indexes)),
+            ("total_cost", Json::fixed(warm.total_cost, 3)),
+            ("warm_ns", Json::from(warm_ns)),
+            ("cold_ns", Json::from(cold_ns)),
+            ("speedup", Json::fixed(speedup, 2)),
+        ]));
     }
     let overall = total_cold as f64 / total_warm as f64;
-    let _ = write!(json, "\n  ],\n  \"overall_speedup\": {overall:.2}\n}}\n");
     println!(
         "\noverall: warm {:?} vs cold {:?} — {:.1}x across 8 epochs",
         std::time::Duration::from_nanos(total_warm as u64),
@@ -139,12 +131,14 @@ fn main() {
         "incremental re-optimization must beat the cold rebuild"
     );
 
-    let out = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_evolving_workload.json"
-    );
-    match std::fs::write(out, &json) {
-        Ok(()) => println!("snapshot written to BENCH_evolving_workload.json"),
+    let snapshot = Json::obj([
+        ("bench", Json::from("evolving_workload")),
+        ("initial", initial_json),
+        ("epochs", Json::Arr(epochs)),
+        ("overall_speedup", Json::fixed(overall, 2)),
+    ]);
+    match write_repo_snapshot("BENCH_evolving_workload.json", &snapshot) {
+        Ok(_) => println!("snapshot written to BENCH_evolving_workload.json"),
         Err(e) => println!("snapshot not written ({e})"),
     }
     println!(

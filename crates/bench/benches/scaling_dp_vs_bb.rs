@@ -11,14 +11,14 @@
 //!    priced-once invariant), sharing savings and wall time.
 //!
 //! Writes a machine-readable snapshot to `BENCH_scaling_dp_vs_bb.json` at
-//! the repository root.
+//! the repository root via the shared `oic_bench::Json` writer.
 
+use oic_bench::{write_repo_snapshot, Json};
 use oic_core::{exhaustive, opt_ind_con, opt_ind_con_dp, CostMatrix};
 use oic_cost::{ClassStats, CostModel, CostParams, PathCharacteristics};
 use oic_schema::{AtomicType, Cardinality, Path, Schema, SchemaBuilder};
 use oic_sim::{synth_workload, WorkloadSpec};
 use oic_workload::{LoadDistribution, Triplet};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Builds a chain schema `C1 → C2 → … → Cn → name` and its full path.
@@ -48,7 +48,7 @@ fn mix_load(schema: &Schema, path: &Path, name: &str) -> LoadDistribution {
 }
 
 fn main() {
-    let mut json = String::from("{\n  \"bench\": \"scaling_dp_vs_bb\",\n  \"path_scaling\": [\n");
+    let mut path_scaling = Vec::new();
 
     println!("Opt_Ind_Con_DP vs branch and bound: path-length scaling\n");
     println!(
@@ -63,7 +63,6 @@ fn main() {
         "exhaustive",
         "workload"
     );
-    let mut first = true;
     for n in [2usize, 4, 6, 8, 10, 12, 14, 16, 20, 24] {
         let (schema, path) = chain(n);
         let chars =
@@ -104,25 +103,18 @@ fn main() {
                 ex_str,
                 wl
             );
-            if !first {
-                json.push_str(",\n");
-            }
-            first = false;
-            let _ = write!(
-                json,
-                "    {{\"n\": {n}, \"workload\": \"{wl}\", \"candidate_space\": {}, \
-                 \"dp_evaluated\": {}, \"dp_ns\": {}, \"bb_evaluated\": {}, \
-                 \"bb_pruned\": {}, \"bb_ns\": {}}}",
-                dp.candidate_space,
-                dp.evaluated,
-                dp_time.as_nanos(),
-                bb.evaluated,
-                bb.pruned,
-                bb_time.as_nanos()
-            );
+            path_scaling.push(Json::obj([
+                ("n", Json::from(n)),
+                ("workload", Json::from(wl)),
+                ("candidate_space", Json::from(dp.candidate_space)),
+                ("dp_evaluated", Json::from(dp.evaluated)),
+                ("dp_ns", Json::from(dp_time.as_nanos())),
+                ("bb_evaluated", Json::from(bb.evaluated)),
+                ("bb_pruned", Json::from(bb.pruned)),
+                ("bb_ns", Json::from(bb_time.as_nanos())),
+            ]));
         }
     }
-    json.push_str("\n  ],\n  \"workload_scaling\": [\n");
 
     println!("\nWorkloadAdvisor: 50–500 overlapping paths (depth 5, fanout 3)\n");
     println!(
@@ -137,7 +129,7 @@ fn main() {
         "total",
         "time"
     );
-    let mut first = true;
+    let mut workload_scaling = Vec::new();
     for paths in [50usize, 100, 250, 500] {
         let w = synth_workload(&WorkloadSpec {
             paths,
@@ -163,35 +155,31 @@ fn main() {
             plan.total_cost,
             format!("{elapsed:?}")
         );
-        if !first {
-            json.push_str(",\n");
-        }
-        first = false;
-        let _ = write!(
-            json,
-            "    {{\"paths\": {paths}, \"subpath_instances\": {}, \"candidates\": {}, \
-             \"physical_indexes\": {}, \"maintenance_pricings\": {}, \"sweeps\": {}, \
-             \"shared_indexes\": {}, \"independent_cost\": {:.3}, \"total_cost\": {:.3}, \
-             \"optimize_ns\": {}}}",
-            w.subpath_instances(),
-            plan.candidates,
-            plan.physical_indexes,
-            plan.maintenance_pricings,
-            plan.sweeps,
-            plan.shared.len(),
-            plan.independent_cost,
-            plan.total_cost,
-            elapsed.as_nanos()
-        );
+        workload_scaling.push(Json::obj([
+            ("paths", Json::from(paths)),
+            ("subpath_instances", Json::from(w.subpath_instances())),
+            ("candidates", Json::from(plan.candidates)),
+            ("physical_indexes", Json::from(plan.physical_indexes)),
+            (
+                "maintenance_pricings",
+                Json::from(plan.maintenance_pricings),
+            ),
+            ("sweeps", Json::from(plan.sweeps)),
+            ("shared_indexes", Json::from(plan.shared.len())),
+            ("independent_cost", Json::fixed(plan.independent_cost, 3)),
+            ("total_cost", Json::fixed(plan.total_cost, 3)),
+            ("size_pages", Json::fixed(plan.size_pages, 1)),
+            ("optimize_ns", Json::from(elapsed.as_nanos())),
+        ]));
     }
-    json.push_str("\n  ]\n}\n");
 
-    let out = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_scaling_dp_vs_bb.json"
-    );
-    match std::fs::write(out, &json) {
-        Ok(()) => println!("\nsnapshot written to BENCH_scaling_dp_vs_bb.json"),
+    let snapshot = Json::obj([
+        ("bench", Json::from("scaling_dp_vs_bb")),
+        ("path_scaling", Json::Arr(path_scaling)),
+        ("workload_scaling", Json::Arr(workload_scaling)),
+    ]);
+    match write_repo_snapshot("BENCH_scaling_dp_vs_bb.json", &snapshot) {
+        Ok(_) => println!("\nsnapshot written to BENCH_scaling_dp_vs_bb.json"),
         Err(e) => println!("\nsnapshot not written ({e})"),
     }
     println!(

@@ -15,7 +15,10 @@
 //!    bound over the `2^(n-1)` recombinations, counting evaluated
 //!    configurations; [`select::opt_ind_con_dp`] — the `O(n²·|Org|)`
 //!    interval dynamic program computing the same optimum in polynomial
-//!    time; [`select::exhaustive`] is the brute-force baseline used for
+//!    time; [`select::frontier_dp`] — its two-objective generalization,
+//!    carrying `(cost, size)` Pareto label sets through the same recurrence
+//!    so selection can answer *"cheapest within a page budget"*;
+//!    [`select::exhaustive`] is the brute-force baseline used for
 //!    verification and for the complexity experiment.
 //! 4. Section 6 extensions: a *no-index* choice per subpath
 //!    ([`extensions::noindex`]) and a *multi-path* advisor
@@ -49,9 +52,12 @@ pub mod workload_advisor;
 pub use advisor::{Advisor, Recommendation};
 pub use config::{Choice, IndexConfiguration};
 pub use matrix::CostMatrix;
-pub use select::{candidate_space_size, exhaustive, opt_ind_con, opt_ind_con_dp, SelectionResult};
+pub use select::{
+    candidate_space_size, exhaustive, exhaustive_frontier, frontier_dp, opt_ind_con,
+    opt_ind_con_dp, FrontierPoint, FrontierResult, SelectionResult,
+};
 pub use space::{CandidateId, CandidateSpace};
 pub use trace::{opt_ind_con_traced, TraceEvent};
 pub use workload_advisor::{
-    PathId, PathOutcome, SharedIndexOutcome, WorkloadAdvisor, WorkloadPlan,
+    BudgetedWorkloadPlan, PathId, PathOutcome, SharedIndexOutcome, WorkloadAdvisor, WorkloadPlan,
 };

@@ -14,12 +14,23 @@ use oic_workload::LoadDistribution;
 /// by [`Org::index`], so the `pc`/`select` hot paths index flat arrays
 /// instead of hashing `(SubpathId, Org)` keys. Row minima (`Min_Cost`) are
 /// precomputed at build time.
+///
+/// Beside the cost plane the matrix carries a **size plane**: the estimated
+/// footprint in pages of each `(subpath, organization)` cell (see
+/// [`oic_cost::size`]). Model-built matrices fill it from the level
+/// profiles; [`CostMatrix::from_values`] matrices carry zero sizes (pure
+/// cost selection) unless built via [`CostMatrix::from_values_with_sizes`].
+/// The two-objective [`frontier_dp`](crate::select::frontier_dp) optimizes
+/// over both planes; scalar selectors read only the cost plane.
 #[derive(Debug, Clone)]
 pub struct CostMatrix {
     path_len: usize,
     rows: Vec<SubpathId>,
     /// `[MX, MIX, NIX]` per rank; `INFINITY` for ranks without a row.
     costs: Vec<[f64; 3]>,
+    /// `[MX, MIX, NIX]` footprint in pages per rank; 0 for ranks without a
+    /// row and for matrices built without sizes.
+    sizes: Vec<[f64; 3]>,
     /// No-index column per rank, when built.
     no_index: Option<Vec<f64>>,
     /// Precomputed `Min_Cost` per rank.
@@ -42,22 +53,25 @@ impl CostMatrix {
         let n = path.len();
         let rows = path.subpath_ids();
         let mut costs = vec![[f64::INFINITY; 3]; SubpathId::count(n)];
+        let mut sizes = vec![[0.0; 3]; SubpathId::count(n)];
         let mut ni = no_index.then(|| vec![f64::INFINITY; SubpathId::count(n)]);
         for &sub in &rows {
             let r = sub.rank(n);
             for org in Org::ALL {
                 costs[r][org.index()] = pc::processing_cost(model, ld, sub, Choice::Index(org));
+                sizes[r][org.index()] = model.size_pages(org, sub);
             }
             if let Some(col) = ni.as_mut() {
                 col[r] = pc::processing_cost(model, ld, sub, Choice::NoIndex);
             }
         }
-        Self::finish(n, rows, costs, ni)
+        Self::finish(n, rows, costs, sizes, ni)
     }
 
     /// Builds a matrix from explicit values (used for the paper's Figure 6
     /// hypothetical matrix and for tests). `values` maps each subpath to its
-    /// `[MX, MIX, NIX]` costs.
+    /// `[MX, MIX, NIX]` costs; every size is zero, so selection over such a
+    /// matrix is pure cost minimization.
     pub fn from_values(path_len: usize, values: &[(SubpathId, [f64; 3])]) -> Self {
         let mut costs = vec![[f64::INFINITY; 3]; SubpathId::count(path_len)];
         let mut rows = Vec::new();
@@ -65,13 +79,32 @@ impl CostMatrix {
             rows.push(sub);
             costs[sub.rank(path_len)] = v;
         }
-        Self::finish(path_len, rows, costs, None)
+        let sizes = vec![[0.0; 3]; SubpathId::count(path_len)];
+        Self::finish(path_len, rows, costs, sizes, None)
+    }
+
+    /// [`CostMatrix::from_values`] with an explicit size plane: `values`
+    /// maps each subpath to its `[MX, MIX, NIX]` costs and footprints.
+    pub fn from_values_with_sizes(
+        path_len: usize,
+        values: &[(SubpathId, [f64; 3], [f64; 3])],
+    ) -> Self {
+        let mut costs = vec![[f64::INFINITY; 3]; SubpathId::count(path_len)];
+        let mut sizes = vec![[0.0; 3]; SubpathId::count(path_len)];
+        let mut rows = Vec::new();
+        for &(sub, v, s) in values {
+            rows.push(sub);
+            costs[sub.rank(path_len)] = v;
+            sizes[sub.rank(path_len)] = s;
+        }
+        Self::finish(path_len, rows, costs, sizes, None)
     }
 
     fn finish(
         path_len: usize,
         rows: Vec<SubpathId>,
         costs: Vec<[f64; 3]>,
+        sizes: Vec<[f64; 3]>,
         no_index: Option<Vec<f64>>,
     ) -> Self {
         let minima = costs
@@ -97,6 +130,7 @@ impl CostMatrix {
             path_len,
             rows,
             costs,
+            sizes,
             no_index,
             minima,
         }
@@ -124,6 +158,30 @@ impl CostMatrix {
             Choice::Index(org) => self.cost(sub, org),
             Choice::NoIndex => self.no_index_cost(sub).unwrap_or(f64::INFINITY),
         }
+    }
+
+    /// The estimated footprint in pages of indexing `sub` with `org` (zero
+    /// for matrices built without a size plane).
+    pub fn size(&self, sub: SubpathId, org: Org) -> f64 {
+        self.sizes[sub.rank(self.path_len)][org.index()]
+    }
+
+    /// The footprint of `sub` under `choice`; allocating no index costs no
+    /// pages.
+    pub fn choice_size(&self, sub: SubpathId, choice: Choice) -> f64 {
+        match choice {
+            Choice::Index(org) => self.size(sub, org),
+            Choice::NoIndex => 0.0,
+        }
+    }
+
+    /// Total footprint of a configuration: the sum of its pieces' sizes.
+    pub fn configuration_size(&self, config: &crate::IndexConfiguration) -> f64 {
+        config
+            .pairs()
+            .iter()
+            .map(|&(sub, choice)| self.choice_size(sub, choice))
+            .sum()
     }
 
     /// The no-index cost for `sub`, if the column was built.
@@ -256,6 +314,46 @@ mod tests {
         for &sub in m.rows() {
             assert!(m.no_index_cost(sub).is_some());
         }
+    }
+
+    #[test]
+    fn built_matrices_carry_the_size_plane() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let ld = example51_load(&schema, &path);
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        let m = CostMatrix::build(&model, &ld);
+        for &sub in m.rows() {
+            for org in Org::ALL {
+                let s = m.size(sub, org);
+                assert!(s.is_finite() && s > 0.0, "{sub} {org}: {s}");
+                assert_eq!(s, model.size_pages(org, sub));
+                assert_eq!(s, m.choice_size(sub, Choice::Index(org)));
+            }
+        }
+        assert_eq!(m.choice_size(sid(1, 1), Choice::NoIndex), 0.0);
+        // from_values matrices are size-free; the explicit constructor
+        // round-trips, and configuration footprints sum the pieces.
+        let v = CostMatrix::from_values(1, &[(sid(1, 1), [1.0, 2.0, 3.0])]);
+        assert_eq!(v.size(sid(1, 1), Org::Nix), 0.0);
+        let vs = CostMatrix::from_values_with_sizes(
+            2,
+            &[
+                (sid(1, 1), [1.0, 2.0, 3.0], [10.0, 20.0, 30.0]),
+                (sid(2, 2), [1.0, 2.0, 3.0], [11.0, 21.0, 31.0]),
+                (sid(1, 2), [1.0, 2.0, 3.0], [40.0, 50.0, 60.0]),
+            ],
+        );
+        assert_eq!(vs.size(sid(1, 2), Org::Mix), 50.0);
+        let config = crate::IndexConfiguration::new(
+            vec![
+                (sid(1, 1), Choice::Index(Org::Mx)),
+                (sid(2, 2), Choice::Index(Org::Nix)),
+            ],
+            2,
+        )
+        .unwrap();
+        assert_eq!(vs.configuration_size(&config), 41.0);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The `Opt_Ind_Con` procedure: branch-and-bound selection (Section 5),
-//! the exhaustive `2^(n-1)` baseline, and [`opt_ind_con_dp`] — the
-//! polynomial interval dynamic program over the same candidate space.
+//! the exhaustive `2^(n-1)` baseline, [`opt_ind_con_dp`] — the polynomial
+//! interval dynamic program over the same candidate space — and its
+//! two-objective generalization [`frontier_dp`], which carries `(cost,
+//! size)` Pareto label sets through the same recurrence and answers *"the
+//! cheapest configuration within a page budget"* for any budget at once.
 
 use crate::{Choice, CostMatrix, IndexConfiguration};
 use oic_schema::SubpathId;
@@ -98,6 +101,16 @@ pub fn opt_ind_con(matrix: &CostMatrix) -> SelectionResult {
 /// `pruned` is always 0. Considers the no-index column when present,
 /// with the same tie-breaking as [`CostMatrix::min_cost`] (first column
 /// wins ties, longer last piece preferred like the paper's search order).
+///
+/// This is the **size-blind specialization** of [`frontier_dp`]: on a
+/// size-free matrix every frontier label set collapses to exactly this
+/// scalar optimum, and on sized matrices the frontier's cost minimum
+/// equals this cost (property-tested; configurations agree up to cost
+/// ties, where the frontier prefers the leaner one). The scalar recurrence
+/// is kept as its own implementation so the `O(n²·|Org|)` bound — and the
+/// scaling-bench story against branch and bound — survives on matrices
+/// that carry a size plane, where the frontier's label sets cost real
+/// work the cost-only callers never read.
 pub fn opt_ind_con_dp(matrix: &CostMatrix) -> SelectionResult {
     use oic_cost::Org;
     let n = matrix.path_len();
@@ -163,6 +176,260 @@ pub fn opt_ind_con_dp(matrix: &CostMatrix) -> SelectionResult {
         pruned: 0,
         candidate_space: candidate_space_size(n),
     }
+}
+
+/// One Pareto-optimal outcome of [`frontier_dp`]: a configuration, its
+/// processing cost, and its footprint in pages.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// Total processing cost of the configuration.
+    pub cost: f64,
+    /// Total footprint in pages (the matrix's size plane summed over the
+    /// pieces).
+    pub size: f64,
+    /// The configuration realizing this `(cost, size)` trade-off.
+    pub config: IndexConfiguration,
+}
+
+/// The Pareto frontier of a path's `(cost, size)` trade-off, with the DP
+/// telemetry mirroring [`SelectionResult`].
+#[derive(Debug, Clone)]
+pub struct FrontierResult {
+    /// Pareto-optimal points, cost strictly ascending / size strictly
+    /// descending. Never empty for a matrix whose rows cover the path: the
+    /// first point is the unconstrained cost optimum, the last the
+    /// smallest-footprint configuration worth considering.
+    pub points: Vec<FrontierPoint>,
+    /// Pieces priced — one per `(start, end, choice)` with a reachable
+    /// prefix; equals [`opt_ind_con_dp`]'s transition count.
+    pub evaluated: u64,
+    /// Label extensions performed (the extra work the frontier carries over
+    /// the scalar DP; equals `evaluated` when every label set is a
+    /// singleton, i.e. on size-free matrices).
+    pub labels: u64,
+    /// Total candidate space, `2^(n-1)`.
+    pub candidate_space: u64,
+}
+
+impl FrontierResult {
+    /// The unconstrained cost optimum — the frontier's first point.
+    pub fn min_cost(&self) -> &FrontierPoint {
+        self.points.first().expect("matrix rows cover the path")
+    }
+
+    /// The cheapest configuration whose footprint fits `budget_pages`, or
+    /// `None` when even the smallest-footprint point exceeds the budget.
+    /// Costs ascend along the frontier as sizes descend, so the first
+    /// fitting point is the answer.
+    pub fn within_budget(&self, budget_pages: f64) -> Option<&FrontierPoint> {
+        self.points.iter().find(|p| p.size <= budget_pages)
+    }
+}
+
+/// One DP label: a Pareto-optimal `(cost, size)` way to cover positions
+/// `1..=j`, remembering the last piece (`start`, `choice`) and the label of
+/// the prefix it extends (`parent`, an index into position `start - 1`'s
+/// label set) for reconstruction.
+#[derive(Debug, Clone, Copy)]
+struct Label {
+    cost: f64,
+    size: f64,
+    start: usize,
+    choice: usize,
+    parent: usize,
+}
+
+/// `Frontier_DP` — the two-objective generalization of [`opt_ind_con_dp`]:
+/// the same interval recurrence, but the state carries a **Pareto label
+/// set** of `(cost, size)` pairs instead of a scalar, so one sweep yields
+/// the whole cost-vs-footprint frontier of the path.
+///
+/// The scalar DP's state is `(end position j, organization of the last
+/// piece)`; as there, the boundary `CMD` term is folded into the preceding
+/// piece's own cell (Definition 4.2), so nothing in a transition depends on
+/// the *successor's* organization and the per-organization dimension
+/// collapses into one label set per position — each label records its last
+/// piece's organization, which is all reconstruction needs. A transition
+/// closes a piece `S_{i,j}` under choice `X`, extending every label of
+/// position `i - 1` by `(a(S_{i,j}, X), size(S_{i,j}, X))`; dominated
+/// extensions are pruned immediately, so label sets stay frontier-sized.
+///
+/// On a size-free matrix ([`CostMatrix::from_values`]) every label set
+/// collapses to [`opt_ind_con_dp`]'s scalar singleton optimum — same
+/// tie-breaking (longest last piece, first organization column),
+/// bit-identical costs and configurations — so the scalar DP is exactly
+/// this function's size-blind specialization (pinned by the fixture and
+/// property tests; the scalar recurrence keeps its own `O(n²·|Org|)`
+/// implementation for the cost-only hot paths). Ties in cost between
+/// configurations of different footprint keep the smaller footprint (the
+/// dominance rule), so on sized matrices the frontier's cost optimum is
+/// the cheapest-to-store among cost-optimal configurations.
+pub fn frontier_dp(matrix: &CostMatrix) -> FrontierResult {
+    use oic_cost::Org;
+    let n = matrix.path_len();
+    let mut choices: Vec<Choice> = Org::ALL.iter().copied().map(Choice::Index).collect();
+    if matrix.has_no_index() {
+        choices.push(Choice::NoIndex);
+    }
+    // labels[j]: the Pareto set over covers of 1..=j. labels[0] is the
+    // empty-prefix seed.
+    let mut labels: Vec<Vec<Label>> = Vec::with_capacity(n + 1);
+    labels.push(vec![Label {
+        cost: 0.0,
+        size: 0.0,
+        start: 0,
+        choice: usize::MAX,
+        parent: usize::MAX,
+    }]);
+    let mut evaluated = 0u64;
+    let mut label_work = 0u64;
+    for j in 1..=n {
+        let mut raw: Vec<Label> = Vec::new();
+        // Choice-major, then longer pieces first (i ascending): with the
+        // keep-first-on-ties prune below this reproduces the scalar DP's
+        // tie-breaking exactly (first organization column, longest last
+        // piece), because the earliest generated label among equals wins.
+        for (c, &choice) in choices.iter().enumerate() {
+            for i in 1..=j {
+                if labels[i - 1].is_empty() {
+                    continue;
+                }
+                let sub = SubpathId { start: i, end: j };
+                let piece_cost = matrix.choice_cost(sub, choice);
+                evaluated += 1;
+                if !piece_cost.is_finite() {
+                    continue;
+                }
+                let piece_size = matrix.choice_size(sub, choice);
+                for (pi, prev) in labels[i - 1].iter().enumerate() {
+                    raw.push(Label {
+                        cost: prev.cost + piece_cost,
+                        size: prev.size + piece_size,
+                        start: i,
+                        choice: c,
+                        parent: pi,
+                    });
+                    label_work += 1;
+                }
+            }
+        }
+        labels.push(pareto_prune(raw));
+    }
+    // Each surviving label of position n is one frontier point; walk the
+    // parent chain to reconstruct its configuration.
+    let points = labels[n]
+        .iter()
+        .map(|label| {
+            let mut pairs = Vec::new();
+            let mut j = n;
+            let mut cur = *label;
+            loop {
+                pairs.push((
+                    SubpathId {
+                        start: cur.start,
+                        end: j,
+                    },
+                    choices[cur.choice],
+                ));
+                if cur.start == 1 {
+                    break;
+                }
+                j = cur.start - 1;
+                cur = labels[j][cur.parent];
+            }
+            pairs.reverse();
+            FrontierPoint {
+                cost: label.cost,
+                size: label.size,
+                config: IndexConfiguration::new(pairs, n)
+                    .expect("DP pieces concatenate to the full path"),
+            }
+        })
+        .collect();
+    FrontierResult {
+        points,
+        evaluated,
+        labels: label_work,
+        candidate_space: candidate_space_size(n),
+    }
+}
+
+/// Pareto-prunes labels: sorted by cost, keep only strict improvements in
+/// size. Equal `(cost, size)` keeps the earliest-generated label (the
+/// scalar DP's tie-breaking); equal cost with different sizes keeps the
+/// smaller size (it dominates).
+fn pareto_prune(raw: Vec<Label>) -> Vec<Label> {
+    let mut order: Vec<usize> = (0..raw.len()).collect();
+    order.sort_by(|&a, &b| {
+        raw[a]
+            .cost
+            .total_cmp(&raw[b].cost)
+            .then(raw[a].size.total_cmp(&raw[b].size))
+            .then(a.cmp(&b))
+    });
+    let mut out = Vec::new();
+    let mut min_size = f64::INFINITY;
+    for idx in order {
+        if raw[idx].size < min_size {
+            min_size = raw[idx].size;
+            out.push(raw[idx]);
+        }
+    }
+    // Sorted by cost ascending (the sort order), size strictly descending
+    // (the sweep's keep rule).
+    out
+}
+
+/// Exhaustive `(cost, size)` Pareto frontier over all `2^(n-1)`
+/// recombinations × per-piece choices — the brute-force baseline
+/// [`frontier_dp`] is verified against. Returns `(cost, size)` pairs, cost
+/// ascending.
+pub fn exhaustive_frontier(matrix: &CostMatrix) -> Vec<(f64, f64)> {
+    use oic_cost::Org;
+    let n = matrix.path_len();
+    let mut choices: Vec<Choice> = Org::ALL.iter().copied().map(Choice::Index).collect();
+    if matrix.has_no_index() {
+        choices.push(Choice::NoIndex);
+    }
+    let prune_pairs = |mut pairs: Vec<(f64, f64)>| -> Vec<(f64, f64)> {
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut min_size = f64::INFINITY;
+        for (c, s) in pairs {
+            if s < min_size {
+                min_size = s;
+                out.push((c, s));
+            }
+        }
+        out
+    };
+    let mut all: Vec<(f64, f64)> = Vec::new();
+    for mask in 0..(1u64 << (n - 1)) {
+        let mut acc = vec![(0.0f64, 0.0f64)];
+        let mut start = 1usize;
+        for pos in 1..=n {
+            let cut = pos == n || (mask >> (pos - 1)) & 1 == 1;
+            if !cut {
+                continue;
+            }
+            let sub = SubpathId { start, end: pos };
+            let mut next = Vec::new();
+            for &choice in &choices {
+                let c = matrix.choice_cost(sub, choice);
+                if !c.is_finite() {
+                    continue;
+                }
+                let s = matrix.choice_size(sub, choice);
+                for &(ac, asz) in &acc {
+                    next.push((ac + c, asz + s));
+                }
+            }
+            acc = prune_pairs(next);
+            start = pos + 1;
+        }
+        all.extend(acc);
+    }
+    prune_pairs(all)
 }
 
 struct Search<'a> {
@@ -367,6 +634,144 @@ mod tests {
         let r = opt_ind_con_dp(&m);
         assert_eq!(r.cost, 2.0);
         assert_eq!(r.best.pairs(), &[(sid(1, 1), Choice::Index(Org::Mx))]);
+    }
+
+    /// A 3-position matrix with a real cost-vs-size tension: the cheap
+    /// whole-path NIX is fat, the per-position MX split is lean but slower.
+    fn tension() -> CostMatrix {
+        CostMatrix::from_values_with_sizes(
+            3,
+            &[
+                (sid(1, 1), [4.0, 5.0, 6.0], [10.0, 12.0, 20.0]),
+                (sid(2, 2), [4.0, 5.0, 6.0], [10.0, 12.0, 20.0]),
+                (sid(3, 3), [4.0, 5.0, 6.0], [10.0, 12.0, 20.0]),
+                (sid(1, 2), [9.0, 8.0, 7.0], [25.0, 30.0, 60.0]),
+                (sid(2, 3), [9.0, 8.0, 7.0], [25.0, 30.0, 60.0]),
+                (sid(1, 3), [9.0, 9.0, 2.0], [40.0, 50.0, 100.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn frontier_matches_exhaustive_on_fixtures() {
+        for m in [
+            split_wins(),
+            whole_wins(),
+            tension(),
+            crate::fig6::fig6_matrix(),
+        ] {
+            let f = frontier_dp(&m);
+            let ex = exhaustive_frontier(&m);
+            assert_eq!(f.points.len(), ex.len(), "frontier cardinality");
+            for (p, &(c, s)) in f.points.iter().zip(&ex) {
+                assert!((p.cost - c).abs() < 1e-9, "{} vs {c}", p.cost);
+                assert!((p.size - s).abs() < 1e-9, "{} vs {s}", p.size);
+                // Each point's (cost, size) re-derives from its config.
+                let derived_cost: f64 = p
+                    .config
+                    .pairs()
+                    .iter()
+                    .map(|&(sub, ch)| m.choice_cost(sub, ch))
+                    .sum();
+                let derived_size = m.configuration_size(&p.config);
+                assert!((derived_cost - p.cost).abs() < 1e-9);
+                assert!((derived_size - p.size).abs() < 1e-9);
+            }
+            // Frontier shape: cost strictly ascending, size strictly
+            // descending.
+            for w in f.points.windows(2) {
+                assert!(w[0].cost < w[1].cost);
+                assert!(w[0].size > w[1].size);
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_min_cost_equals_scalar_dp() {
+        for m in [
+            split_wins(),
+            whole_wins(),
+            tension(),
+            crate::fig6::fig6_matrix(),
+        ] {
+            let f = frontier_dp(&m);
+            let dp = opt_ind_con_dp(&m);
+            assert_eq!(f.min_cost().cost.to_bits(), dp.cost.to_bits());
+            assert_eq!(f.min_cost().config.pairs(), dp.best.pairs());
+            assert_eq!(f.evaluated, dp.evaluated);
+        }
+    }
+
+    #[test]
+    fn frontier_collapses_to_singletons_without_sizes() {
+        // Size-free matrices: every label set is the scalar optimum, so the
+        // frontier has exactly one point and no extra label work beyond one
+        // extension per priced piece.
+        let m = split_wins();
+        let f = frontier_dp(&m);
+        assert_eq!(f.points.len(), 1);
+        assert_eq!(f.labels, f.evaluated);
+    }
+
+    #[test]
+    fn within_budget_picks_the_cheapest_fitting_point() {
+        let m = tension();
+        let f = frontier_dp(&m);
+        // Unconstrained: whole-path NIX, cost 2, 100 pages.
+        assert_eq!(f.min_cost().cost, 2.0);
+        assert_eq!(f.min_cost().size, 100.0);
+        // 100+ pages: the optimum fits.
+        assert_eq!(f.within_budget(120.0).unwrap().cost, 2.0);
+        // Under 100: forced off the whole-path; the three-way MX split
+        // (cost 12, 30 pages) is the only lean alternative on this matrix.
+        let p = f.within_budget(99.0).unwrap();
+        assert!(p.cost > 2.0 && p.size <= 99.0);
+        assert_eq!(f.within_budget(30.0).unwrap().size, 30.0);
+        // Below the leanest configuration: infeasible.
+        assert!(f.within_budget(29.0).is_none());
+        // The budgeted answer always matches a brute-force scan.
+        for budget in [29.0, 30.0, 45.0, 99.0, 100.0, 1e9] {
+            let ex_best = exhaustive_frontier(&m)
+                .into_iter()
+                .filter(|&(_, s)| s <= budget)
+                .map(|(c, _)| c)
+                .fold(f64::INFINITY, f64::min);
+            match f.within_budget(budget) {
+                Some(p) => assert!((p.cost - ex_best).abs() < 1e-9, "budget {budget}"),
+                None => assert!(ex_best.is_infinite(), "budget {budget}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_handles_no_index_column() {
+        // A no-index choice is free in pages: with the column built the
+        // all-no-index configuration (size 0) anchors the frontier's lean
+        // end.
+        let m = fixtures_matrix();
+        let f = frontier_dp(&m);
+        let last = f.points.last().unwrap();
+        assert_eq!(last.size, 0.0);
+        assert!(last
+            .config
+            .pairs()
+            .iter()
+            .all(|&(_, c)| c == Choice::NoIndex));
+        let ex = exhaustive_frontier(&m);
+        assert_eq!(f.points.len(), ex.len());
+    }
+
+    /// A sized matrix with a no-index column, via the real model.
+    fn fixtures_matrix() -> CostMatrix {
+        use oic_cost::characteristics::example51;
+        use oic_cost::{CostModel, CostParams};
+        use oic_schema::fixtures;
+        use oic_workload::example51_load;
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let ld = example51_load(&schema, &path);
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        CostMatrix::build_with_no_index(&model, &ld)
     }
 
     #[test]

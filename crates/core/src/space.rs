@@ -103,6 +103,12 @@ pub struct CandidateSpace {
     lookup: HashMap<(Box<[CandidateStep]>, bool), CandidateId>,
     /// Memoized maintenance price per `(candidate, org)`; `NaN` = unpriced.
     maint: Vec<[f64; 3]>,
+    /// Memoized footprint in pages per `(candidate, org)`; `NaN` =
+    /// unpriced. Sizes share the maintenance dependency set
+    /// (`oic_cost::invalidation::size_dependencies`), so
+    /// [`CandidateSpace::invalidate_class`] clears both planes together —
+    /// drift invalidation comes for free.
+    size: Vec<[f64; 3]>,
     /// Recycled ids of freed slots.
     free: Vec<CandidateId>,
     /// How many times a maintenance price was actually computed (not read
@@ -110,6 +116,9 @@ pub struct CandidateSpace {
     /// epochs; invalidation makes re-pricing legitimate, so compare deltas
     /// per epoch, not absolutes, in evolving workloads.
     pricings: u64,
+    /// How many times a size was actually computed — the count-once witness
+    /// for the footprint plane.
+    size_pricings: u64,
 }
 
 impl CandidateSpace {
@@ -146,12 +155,14 @@ impl CandidateSpace {
                     Some(id) => {
                         self.slots[id.index()] = slot;
                         self.maint[id.index()] = [f64::NAN; 3];
+                        self.size[id.index()] = [f64::NAN; 3];
                         id
                     }
                     None => {
                         let id = CandidateId(self.slots.len() as u32);
                         self.slots.push(slot);
                         self.maint.push([f64::NAN; 3]);
+                        self.size.push([f64::NAN; 3]);
                         id
                     }
                 };
@@ -195,21 +206,24 @@ impl CandidateSpace {
                 slot.deps = Box::default();
                 self.lookup.remove(&key);
                 self.maint[id.index()] = [f64::NAN; 3];
+                self.size[id.index()] = [f64::NAN; 3];
                 self.free.push(id);
             }
         }
     }
 
-    /// Clears the memoized maintenance prices of every live candidate whose
-    /// dependency set contains `class` — exactly the prices a statistics or
-    /// update-rate change for that class can move (the
-    /// `oic_cost::invalidation` contract). Returns the number of candidates
-    /// invalidated.
+    /// Clears the memoized maintenance prices **and footprints** of every
+    /// live candidate whose dependency set contains `class` — exactly the
+    /// values a statistics or update-rate change for that class can move
+    /// (the `oic_cost::invalidation` contract; sizes share the maintenance
+    /// dependency set, see `oic_cost::invalidation::size_dependencies`).
+    /// Returns the number of candidates invalidated.
     pub fn invalidate_class(&mut self, class: ClassId) -> usize {
         let mut touched = 0;
         for (i, slot) in self.slots.iter().enumerate() {
             if slot.refs > 0 && slot.deps.binary_search(&class).is_ok() {
                 self.maint[i] = [f64::NAN; 3];
+                self.size[i] = [f64::NAN; 3];
                 touched += 1;
             }
         }
@@ -284,6 +298,33 @@ impl CandidateSpace {
     /// is never priced twice for the same statistics.
     pub fn maintenance_pricings(&self) -> u64 {
         self.pricings
+    }
+
+    /// The memoized footprint in pages of `(id, org)`, computing it with
+    /// `price` on first request only — the size plane's analogue of
+    /// [`CandidateSpace::maintenance_cost`]. Sizes are invalidated together
+    /// with maintenance (shared dependency set), so a memoized footprint is
+    /// exactly as fresh as the memoized maintenance price beside it.
+    pub fn size_cost(&mut self, id: CandidateId, org: Org, price: impl FnOnce() -> f64) -> f64 {
+        let cell = &mut self.size[id.index()][org.index()];
+        if cell.is_nan() {
+            *cell = price();
+            self.size_pricings += 1;
+        }
+        *cell
+    }
+
+    /// The already-memoized footprint, if `(id, org)` was sized (and not
+    /// invalidated or freed since).
+    pub fn priced_size(&self, id: CandidateId, org: Org) -> Option<f64> {
+        let v = self.size[id.index()][org.index()];
+        (!v.is_nan()).then_some(v)
+    }
+
+    /// Number of footprints actually computed, cumulatively — the
+    /// count-once witness for the size plane.
+    pub fn size_pricings(&self) -> u64 {
+        self.size_pricings
     }
 }
 
@@ -382,6 +423,41 @@ mod tests {
         assert_eq!(space.maintenance_pricings(), 1);
         assert_eq!(space.priced_maintenance(id, Org::Mx), Some(42.0));
         assert_eq!(space.priced_maintenance(id, Org::Nix), None);
+    }
+
+    #[test]
+    fn size_plane_memoizes_and_invalidates_with_maintenance() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let mut space = CandidateSpace::new();
+        let ids = space.intern_path(&schema, &pexa);
+        let id = ids[SubpathId { start: 1, end: 2 }.rank(4)];
+        // Memoized like maintenance: the second closure never runs.
+        assert_eq!(space.size_cost(id, Org::Nix, || 500.0), 500.0);
+        assert_eq!(space.size_cost(id, Org::Nix, || unreachable!()), 500.0);
+        assert_eq!(space.size_pricings(), 1);
+        assert_eq!(space.priced_size(id, Org::Nix), Some(500.0));
+        assert_eq!(space.priced_size(id, Org::Mx), None);
+        space.maintenance_cost(id, Org::Nix, || 7.0);
+        // Invalidating a dependency class clears both planes together…
+        let person = schema.class_by_name("Person").unwrap();
+        space.invalidate_class(person);
+        assert_eq!(space.priced_size(id, Org::Nix), None);
+        assert_eq!(space.priced_maintenance(id, Org::Nix), None);
+        // …and an out-of-dependency class clears neither.
+        space.size_cost(id, Org::Nix, || 501.0);
+        let division = schema.class_by_name("Division").unwrap();
+        space.invalidate_class(division);
+        assert_eq!(space.priced_size(id, Org::Nix), Some(501.0));
+        // Freeing the candidate drops the footprint with everything else.
+        space.release_path(&ids);
+        assert!(space.is_empty());
+        let again = space.intern_path(&schema, &pexa);
+        for &id in &again {
+            for org in Org::ALL {
+                assert_eq!(space.priced_size(id, org), None, "stale size leaked");
+            }
+        }
     }
 
     #[test]

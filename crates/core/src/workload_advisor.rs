@@ -45,6 +45,17 @@
 //! [`WorkloadAdvisor::reoptimize`] then re-prices only the dirty paths and
 //! re-runs the selection sweeps with memoized best responses: an untouched
 //! path whose sharing context is unchanged is a cache hit, not a DP run.
+//!
+//! # Space budgets
+//!
+//! Every plan reports its physical footprint ([`WorkloadPlan::size_pages`]:
+//! each distinct `(candidate, organization)`'s pages counted once, exactly
+//! like its maintenance), and
+//! [`WorkloadAdvisor::optimize_with_budget`] selects the cheapest plan
+//! whose footprint fits a shared page budget — Lagrangian bisection on
+//! `cost + λ·size` over the same sweep machinery, then a frontier-based
+//! greedy repair pass (DESIGN.md §5.12). At infinite budget it returns the
+//! unconstrained plan bit-identically.
 //! The warm start is deliberately *computational*, not trajectorial — the
 //! sweep replays the cold algorithm's exact iteration over cached values —
 //! so an incremental `reoptimize()` returns a plan whose cost equals a
@@ -70,6 +81,10 @@ const MAX_SWEEPS: usize = 8;
 
 /// One path's selection: the chosen `(subpath, organization)` pieces.
 type Selection = Vec<(SubpathId, Org)>;
+
+/// One eviction trial during the budgeted descent:
+/// `(regret per page, evicted physical index, trial selections, cost, size)`.
+type EvictionTrial = (f64, (CandidateId, Org), Vec<Selection>, f64, f64);
 
 /// Stable handle of one path in the advisor, valid across epochs until the
 /// path is removed. Handles are never reused within one advisor.
@@ -159,6 +174,11 @@ pub struct WorkloadPlan {
     /// The workload objective of the final selection: per-path query shares
     /// plus each distinct physical index's maintenance, once.
     pub total_cost: f64,
+    /// Total footprint in pages of the plan's physical indexes: each
+    /// distinct `(candidate, organization)` counted **once**, exactly like
+    /// its maintenance — a shared index occupies its pages once no matter
+    /// how many paths route through it.
+    pub size_pages: f64,
     /// Distinct `(candidate, organization)` pairs selected — the number of
     /// physical indexes the plan actually builds.
     pub physical_indexes: usize,
@@ -182,6 +202,42 @@ pub struct WorkloadPlan {
     pub dp_runs: u64,
     /// Per-path DP selections answered from the best-response memo.
     pub dp_memo_hits: u64,
+}
+
+/// A [`WorkloadPlan`] selected under a shared page budget, with the
+/// Lagrangian search telemetry. Produced by
+/// [`WorkloadAdvisor::optimize_with_budget`].
+#[derive(Debug)]
+pub struct BudgetedWorkloadPlan {
+    /// The selected plan; [`WorkloadPlan::size_pages`] is its footprint
+    /// (each distinct physical index's pages counted once).
+    pub plan: WorkloadPlan,
+    /// The budget the selection ran under.
+    pub budget_pages: f64,
+    /// Whether the plan fits the budget. `false` only when even the most
+    /// size-averse sweep exceeds it (budget below the workload's minimum
+    /// footprint); the returned plan is then that leanest plan.
+    pub feasible: bool,
+    /// The Lagrange multiplier of the λ sweep that produced the plan; 0
+    /// when the plan did not come from a λ sweep — the unconstrained
+    /// optimum already fit, or the greedy eviction descent won.
+    pub lambda: f64,
+    /// λ-priced coordinate-descent sweeps run (bracketing + bisection).
+    pub lambda_sweeps: usize,
+    /// Per-path selections replaced by the frontier repair pass.
+    pub repairs: usize,
+    /// Cost of the unconstrained optimum (the budget-∞ baseline).
+    pub unconstrained_cost: f64,
+    /// Footprint of the unconstrained optimum.
+    pub unconstrained_size: f64,
+}
+
+impl BudgetedWorkloadPlan {
+    /// `total_cost / unconstrained_cost` — the price of the budget, ≥ 1 up
+    /// to float noise (1 when the budget is slack).
+    pub fn cost_ratio(&self) -> f64 {
+        self.plan.total_cost / self.unconstrained_cost
+    }
 }
 
 /// The online workload-scale advisor. Class statistics and maintenance
@@ -533,11 +589,30 @@ impl<'a> WorkloadAdvisor<'a> {
             }
         }
 
-        // Assemble the plan: query shares per path, each distinct physical
-        // index's maintenance exactly once.
+        let mut plan = self.assemble_plan(&selections, independent_cost);
+        debug_assert!(
+            plan.total_cost <= independent_cost + 1e-6 * independent_cost.abs().max(1.0),
+            "sharing can only reduce the objective: {} vs {independent_cost}",
+            plan.total_cost
+        );
+        plan.epoch_pricings = self.space.maintenance_pricings() - pricings_before;
+        plan.sweeps = sweeps;
+        plan.mutations = mutations;
+        plan.repriced_paths = repriced;
+        plan.dp_runs = dp_runs;
+        plan.dp_memo_hits = dp_memo_hits;
+        plan
+    }
+
+    /// Assembles a [`WorkloadPlan`] from per-path selections: query shares
+    /// per path, each distinct physical index's maintenance **and
+    /// footprint** exactly once. Epoch telemetry fields are zeroed; the
+    /// caller fills them. Used by [`Self::reoptimize`] and by the budgeted
+    /// selection, whose constrained selections price identically.
+    fn assemble_plan(&self, selections: &[Selection], independent_cost: f64) -> WorkloadPlan {
         let mut owners: HashMap<(CandidateId, Org), Vec<usize>> = HashMap::new();
         let mut paths_out = Vec::with_capacity(self.paths.len());
-        for (i, (st, sel)) in self.paths.iter().zip(&selections).enumerate() {
+        for (i, (st, sel)) in self.paths.iter().zip(selections).enumerate() {
             let n = st.path.len();
             let mut query_cost = 0.0;
             let mut pairs = Vec::with_capacity(sel.len());
@@ -562,6 +637,11 @@ impl<'a> WorkloadAdvisor<'a> {
             self.space
                 .priced_maintenance(cand, org)
                 .expect("selected pairs were priced in phase 1")
+        };
+        let sized = |cand, org| {
+            self.space
+                .priced_size(cand, org)
+                .expect("selected pairs were sized in phase 1")
         };
         let mut shared: Vec<SharedIndexOutcome> = owners
             .iter()
@@ -590,26 +670,26 @@ impl<'a> WorkloadAdvisor<'a> {
         let mut maint_prices: Vec<f64> = owners.keys().map(|&(c, o)| priced(c, o)).collect();
         maint_prices.sort_by(f64::total_cmp);
         let maintenance_total: f64 = maint_prices.iter().sum();
+        let mut size_prices: Vec<f64> = owners.keys().map(|&(c, o)| sized(c, o)).collect();
+        size_prices.sort_by(f64::total_cmp);
+        let size_pages: f64 = size_prices.iter().sum();
         let total_cost = paths_out.iter().map(|p| p.query_cost).sum::<f64>() + maintenance_total;
-        debug_assert!(
-            total_cost <= independent_cost + 1e-6 * independent_cost.abs().max(1.0),
-            "sharing can only reduce the objective: {total_cost} vs {independent_cost}"
-        );
         WorkloadPlan {
             paths: paths_out,
             shared,
             independent_cost,
             total_cost,
+            size_pages,
             physical_indexes: owners.len(),
             candidates: self.space.len(),
             maintenance_pricings: self.space.maintenance_pricings(),
-            epoch_pricings: self.space.maintenance_pricings() - pricings_before,
-            sweeps,
+            epoch_pricings: 0,
+            sweeps: 0,
             epoch: self.epoch,
-            mutations,
-            repriced_paths: repriced,
-            dp_runs,
-            dp_memo_hits,
+            mutations: 0,
+            repriced_paths: 0,
+            dp_runs: 0,
+            dp_memo_hits: 0,
         }
     }
 
@@ -644,6 +724,10 @@ impl<'a> WorkloadAdvisor<'a> {
                 self.space.maintenance_cost(st.cands[r], org, || {
                     pc::processing_cost(&model, &mld, sub, Choice::Index(org))
                 });
+                // The footprint rides the same memo discipline: priced once
+                // per (candidate, org), invalidated with maintenance.
+                self.space
+                    .size_cost(st.cands[r], org, || model.size_pages(org, sub));
             }
         }
         st.dirty_query = false;
@@ -670,42 +754,543 @@ impl<'a> WorkloadAdvisor<'a> {
 
     /// One path's optimal configuration under a sharing context: a covered
     /// candidate contributes its query share only (`None` = standalone, no
-    /// sharing). All maintenance cells must already be priced.
+    /// sharing). All maintenance cells must already be priced. This is the
+    /// λ = 0 case of the priced sweep — one implementation of the coverage
+    /// rule serves the unconstrained and the budgeted machinery (`m +
+    /// 0.0·s` is bit-identical to `m`, and the scalar DP never reads the
+    /// size plane).
     fn best_response(
         st: &PathState,
         space: &CandidateSpace,
         context: Option<&[u8]>,
     ) -> (Vec<(SubpathId, Org)>, f64) {
+        let matrix = Self::priced_matrix(st, space, context, 0.0);
+        let result = opt_ind_con_dp(&matrix);
+        (Self::to_selection(&result.best), result.cost)
+    }
+
+    // ---- budgeted selection ----------------------------------------------
+
+    /// One path's λ-priced cost matrix under a sharing context, with its
+    /// size plane: an uncovered cell pays `query + maintenance + λ·size`, a
+    /// covered cell pays its query share only — another path already
+    /// maintains *and stores* that physical index, so both its maintenance
+    /// and its footprint are counted once, by the first owner.
+    fn priced_matrix(
+        st: &PathState,
+        space: &CandidateSpace,
+        context: Option<&[u8]>,
+        lambda: f64,
+    ) -> CostMatrix {
+        Self::priced_matrix_inner(st, space, context, lambda, None)
+    }
+
+    /// [`Self::priced_matrix`] with a set of banned physical indexes whose
+    /// cells become unselectable (`INFINITY` cost) — the eviction descent's
+    /// instrument.
+    fn priced_matrix_banned(
+        st: &PathState,
+        space: &CandidateSpace,
+        context: Option<&[u8]>,
+        banned: &std::collections::HashSet<(CandidateId, Org)>,
+    ) -> CostMatrix {
+        Self::priced_matrix_inner(st, space, context, 0.0, Some(banned))
+    }
+
+    fn priced_matrix_inner(
+        st: &PathState,
+        space: &CandidateSpace,
+        context: Option<&[u8]>,
+        lambda: f64,
+        banned: Option<&std::collections::HashSet<(CandidateId, Org)>>,
+    ) -> CostMatrix {
         let n = st.path.len();
-        let values: Vec<(SubpathId, [f64; 3])> = (0..SubpathId::count(n))
+        let values: Vec<(SubpathId, [f64; 3], [f64; 3])> = (0..SubpathId::count(n))
             .map(|r| {
                 let sub = SubpathId::from_rank(n, r);
                 let covered = context.map_or(0, |ctx| ctx[r]);
                 let mut cell = [0.0; 3];
+                let mut sizes = [0.0; 3];
                 for org in Org::ALL {
-                    let m = if covered & (1 << org.index()) != 0 {
-                        0.0
+                    if banned.is_some_and(|b| b.contains(&(st.cands[r], org))) {
+                        cell[org.index()] = f64::INFINITY;
+                        sizes[org.index()] = 0.0;
+                        continue;
+                    }
+                    let (m, s) = if covered & (1 << org.index()) != 0 {
+                        (0.0, 0.0)
                     } else {
-                        space
-                            .priced_maintenance(st.cands[r], org)
-                            .expect("maintenance priced during reprice")
+                        (
+                            space
+                                .priced_maintenance(st.cands[r], org)
+                                .expect("maintenance priced during reprice"),
+                            space
+                                .priced_size(st.cands[r], org)
+                                .expect("size priced during reprice"),
+                        )
                     };
-                    cell[org.index()] = st.query_costs[r][org.index()] + m;
+                    cell[org.index()] = st.query_costs[r][org.index()] + m + lambda * s;
+                    sizes[org.index()] = s;
                 }
-                (sub, cell)
+                (sub, cell, sizes)
             })
             .collect();
-        let result = opt_ind_con_dp(&CostMatrix::from_values(n, &values));
-        let pairs = result
-            .best
+        CostMatrix::from_values_with_sizes(n, &values)
+    }
+
+    /// One full coordinate-descent pass pricing `cost + λ·size` — the
+    /// unconstrained sweep in a Lagrangian-relaxed objective. Read-only:
+    /// neither the sweep memos nor the standalone caches are touched (they
+    /// hold λ = 0 artifacts).
+    fn lambda_sweep(&self, lambda: f64) -> Vec<Selection> {
+        let mut selections: Vec<Selection> = self
+            .paths
+            .iter()
+            .map(|st| {
+                let m = Self::priced_matrix(st, &self.space, None, lambda);
+                Self::matrix_selection(&m)
+            })
+            .collect();
+        let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
+        for (st, sel) in self.paths.iter().zip(&selections) {
+            let n = st.path.len();
+            for &(sub, org) in sel {
+                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+            }
+        }
+        for _ in 0..MAX_SWEEPS {
+            let mut changed = false;
+            for (i, sel) in selections.iter_mut().enumerate() {
+                let st = &self.paths[i];
+                let n = st.path.len();
+                for &(sub, org) in sel.iter() {
+                    let key = (st.cands[sub.rank(n)], org);
+                    let count = owned.get_mut(&key).expect("selection was registered");
+                    *count -= 1;
+                    if *count == 0 {
+                        owned.remove(&key);
+                    }
+                }
+                let context = Self::context_key(st, &owned);
+                let m = Self::priced_matrix(st, &self.space, Some(&context), lambda);
+                let pairs = Self::matrix_selection(&m);
+                changed |= pairs != *sel;
+                for &(sub, org) in &pairs {
+                    *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                }
+                *sel = pairs;
+            }
+            if !changed {
+                break;
+            }
+        }
+        selections
+    }
+
+    /// The scalar optimum of a priced matrix as a `(subpath, org)` list.
+    fn matrix_selection(matrix: &CostMatrix) -> Selection {
+        Self::to_selection(&opt_ind_con_dp(matrix).best)
+    }
+
+    /// Converts a configuration into a workload [`Selection`] (workload
+    /// matrices never build the no-index column).
+    fn to_selection(config: &IndexConfiguration) -> Selection {
+        config
             .pairs()
             .iter()
             .map(|&(sub, choice)| match choice {
                 Choice::Index(org) => (sub, org),
                 Choice::NoIndex => unreachable!("no no-index column at workload scale"),
             })
+            .collect()
+    }
+
+    /// The true `(cost, size)` of per-path selections: query shares plus
+    /// each distinct physical `(candidate, org)`'s maintenance and
+    /// footprint once. Sums run over value-sorted vectors so the totals are
+    /// independent of hash-map iteration order.
+    fn selection_totals(&self, selections: &[Selection]) -> (f64, f64) {
+        let mut distinct: std::collections::HashSet<(CandidateId, Org)> =
+            std::collections::HashSet::new();
+        let mut query = 0.0;
+        for (st, sel) in self.paths.iter().zip(selections) {
+            let n = st.path.len();
+            for &(sub, org) in sel {
+                query += st.query_costs[sub.rank(n)][org.index()];
+                distinct.insert((st.cands[sub.rank(n)], org));
+            }
+        }
+        let mut maint: Vec<f64> = distinct
+            .iter()
+            .map(|&(c, o)| self.space.priced_maintenance(c, o).expect("priced"))
             .collect();
-        (pairs, result.cost)
+        maint.sort_by(f64::total_cmp);
+        let mut sizes: Vec<f64> = distinct
+            .iter()
+            .map(|&(c, o)| self.space.priced_size(c, o).expect("sized"))
+            .collect();
+        sizes.sort_by(f64::total_cmp);
+        (query + maint.iter().sum::<f64>(), sizes.iter().sum::<f64>())
+    }
+
+    /// Frontier-based greedy repair: round-robin over the paths, replacing
+    /// each path's selection by the cheapest point of its *marginal*
+    /// `(cost, size)` frontier that fits the budget slack the other paths
+    /// leave. Marginal means count-once-aware: cells other paths cover cost
+    /// no maintenance and no pages. Each adoption strictly lowers the total
+    /// cost while preserving feasibility, so the pass closes (part of) the
+    /// duality gap the λ discretization leaves open. Returns the number of
+    /// adoptions.
+    fn repair(&self, selections: &mut [Selection], budget_pages: f64) -> usize {
+        let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
+        for (st, sel) in self.paths.iter().zip(selections.iter()) {
+            let n = st.path.len();
+            for &(sub, org) in sel {
+                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+            }
+        }
+        let mut repairs = 0;
+        for _ in 0..MAX_SWEEPS {
+            let mut changed = false;
+            for (st, sel) in self.paths.iter().zip(selections.iter_mut()) {
+                let n = st.path.len();
+                for &(sub, org) in sel.iter() {
+                    let key = (st.cands[sub.rank(n)], org);
+                    let count = owned.get_mut(&key).expect("selection was registered");
+                    *count -= 1;
+                    if *count == 0 {
+                        owned.remove(&key);
+                    }
+                }
+                let mut other_sizes: Vec<f64> = owned
+                    .keys()
+                    .map(|&(c, o)| self.space.priced_size(c, o).expect("sized"))
+                    .collect();
+                other_sizes.sort_by(f64::total_cmp);
+                let slack = budget_pages - other_sizes.iter().sum::<f64>();
+                let context = Self::context_key(st, &owned);
+                let matrix = Self::priced_matrix(st, &self.space, Some(&context), 0.0);
+                // Marginal (cost, size) of the current selection, for the
+                // strict-improvement guard.
+                let old_cost: f64 = sel.iter().map(|&(sub, org)| matrix.cost(sub, org)).sum();
+                let old_size: f64 = sel.iter().map(|&(sub, org)| matrix.size(sub, org)).sum();
+                let frontier = crate::select::frontier_dp(&matrix);
+                if let Some(point) = frontier.within_budget(slack) {
+                    let tol = 1e-9 * old_cost.abs().max(1.0);
+                    let stol = 1e-9 * old_size.abs().max(1.0);
+                    // Lexicographic improvement: strictly cheaper, or
+                    // equally cheap and strictly leaner (frees slack for
+                    // later paths without giving anything up). Strictness
+                    // guarantees termination.
+                    if point.cost < old_cost - tol
+                        || (point.cost <= old_cost + tol && point.size < old_size - stol)
+                    {
+                        *sel = Self::to_selection(&point.config);
+                        repairs += 1;
+                        changed = true;
+                    }
+                }
+                for &(sub, org) in sel.iter() {
+                    *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        repairs
+    }
+
+    /// Greedy eviction descent: starting from (a copy of) the
+    /// unconstrained selections, repeatedly **ban the physical index**
+    /// whose eviction costs the least per page it frees — all of its owner
+    /// paths re-select without it, under the live sharing context — until
+    /// the budget fits or no eviction reduces the footprint. Returns
+    /// whether the budget was reached.
+    ///
+    /// This is the complement of the λ sweep, and it works at the
+    /// *candidate* level deliberately: shared candidates couple the paths
+    /// (a fat shared index has marginal size zero for every owner but the
+    /// last, so no single-path move can free its pages, while in a λ sweep
+    /// the first owner leaving strips the others' free ride and the whole
+    /// clique stampedes to lean plans far past the budget). Banning the
+    /// physical index and re-selecting all its owners at once prices the
+    /// coordinated move exactly.
+    fn evict_to_budget(&self, selections: &mut Vec<Selection>, budget_pages: f64) -> bool {
+        use std::collections::HashSet;
+        let mut banned: HashSet<(CandidateId, Org)> = HashSet::new();
+        loop {
+            let (cost0, size0) = self.selection_totals(selections);
+            if size0 <= budget_pages {
+                return true;
+            }
+            let mut owners_map: HashMap<(CandidateId, Org), Vec<usize>> = HashMap::new();
+            for (i, (st, sel)) in self.paths.iter().zip(selections.iter()).enumerate() {
+                let n = st.path.len();
+                for &(sub, org) in sel {
+                    owners_map
+                        .entry((st.cands[sub.rank(n)], org))
+                        .or_default()
+                        .push(i);
+                }
+            }
+            // Deterministic candidate order (hash maps iterate randomly).
+            let mut pairs: Vec<(CandidateId, Org)> = owners_map.keys().copied().collect();
+            pairs.sort_unstable();
+            let stol = 1e-9 * size0.abs().max(1.0);
+            let mut best: Option<EvictionTrial> = None;
+            for pair in pairs {
+                banned.insert(pair);
+                let mut trial = selections.clone();
+                let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
+                for (st, sel) in self.paths.iter().zip(trial.iter()) {
+                    let n = st.path.len();
+                    for &(sub, org) in sel {
+                        *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                    }
+                }
+                let mut ok = true;
+                for &i in &owners_map[&pair] {
+                    let st = &self.paths[i];
+                    let n = st.path.len();
+                    for &(sub, org) in &trial[i] {
+                        let key = (st.cands[sub.rank(n)], org);
+                        let count = owned.get_mut(&key).expect("selection was registered");
+                        *count -= 1;
+                        if *count == 0 {
+                            owned.remove(&key);
+                        }
+                    }
+                    let context = Self::context_key(st, &owned);
+                    let matrix =
+                        Self::priced_matrix_banned(st, &self.space, Some(&context), &banned);
+                    // frontier_dp rather than the scalar DP, deliberately:
+                    // its empty point set detects a ban that left the path
+                    // uncoverable (the scalar DP panics there), and its
+                    // first point breaks exact cost ties toward the leaner
+                    // configuration — the right bias while evicting pages.
+                    let frontier = crate::select::frontier_dp(&matrix);
+                    let Some(point) = frontier.points.first() else {
+                        ok = false; // the ban left this path uncoverable
+                        break;
+                    };
+                    trial[i] = Self::to_selection(&point.config);
+                    for &(sub, org) in &trial[i] {
+                        *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                    }
+                }
+                banned.remove(&pair);
+                if !ok {
+                    continue;
+                }
+                let (cost, size) = self.selection_totals(&trial);
+                if size >= size0 - stol {
+                    continue; // evicting this index frees nothing
+                }
+                let regret = (cost - cost0) / (size0 - size);
+                let better = best
+                    .as_ref()
+                    .map_or(true, |b| regret < b.0 || (regret == b.0 && size < b.4));
+                if better {
+                    best = Some((regret, pair, trial, cost, size));
+                }
+            }
+            let Some((_, pair, trial, _, _)) = best else {
+                return false; // nothing left to evict: budget unreachable
+            };
+            // The evicted index stays banned for the rest of the descent so
+            // a later owner's re-selection cannot smuggle it back.
+            banned.insert(pair);
+            *selections = trial;
+        }
+    }
+
+    /// Workload-scale selection under a **shared page budget**: the
+    /// cheapest plan whose total physical footprint — each distinct
+    /// `(candidate, organization)` counted once, like its maintenance —
+    /// fits `budget_pages`.
+    ///
+    /// Strategy (DESIGN.md §5.12):
+    ///
+    /// 1. Run the unconstrained [`Self::reoptimize`]. If its footprint
+    ///    already fits (always true at `budget_pages = ∞`), return it
+    ///    unchanged — the budgeted API is behavior-preserving at infinite
+    ///    budget by construction.
+    /// 2. Otherwise relax the budget into the objective: bisect the
+    ///    Lagrange multiplier λ of `cost + λ·size`, each probe being a full
+    ///    λ-priced coordinate-descent sweep over the shared candidate space
+    ///    (the λ-priced sweep is just another pricing context; covered
+    ///    cells stay free in both cost and pages). In parallel, run a
+    ///    greedy *eviction descent* from the
+    ///    unconstrained selections — cheapest regret per page saved first —
+    ///    which covers the budgets the sweep's discontinuous footprint
+    ///    curve jumps over.
+    /// 3. Close the duality gap with a frontier-based greedy
+    ///    *repair* pass from the cheapest feasible plan
+    ///    found.
+    ///
+    /// When even the most size-averse sweep cannot fit (a budget below the
+    /// workload's minimum footprint), the returned plan is that leanest
+    /// plan and `feasible` is `false`.
+    ///
+    /// The unconstrained `optimize()` is itself a coordinate-descent
+    /// heuristic, and the budget search explores strictly harder
+    /// (candidate-level evictions plus per-path frontier repairs), so a
+    /// *nearly*-slack budget can occasionally return a plan slightly
+    /// **cheaper** than the unconstrained one — a bonus, reported as a
+    /// [`BudgetedWorkloadPlan::cost_ratio`] just under 1.
+    pub fn optimize_with_budget(&mut self, budget_pages: f64) -> BudgetedWorkloadPlan {
+        assert!(!budget_pages.is_nan(), "budget must be a page count or ∞");
+        let unconstrained = self.reoptimize();
+        let unconstrained_cost = unconstrained.total_cost;
+        let unconstrained_size = unconstrained.size_pages;
+        if unconstrained.size_pages <= budget_pages || self.paths.is_empty() {
+            return BudgetedWorkloadPlan {
+                plan: unconstrained,
+                budget_pages,
+                feasible: true,
+                lambda: 0.0,
+                lambda_sweeps: 0,
+                repairs: 0,
+                unconstrained_cost,
+                unconstrained_size,
+            };
+        }
+
+        // Bracket λ: grow until the sweep fits the budget.
+        let mut lambda_sweeps = 0usize;
+        let mut lo = 0.0f64;
+        let mut hi = (unconstrained_cost / unconstrained_size.max(1e-12)).max(1e-9);
+        // Best feasible (cost-minimal) and leanest (size-minimal) probes;
+        // each records the λ that produced it (0 = not from a λ sweep).
+        let mut best: Option<(Vec<Selection>, f64, f64, f64)> = None;
+        let mut leanest: Option<(Vec<Selection>, f64, f64, f64)> = None;
+        let probe = |advisor: &Self,
+                     l: f64,
+                     best: &mut Option<(Vec<Selection>, f64, f64, f64)>,
+                     leanest: &mut Option<(Vec<Selection>, f64, f64, f64)>|
+         -> (f64, f64) {
+            let sel = advisor.lambda_sweep(l);
+            let (cost, size) = advisor.selection_totals(&sel);
+            if size <= budget_pages && best.as_ref().map_or(true, |b| cost < b.1) {
+                *best = Some((sel.clone(), cost, size, l));
+            }
+            if leanest
+                .as_ref()
+                .map_or(true, |b| size < b.2 || (size == b.2 && cost < b.1))
+            {
+                *leanest = Some((sel, cost, size, l));
+            }
+            (cost, size)
+        };
+        let mut plateau = 0u32;
+        let mut prev_size = f64::NAN;
+        for _ in 0..48 {
+            lambda_sweeps += 1;
+            let (_, size) = probe(self, hi, &mut best, &mut leanest);
+            if size <= budget_pages {
+                break;
+            }
+            // A footprint that stopped shrinking across several
+            // quadruplings of λ has saturated at the workload's minimum:
+            // the budget is infeasible, stop escalating.
+            if size == prev_size {
+                plateau += 1;
+                if plateau >= 3 {
+                    break;
+                }
+            } else {
+                plateau = 0;
+                prev_size = size;
+            }
+            lo = hi;
+            hi *= 4.0;
+        }
+        if best.is_some() {
+            // Bisect toward the smallest λ whose sweep still fits — smaller
+            // λ weighs cost more, so it can only find cheaper feasible
+            // plans.
+            for _ in 0..24 {
+                let mid = 0.5 * (lo + hi);
+                lambda_sweeps += 1;
+                let (_, size) = probe(self, mid, &mut best, &mut leanest);
+                if size <= budget_pages {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
+        // Second search direction: greedy eviction descent from the
+        // unconstrained selections. The λ sweep can overshoot (shared
+        // candidates couple the paths, so its footprint jumps
+        // discontinuously in λ); the descent walks down one cheapest-regret
+        // move at a time and lands just under the budget.
+        let mut evicted: Vec<Selection> = unconstrained
+            .paths
+            .iter()
+            .map(|p| Self::to_selection(&p.selection))
+            .collect();
+        if self.evict_to_budget(&mut evicted, budget_pages) {
+            let (cost, size) = self.selection_totals(&evicted);
+            if best.as_ref().map_or(true, |b| cost < b.1) {
+                best = Some((evicted, cost, size, 0.0));
+            }
+        } else {
+            let (cost, size) = self.selection_totals(&evicted);
+            if leanest
+                .as_ref()
+                .map_or(true, |b| size < b.2 || (size == b.2 && cost < b.1))
+            {
+                leanest = Some((evicted, cost, size, 0.0));
+            }
+        }
+        let (mut selections, feasible, lambda) = match best {
+            Some((sel, _, _, l)) => (sel, true, l),
+            None => {
+                // Even the leanest search result exceeds the budget: report
+                // that plan, flagged infeasible, under the λ that found it
+                // (0 when the eviction descent produced it).
+                let lean = leanest.expect("at least one probe ran");
+                (lean.0, false, lean.3)
+            }
+        };
+        let repairs = if feasible {
+            self.repair(&mut selections, budget_pages)
+        } else {
+            0
+        };
+        let independent_cost: f64 = self
+            .paths
+            .iter()
+            .map(|st| st.standalone.as_ref().expect("reoptimize filled it").1)
+            .sum();
+        let mut plan = self.assemble_plan(&selections, independent_cost);
+        // The real epoch work happened inside the inner reoptimize(): carry
+        // its telemetry over instead of reporting the budgeted epoch as
+        // free (the λ sweeps and evictions are read-only w.r.t. the memos
+        // and are reported separately via lambda_sweeps / repairs).
+        plan.epoch_pricings = unconstrained.epoch_pricings;
+        plan.sweeps = unconstrained.sweeps;
+        plan.mutations = unconstrained.mutations;
+        plan.repriced_paths = unconstrained.repriced_paths;
+        plan.dp_runs = unconstrained.dp_runs;
+        plan.dp_memo_hits = unconstrained.dp_memo_hits;
+        debug_assert!(
+            !feasible || plan.size_pages <= budget_pages * (1.0 + 1e-12) + 1e-9,
+            "feasible plan exceeds budget: {} > {budget_pages}",
+            plan.size_pages
+        );
+        BudgetedWorkloadPlan {
+            plan,
+            budget_pages,
+            feasible,
+            lambda,
+            lambda_sweeps,
+            repairs,
+            unconstrained_cost,
+            unconstrained_size,
+        }
     }
 }
 
@@ -744,10 +1329,12 @@ impl WorkloadPlan {
         }
         let _ = writeln!(
             out,
-            "total {:.2} vs independent {:.2} ({} sweeps, {} repriced paths, \
-             {} pricings this epoch, {} DP runs, {} memo hits)",
+            "total {:.2} vs independent {:.2}, footprint {:.0} pages \
+             ({} sweeps, {} repriced paths, {} pricings this epoch, \
+             {} DP runs, {} memo hits)",
             self.total_cost,
             self.independent_cost,
+            self.size_pages,
             self.sweeps,
             self.repriced_paths,
             self.epoch_pricings,
@@ -928,6 +1515,126 @@ mod tests {
                 "{org}: {via_a} vs {via_b}"
             );
         }
+    }
+
+    // ---- budgeted selection tests -----------------------------------------
+
+    #[test]
+    fn infinite_budget_is_bit_identical_to_optimize() {
+        let (schema, _) = fixtures::paper_schema();
+        let plan = two_path_advisor(&schema).optimize();
+        let budgeted = two_path_advisor(&schema).optimize_with_budget(f64::INFINITY);
+        assert!(budgeted.feasible);
+        assert_eq!(budgeted.lambda, 0.0);
+        assert_eq!(budgeted.lambda_sweeps, 0);
+        assert_eq!(
+            budgeted.plan.total_cost.to_bits(),
+            plan.total_cost.to_bits()
+        );
+        assert_eq!(
+            budgeted.plan.size_pages.to_bits(),
+            plan.size_pages.to_bits()
+        );
+        for (a, b) in budgeted.plan.paths.iter().zip(&plan.paths) {
+            assert_eq!(a.selection.pairs(), b.selection.pairs());
+        }
+        // Any budget at or above the unconstrained footprint behaves the
+        // same way (the constraint is slack).
+        let relaxed = two_path_advisor(&schema).optimize_with_budget(plan.size_pages);
+        assert_eq!(relaxed.plan.total_cost.to_bits(), plan.total_cost.to_bits());
+    }
+
+    #[test]
+    fn plans_report_the_count_once_footprint() {
+        let (schema, _) = fixtures::paper_schema();
+        let pexa = fixtures::paper_path_pexa(&schema);
+        let mut adv = WorkloadAdvisor::new(&schema, CostParams::default())
+            .with_stats(fig7_stats(&schema))
+            .with_maintenance(|_| (0.1, 0.1));
+        for _ in 0..5 {
+            adv.add_path(pexa.clone(), |_| 0.2);
+        }
+        let plan = adv.optimize();
+        // Five copies select identically; the plan stores each physical
+        // index once, so the footprint equals one path's configuration
+        // size under the same model.
+        let chars = PathCharacteristics::build(&schema, &pexa, |c| fig7_stats(&schema)(c));
+        let model = CostModel::new(&schema, &pexa, &chars, CostParams::default());
+        let expected: f64 = plan.paths[0]
+            .selection
+            .pairs()
+            .iter()
+            .map(|&(sub, choice)| match choice {
+                Choice::Index(org) => model.size_pages(org, sub),
+                Choice::NoIndex => 0.0,
+            })
+            .sum();
+        assert!(
+            (plan.size_pages - expected).abs() < 1e-9 * expected.max(1.0),
+            "plan footprint {} vs one copy's {}",
+            plan.size_pages,
+            expected
+        );
+    }
+
+    #[test]
+    fn tight_budget_trades_cost_for_pages() {
+        let (schema, _) = fixtures::paper_schema();
+        let unconstrained = two_path_advisor(&schema).optimize();
+        assert!(unconstrained.size_pages > 0.0);
+        let budget = unconstrained.size_pages * 0.5;
+        let budgeted = two_path_advisor(&schema).optimize_with_budget(budget);
+        assert!(budgeted.feasible, "half the footprint should be reachable");
+        assert!(
+            budgeted.plan.size_pages <= budget + 1e-9,
+            "{} > {budget}",
+            budgeted.plan.size_pages
+        );
+        assert!(
+            budgeted.plan.total_cost >= unconstrained.total_cost - 1e-9,
+            "a constrained plan cannot beat the unconstrained optimum"
+        );
+        assert!(budgeted.cost_ratio() >= 1.0 - 1e-12);
+        // λ is the multiplier of the winning sweep — 0 when the eviction
+        // descent produced the plan instead.
+        assert!(budgeted.lambda >= 0.0);
+        assert!(budgeted.lambda_sweeps > 0);
+    }
+
+    #[test]
+    fn budget_below_minimum_footprint_is_flagged_infeasible() {
+        let (schema, _) = fixtures::paper_schema();
+        let budgeted = two_path_advisor(&schema).optimize_with_budget(1.0);
+        assert!(!budgeted.feasible, "one page cannot hold any plan");
+        assert!(budgeted.plan.size_pages > 1.0);
+        // The returned plan is the leanest sweep: no feasible-side λ was
+        // found, and its footprint undercuts the unconstrained one.
+        assert!(budgeted.plan.size_pages <= budgeted.unconstrained_size + 1e-9);
+    }
+
+    #[test]
+    fn budgeted_plans_are_monotone_in_the_budget() {
+        // A wider budget can only help: sweep a few budgets and check the
+        // realized costs never increase with the budget.
+        let (schema, _) = fixtures::paper_schema();
+        let unconstrained = two_path_advisor(&schema).optimize();
+        let mut last_cost = f64::INFINITY;
+        for frac in [0.4, 0.6, 0.8, 1.0] {
+            let b = two_path_advisor(&schema).optimize_with_budget(unconstrained.size_pages * frac);
+            if !b.feasible {
+                continue;
+            }
+            assert!(
+                b.plan.total_cost <= last_cost + 1e-6 * last_cost.abs().max(1.0),
+                "budget {frac}: cost {} after cheaper {last_cost}",
+                b.plan.total_cost
+            );
+            last_cost = b.plan.total_cost;
+        }
+        assert!(
+            (last_cost - unconstrained.total_cost).abs() < 1e-9 * unconstrained.total_cost.max(1.0),
+            "the full budget recovers the unconstrained optimum"
+        );
     }
 
     // ---- evolving-workload engine tests -----------------------------------

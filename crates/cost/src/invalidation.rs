@@ -53,6 +53,22 @@ pub fn maintenance_dependencies(schema: &Schema, path: &Path, sub: SubpathId) ->
     deps
 }
 
+/// Classes whose statistics affect the **size** (footprint in pages, see
+/// [`crate::size`]) of an index allocated on subpath `sub` of `path`.
+///
+/// The size reads the per-class `n`/`d`/`nin` of the subpath's step
+/// hierarchies plus — through the `d_union` domain clamp on the ending
+/// position (a mid-path reference attribute's key domain is the successor
+/// population) — the successor hierarchy when the subpath is embedded.
+/// That is **exactly** [`maintenance_dependencies`]: engines that memoize
+/// sizes beside maintenance prices reuse the maintenance invalidation
+/// wiring verbatim — any drift that can move a size already clears the
+/// matching maintenance cell, so one dependency set per candidate covers
+/// both planes. The perturbation test below pins the contract.
+pub fn size_dependencies(schema: &Schema, path: &Path, sub: SubpathId) -> Vec<ClassId> {
+    maintenance_dependencies(schema, path, sub)
+}
+
 /// Classes whose statistics affect the **query** share of any subpath of
 /// `path`: the full flattened scope (every position's hierarchy), because
 /// probe counts multiply `noid⁺` factors from all downstream positions and
@@ -167,5 +183,64 @@ mod tests {
             }
         });
         assert_ne!(probe(&drifted), baseline, "in-scope drift must reprice");
+    }
+
+    /// The size half of the contract: an index footprint is blind to every
+    /// class outside [`size_dependencies`] (bit-identical under drift) and
+    /// moves when a dependency — including the embedded boundary clamp —
+    /// drifts. Together with `size_dependencies == maintenance_dependencies`
+    /// this is what lets the candidate-space memo clear its size plane with
+    /// the maintenance invalidation for free.
+    #[test]
+    fn size_outputs_follow_the_maintenance_dependency_set() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, base) = example51(&schema);
+        let params = CostParams::default();
+        let s12 = sub(1, 2); // embedded Per.owns.man; boundary = Company
+        assert_eq!(
+            size_dependencies(&schema, &path, s12),
+            maintenance_dependencies(&schema, &path, s12),
+            "one dependency set covers both memo planes"
+        );
+        let probe = |chars: &crate::PathCharacteristics| {
+            let m = CostModel::new(&schema, &path, chars, params);
+            crate::Org::ALL
+                .iter()
+                .map(|&org| crate::size::index_size_pages(&m, s12, org))
+                .collect::<Vec<_>>()
+        };
+        let baseline = probe(&base);
+        let division = schema.class_by_name("Division").unwrap();
+        let out_of_scope = base.map_stats(|c, s| {
+            if c == division {
+                ClassStats::new(s.n * 9.0, s.d * 5.0, s.nin)
+            } else {
+                s
+            }
+        });
+        assert_eq!(
+            probe(&out_of_scope)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            baseline.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "out-of-dependency drift must leave sizes bit-identical"
+        );
+        // Shrinking the Company population far below d_union(2) exercises
+        // the boundary clamp: the embedded subpath's key domain shrinks, so
+        // MIX/NIX footprints move even though Company is outside the steps.
+        let company = schema.class_by_name("Company").unwrap();
+        let boundary = base.map_stats(|c, s| {
+            if c == company {
+                ClassStats::new(10.0, 10.0, s.nin)
+            } else {
+                s
+            }
+        });
+        assert_ne!(
+            probe(&boundary),
+            baseline,
+            "boundary drift must move embedded sizes"
+        );
     }
 }

@@ -17,7 +17,9 @@
 //!   `par`, `nin̄`, `nar`, `narp`;
 //! * [`model`] — retrieval and maintenance costs per organization
 //!   ([`Org::Mx`], [`Org::Mix`], [`Org::Nix`]) for any subpath, plus the
-//!   cross-subpath deletion adjustment `CMD` of Section 4.
+//!   cross-subpath deletion adjustment `CMD` of Section 4;
+//! * [`size`] — physical index footprints in pages, assembled from the same
+//!   level profiles, for selection under a storage budget.
 //!
 //! Reconstruction decisions for OCR-degraded formulas are listed in
 //! DESIGN.md §5 and cross-referenced from the relevant functions.
@@ -33,6 +35,7 @@ pub mod model;
 mod org;
 mod params;
 pub mod primitives;
+pub mod size;
 pub mod yao;
 
 pub use characteristics::{ClassStats, PathCharacteristics};

@@ -169,7 +169,7 @@ impl<'a> CostModel<'a> {
         )
     }
 
-    fn est_mx(&self, l: usize, x: usize) -> &IndexEst {
+    pub(crate) fn est_mx(&self, l: usize, x: usize) -> &IndexEst {
         &self.mx_ests[l - 1][x]
     }
 
@@ -250,7 +250,7 @@ impl<'a> CostModel<'a> {
         estimate_btree(d, self.mix_record_len(l), self.key_len_at(l), &self.params)
     }
 
-    fn est_mix(&self, l: usize) -> &IndexEst {
+    pub(crate) fn est_mix(&self, l: usize) -> &IndexEst {
         &self.mix_ests[l - 1]
     }
 
@@ -355,7 +355,7 @@ impl<'a> CostModel<'a> {
     }
 
     /// Cached NIX statistics for `sub`.
-    fn nix(&self, sub: SubpathId) -> &NixStats {
+    pub(crate) fn nix(&self, sub: SubpathId) -> &NixStats {
         &self.nix_cache[sub.rank(self.n())]
     }
 
@@ -662,27 +662,10 @@ impl<'a> CostModel<'a> {
 
     /// Estimated total pages (all levels, auxiliary structures included) of
     /// an index of `org` allocated on `sub` — the space side of the
-    /// trade-off the paper prices only in time.
+    /// trade-off the paper prices only in time. Delegates to
+    /// [`crate::size::index_size_pages`].
     pub fn size_pages(&self, org: Org, sub: SubpathId) -> f64 {
-        let sum_levels = |est: &IndexEst| est.levels.iter().map(|&(_, p)| p).sum::<f64>();
-        match org {
-            Org::Mx => {
-                let mut total = 0.0;
-                for l in sub.start..=sub.end {
-                    for x in 0..self.chars.nc(l) {
-                        total += sum_levels(self.est_mx(l, x));
-                    }
-                }
-                total
-            }
-            Org::Mix => (sub.start..=sub.end)
-                .map(|l| sum_levels(self.est_mix(l)))
-                .sum(),
-            Org::Nix => {
-                let stats = self.nix(sub);
-                sum_levels(&stats.primary) + stats.auxiliary.as_ref().map_or(0.0, sum_levels)
-            }
-        }
+        crate::size::index_size_pages(self, sub, org)
     }
 
     /// Query cost on `sub` with **no index allocated** (Section 6

@@ -145,6 +145,38 @@ pub fn validate_all(
         .collect()
 }
 
+/// Builds the real physical index of `org` on `sub` over a freshly
+/// generated database and compares its allocated pages against the
+/// `oic_cost::size` model: returns `(predicted pages, measured pages)`.
+///
+/// This closes the loop on the space model exactly like [`validate_org`]
+/// does on the time model — the budgeted selection is only as good as the
+/// footprints it optimizes over.
+pub fn validate_size(
+    schema: &Schema,
+    path: &Path,
+    chars: &PathCharacteristics,
+    params: CostParams,
+    org: Org,
+    spec: &GenSpec,
+    sub: SubpathId,
+) -> (f64, f64) {
+    use oic_index::{MultiIndex, MultiInheritedIndex, NestedInheritedIndex, PathIndex};
+    let model = CostModel::new(schema, path, chars, params);
+    let predicted = oic_cost::size::index_size_pages(&model, sub, org);
+    let mut db = generate(schema, path, chars, spec);
+    let measured = match org {
+        Org::Mx => MultiIndex::build(schema, path, sub, &mut db.store, &db.heap).total_pages(),
+        Org::Mix => {
+            MultiInheritedIndex::build(schema, path, sub, &mut db.store, &db.heap).total_pages()
+        }
+        Org::Nix => {
+            NestedInheritedIndex::build(schema, path, sub, &mut db.store, &db.heap).total_pages()
+        }
+    } as f64;
+    (predicted, measured)
+}
+
 /// Measures the naive (index-less) evaluator against the indexed execution
 /// for the intro's motivation experiment. Returns
 /// `(naive mean pages, indexed mean pages)` for queries w.r.t. the starting

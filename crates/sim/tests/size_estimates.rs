@@ -38,6 +38,36 @@ fn size_estimates_track_real_index_pages() {
     }
 }
 
+/// The budgeted-selection contract with reality: on the Example 5.1
+/// database the measured physical index pages stay within **2×** of the
+/// `oic_cost::size` model for every organization — through the sim crate's
+/// own validation entry point, at two database scales.
+#[test]
+fn measured_pages_within_2x_of_the_size_model() {
+    let (schema, _) = fixtures::paper_schema();
+    let (path, chars) = example51(&schema);
+    let params = CostParams::calibrated(1024.0);
+    let full = SubpathId { start: 1, end: 4 };
+    for scale in [0.01f64, 0.02] {
+        let small = scale_chars(&chars, scale);
+        let spec = GenSpec {
+            page_size: 1024,
+            seed: 77,
+        };
+        for org in Org::ALL {
+            let (predicted, measured) =
+                oic_sim::validate::validate_size(&schema, &path, &small, params, org, &spec, full);
+            assert!(predicted > 0.0 && measured > 0.0);
+            let ratio = measured / predicted;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{org} at scale {scale}: predicted {predicted:.0} pages vs \
+                 measured {measured:.0} (ratio {ratio:.2})"
+            );
+        }
+    }
+}
+
 #[test]
 fn nix_trades_space_for_query_speed() {
     // The NIX carries the auxiliary index and fat primary records: it

@@ -35,4 +35,16 @@ run model_validation "motivation (Section 1)"
 # asserts the incremental plan matches a cold rebuild exactly.
 run evolving_workload "warm reoptimize == cold rebuild"
 
+# multi_path consolidates physically identical subpath indexes across two
+# overlapping paths and must still report the consolidated objective.
+run multi_path "consolidated total:"
+
+# vehicle_registry runs the motivating query on real index structures; all
+# four evaluation strategies must agree on the result set.
+run vehicle_registry "all four evaluations agree on"
+
+# budgeted_workload selects under shrinking page budgets; a feasible plan
+# must report itself as such.
+run budgeted_workload "within budget"
+
 echo "smoke: all examples alive"

@@ -67,9 +67,10 @@ pub use oic_workload as workload;
 /// Most-used types in one import.
 pub mod prelude {
     pub use oic_core::{
-        exhaustive, opt_ind_con, opt_ind_con_dp, Advisor, CandidateId, CandidateSpace, Choice,
-        CostMatrix, IndexConfiguration, PathId, Recommendation, SelectionResult, WorkloadAdvisor,
-        WorkloadPlan,
+        exhaustive, exhaustive_frontier, frontier_dp, opt_ind_con, opt_ind_con_dp, Advisor,
+        BudgetedWorkloadPlan, CandidateId, CandidateSpace, Choice, CostMatrix, FrontierPoint,
+        FrontierResult, IndexConfiguration, PathId, Recommendation, SelectionResult,
+        WorkloadAdvisor, WorkloadPlan,
     };
     pub use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
     pub use oic_schema::{

@@ -27,6 +27,76 @@ fn matrix_strategy(n: usize) -> impl Strategy<Value = CostMatrix> {
     )
 }
 
+/// Random cost matrices *with size planes* for paths of length `n`.
+fn sized_matrix_strategy(n: usize) -> impl Strategy<Value = CostMatrix> {
+    let rows = n * (n + 1) / 2;
+    prop::collection::vec(
+        (
+            (0.1f64..100.0, 0.1f64..100.0, 0.1f64..100.0),
+            (1.0f64..1000.0, 1.0f64..1000.0, 1.0f64..1000.0),
+        ),
+        rows,
+    )
+    .prop_map(move |cells| {
+        let mut values = Vec::new();
+        let mut i = 0;
+        for len in 1..=n {
+            for start in 1..=(n - len + 1) {
+                let ((a, b, c), (sa, sb, sc)) = cells[i];
+                values.push((sid(start, start + len - 1), [a, b, c], [sa, sb, sc]));
+                i += 1;
+            }
+        }
+        CostMatrix::from_values_with_sizes(n, &values)
+    })
+}
+
+/// Both frontiers must agree pointwise (same cardinality, same `(cost,
+/// size)` pairs up to float noise) and every DP point must re-derive from
+/// its configuration.
+fn assert_frontier_matches_exhaustive(m: &CostMatrix) -> Result<(), TestCaseError> {
+    let f = frontier_dp(m);
+    let ex = exhaustive_frontier(m);
+    prop_assert_eq!(f.points.len(), ex.len(), "frontier cardinality");
+    for (p, &(c, s)) in f.points.iter().zip(&ex) {
+        let scale = c.abs().max(1.0);
+        prop_assert!(
+            (p.cost - c).abs() < 1e-9 * scale,
+            "cost {} vs {}",
+            p.cost,
+            c
+        );
+        prop_assert!(
+            (p.size - s).abs() < 1e-9 * s.abs().max(1.0),
+            "size {} vs {}",
+            p.size,
+            s
+        );
+        let derived_cost: f64 = p
+            .config
+            .pairs()
+            .iter()
+            .map(|&(sub, ch)| m.choice_cost(sub, ch))
+            .sum();
+        prop_assert!((derived_cost - p.cost).abs() < 1e-9 * scale);
+        let derived_size: f64 = p
+            .config
+            .pairs()
+            .iter()
+            .map(|&(sub, ch)| m.choice_size(sub, ch))
+            .sum();
+        prop_assert!((derived_size - p.size).abs() < 1e-9 * p.size.abs().max(1.0));
+    }
+    // Shape: cost ascending, size descending — and the first point is the
+    // scalar DP's optimum.
+    for w in f.points.windows(2) {
+        prop_assert!(w[0].cost <= w[1].cost && w[0].size >= w[1].size);
+    }
+    let dp = opt_ind_con_dp(m);
+    prop_assert!((f.min_cost().cost - dp.cost).abs() < 1e-12 * dp.cost.abs().max(1.0));
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -103,6 +173,45 @@ proptest! {
                 }
             }).sum();
             prop_assert!((derived - ex.cost).abs() < 1e-9);
+        }
+    }
+
+    /// `frontier_dp`'s Pareto set equals the exhaustive-enumeration
+    /// frontier (all `2^(n-1)` recombinations × per-piece organizations) on
+    /// random sized matrices up to n = 12, and any budget query answered
+    /// from it matches a brute-force scan of the enumeration.
+    #[test]
+    fn frontier_equals_exhaustive_enumeration(n in 2usize..=12, m in sized_matrix_strategy(12),
+                                              budget_frac in 0.0f64..1.2) {
+        let mut values = Vec::new();
+        for len in 1..=n {
+            for start in 1..=(n - len + 1) {
+                let sub = sid(start, start + len - 1);
+                values.push((sub, [
+                    m.cost(sub, Org::Mx),
+                    m.cost(sub, Org::Mix),
+                    m.cost(sub, Org::Nix),
+                ], [
+                    m.size(sub, Org::Mx),
+                    m.size(sub, Org::Mix),
+                    m.size(sub, Org::Nix),
+                ]));
+            }
+        }
+        let m = CostMatrix::from_values_with_sizes(n, &values);
+        assert_frontier_matches_exhaustive(&m)?;
+        // Budget queries agree with a brute-force scan.
+        let f = frontier_dp(&m);
+        let max_size = f.points.first().map(|p| p.size).unwrap_or(0.0);
+        let budget = max_size * budget_frac;
+        let brute = exhaustive_frontier(&m)
+            .into_iter()
+            .filter(|&(_, s)| s <= budget)
+            .map(|(c, _)| c)
+            .fold(f64::INFINITY, f64::min);
+        match f.within_budget(budget) {
+            Some(p) => prop_assert!((p.cost - brute).abs() < 1e-9 * brute.abs().max(1.0)),
+            None => prop_assert!(brute.is_infinite()),
         }
     }
 
@@ -227,6 +336,10 @@ proptest! {
             }).sum();
             prop_assert!((derived - ex.cost).abs() < 1e-9 * scale);
         }
+        // Model-built matrices carry the real size plane: the (cost, size)
+        // frontier over this random schema path must match the exhaustive
+        // enumeration too.
+        assert_frontier_matches_exhaustive(&m)?;
     }
 
     /// The advisor's chosen cost is a true lower envelope: it never exceeds

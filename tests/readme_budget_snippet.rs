@@ -1,0 +1,27 @@
+//! Pins the README "Budgeted selection" snippet so the documented claims
+//! (feasibility at a 50% budget, cost ratio ≥ 1, frontier shape) stay true.
+
+use oo_index_config::prelude::*;
+
+#[test]
+fn readme_budgeted_selection_snippet() {
+    let (schema, _) = oo_index_config::schema::fixtures::paper_schema();
+    // Single path: the whole cost-vs-footprint frontier at once.
+    let (path, chars) = oo_index_config::cost::characteristics::example51(&schema);
+    let ld = oo_index_config::workload::example51_load(&schema, &path);
+    let model = CostModel::new(&schema, &path, &chars, CostParams::paper());
+    let frontier = frontier_dp(&CostMatrix::build(&model, &ld));
+    let best = frontier.min_cost(); // the unconstrained optimum
+    let lean = frontier.within_budget(best.size / 2.0).unwrap();
+    assert!(lean.size <= best.size / 2.0 && lean.cost >= best.cost);
+
+    // Workload scale: Lagrangian bisection + eviction + frontier repair.
+    let mut advisor = WorkloadAdvisor::new(&schema, CostParams::paper())
+        .with_stats(|_| ClassStats::new(10_000.0, 1_000.0, 1.0))
+        .with_maintenance(|_| (0.1, 0.1));
+    advisor.add_path(path.clone(), |_| 0.2);
+    let unconstrained = advisor.optimize();
+    let budgeted = advisor.optimize_with_budget(unconstrained.size_pages * 0.5);
+    assert!(budgeted.feasible && budgeted.plan.size_pages <= unconstrained.size_pages * 0.5);
+    assert!(budgeted.cost_ratio() >= 1.0); // the price of the budget
+}
