@@ -775,6 +775,151 @@ mod tests {
     }
 
     #[test]
+    fn frontier_single_position_path() {
+        // n = 1: the only cover is S1,1 with one of the three
+        // organizations; the frontier is the Pareto set of those three
+        // (cost, size) cells.
+        let m = CostMatrix::from_values_with_sizes(
+            1,
+            &[(sid(1, 1), [5.0, 4.0, 3.0], [10.0, 20.0, 30.0])],
+        );
+        let f = frontier_dp(&m);
+        // All three cells are Pareto-optimal here (cost descends as size
+        // ascends across Mx→Mix→Nix).
+        assert_eq!(f.points.len(), 3);
+        assert_eq!(f.min_cost().cost, 3.0);
+        assert_eq!(f.min_cost().size, 30.0);
+        assert_eq!(f.points.last().unwrap().size, 10.0);
+        let ex = exhaustive_frontier(&m);
+        assert_eq!(f.points.len(), ex.len());
+        for (p, (c, s)) in f.points.iter().zip(ex) {
+            assert_eq!((p.cost, p.size), (c, s));
+            assert_eq!(p.config.degree(), 1);
+        }
+        // The scalar DP agrees bit-for-bit on the cost optimum.
+        let dp = opt_ind_con_dp(&m);
+        assert_eq!(f.min_cost().cost.to_bits(), dp.cost.to_bits());
+        assert_eq!(f.min_cost().config.pairs(), dp.best.pairs());
+        // A dominated cell never surfaces: make Mix worse in both axes.
+        let m = CostMatrix::from_values_with_sizes(
+            1,
+            &[(sid(1, 1), [5.0, 9.0, 3.0], [10.0, 99.0, 30.0])],
+        );
+        let f = frontier_dp(&m);
+        assert_eq!(f.points.len(), 2, "Mix is dominated by both neighbours");
+    }
+
+    #[test]
+    fn frontier_with_all_zero_query_rates_is_maintenance_only() {
+        // α = 0 everywhere: the load is pure maintenance. The matrix still
+        // prices every cell (insert/delete traffic), the frontier still
+        // has its full shape, and it matches the exhaustive baseline.
+        use oic_cost::characteristics::example51;
+        use oic_cost::{CostModel, CostParams};
+        use oic_schema::fixtures;
+        use oic_workload::{LoadDistribution, Triplet};
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = example51(&schema);
+        let ld = LoadDistribution::build(&schema, &path, |_| Triplet::new(0.0, 0.1, 0.1));
+        let model = CostModel::new(&schema, &path, &chars, CostParams::default());
+        let m = CostMatrix::build(&model, &ld);
+        let f = frontier_dp(&m);
+        assert!(!f.points.is_empty());
+        assert!(f.min_cost().cost > 0.0, "maintenance is not free");
+        let ex = exhaustive_frontier(&m);
+        assert_eq!(f.points.len(), ex.len());
+        for (p, (c, s)) in f.points.iter().zip(ex) {
+            assert!((p.cost - c).abs() < 1e-9 && (p.size - s).abs() < 1e-9);
+        }
+        // With the no-index column built, zero queries make "index
+        // nothing" free — the frontier's lean anchor at (0 cost, 0 pages),
+        // which is also the scalar optimum. One point: it dominates all.
+        let m = CostMatrix::build_with_no_index(&model, &ld);
+        let f = frontier_dp(&m);
+        assert_eq!(f.points.len(), 1);
+        let only = &f.points[0];
+        assert_eq!((only.cost, only.size), (0.0, 0.0));
+        assert!(only
+            .config
+            .pairs()
+            .iter()
+            .all(|&(_, c)| c == Choice::NoIndex));
+        let dp = opt_ind_con_dp(&m);
+        assert_eq!(dp.cost, 0.0);
+        assert_eq!(only.config.pairs(), dp.best.pairs());
+    }
+
+    #[test]
+    fn frontier_breaks_exact_cost_ties_toward_the_leaner_organization() {
+        // Every organization of every subpath costs the same; only sizes
+        // differ. Dominance must collapse each label set to the leanest
+        // spelling, and the single frontier point is the min-size cover.
+        let m = CostMatrix::from_values_with_sizes(
+            2,
+            &[
+                (sid(1, 1), [4.0, 4.0, 4.0], [12.0, 10.0, 11.0]),
+                (sid(2, 2), [4.0, 4.0, 4.0], [7.0, 9.0, 8.0]),
+                (sid(1, 2), [8.0, 8.0, 8.0], [20.0, 16.0, 18.0]),
+            ],
+        );
+        let f = frontier_dp(&m);
+        assert_eq!(f.points.len(), 1, "equal costs: one Pareto point");
+        let p = &f.points[0];
+        assert_eq!(p.cost, 8.0);
+        assert_eq!(p.size, 16.0, "whole-path Mix is the leanest 8.0 cover");
+        assert_eq!(
+            p.config.pairs(),
+            &[(sid(1, 2), Choice::Index(Org::Mix))],
+            "tie broken toward the leaner organization"
+        );
+        let ex = exhaustive_frontier(&m);
+        assert_eq!(ex, vec![(8.0, 16.0)]);
+        // Fully degenerate ties — equal cost *and* equal size — keep the
+        // scalar DP's tie-breaking: longest last piece, first organization
+        // column (Mx).
+        let m = CostMatrix::from_values_with_sizes(
+            2,
+            &[
+                (sid(1, 1), [4.0, 4.0, 4.0], [5.0, 5.0, 5.0]),
+                (sid(2, 2), [4.0, 4.0, 4.0], [5.0, 5.0, 5.0]),
+                (sid(1, 2), [8.0, 8.0, 8.0], [10.0, 10.0, 10.0]),
+            ],
+        );
+        let f = frontier_dp(&m);
+        let dp = opt_ind_con_dp(&m);
+        assert_eq!(f.points.len(), 1);
+        assert_eq!(f.points[0].config.pairs(), dp.best.pairs());
+        assert_eq!(
+            f.points[0].config.pairs(),
+            &[(sid(1, 2), Choice::Index(Org::Mx))]
+        );
+    }
+
+    #[test]
+    fn budget_exactly_on_a_frontier_knee_takes_the_knee() {
+        let m = tension();
+        let f = frontier_dp(&m);
+        assert!(f.points.len() >= 2, "the fixture has a real trade-off");
+        for (k, p) in f.points.iter().enumerate() {
+            // A budget exactly equal to a knee's footprint admits that
+            // knee (≤, not <): no page of slack is required.
+            let hit = f.within_budget(p.size).expect("the knee itself fits");
+            assert_eq!(hit.cost.to_bits(), p.cost.to_bits(), "knee {k}");
+            assert_eq!(hit.size.to_bits(), p.size.to_bits(), "knee {k}");
+            // One ulp under the knee falls through to the next point (or
+            // to infeasibility after the leanest knee).
+            let under = f.within_budget(p.size - p.size.abs() * 1e-15 - f64::MIN_POSITIVE);
+            match f.points.get(k + 1) {
+                Some(next) => {
+                    let under = under.expect("a leaner point exists");
+                    assert_eq!(under.cost.to_bits(), next.cost.to_bits(), "below knee {k}");
+                }
+                None => assert!(under.is_none(), "below the leanest point: infeasible"),
+            }
+        }
+    }
+
+    #[test]
     fn candidate_space_saturates() {
         assert_eq!(candidate_space_size(1), 1);
         assert_eq!(candidate_space_size(4), 8);

@@ -328,6 +328,20 @@ impl CandidateSpace {
     }
 }
 
+// The parallel advisor stages read the space from worker threads
+// (`priced_maintenance`/`priced_size`/`steps` against a frozen `&self`)
+// while all writes stay on the sequential merge path (DESIGN.md §5.13).
+// Keep the read side shareable: a lazy `Cell`-style memo here would fail
+// right at this contract instead of deep inside `oic_core`'s fan-out.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    const fn memo_reads_are_shareable() {
+        assert_sync_send::<CandidateSpace>();
+        assert_sync_send::<CandidateId>();
+    }
+    _ = memo_reads_are_shareable;
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,11 +66,27 @@
 //! **Invariant:** epoch mutations must go through the advisor API. Editing
 //! a [`CandidateSpace`] directly bypasses the invalidation bookkeeping and
 //! can leave stale maintenance prices in the memo.
+//!
+//! # Parallel engine
+//!
+//! The three hot per-path stages — cost-model construction + pricing,
+//! standalone DP optima, and the best-response sweeps of the coordinate
+//! descent — fan out over an [`oic_exec::Executor`] (default: one lane
+//! per CPU, `OIC_THREADS` overrides, `1` = the sequential engine). The
+//! parallel plan is **bit-identical** to the sequential one for every
+//! thread count, telemetry included, by construction rather than by luck:
+//! memo writes are buffered per path and merged in path-id order, the
+//! descent's Gauss–Seidel trajectory is *speculated* in parallel and
+//! committed sequentially (a speculation whose sharing context mismatches
+//! is recomputed inline), and every float reduction keeps its value-sorted
+//! summation order. DESIGN.md §5.13 states the contract;
+//! `oic-sim/tests/parallel.rs` pins it across thread counts {1, 2, 8}.
 
 use crate::select::opt_ind_con_dp;
 use crate::space::{CandidateId, CandidateSpace};
 use crate::{pc, Choice, CostMatrix, IndexConfiguration};
 use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
+use oic_exec::Executor;
 use oic_schema::{ClassId, Path, PathSignature, Schema, SubpathId};
 use oic_workload::{LoadDistribution, Triplet};
 use std::collections::HashMap;
@@ -85,6 +101,12 @@ type Selection = Vec<(SubpathId, Org)>;
 /// One eviction trial during the budgeted descent:
 /// `(regret per page, evicted physical index, trial selections, cost, size)`.
 type EvictionTrial = (f64, (CandidateId, Org), Vec<Selection>, f64, f64);
+
+/// One round of parallel speculation, per path: `None` when the sweep memo
+/// already answers the predicted sharing context (the commit loop will
+/// take the memo hit), else the predicted context with the best response
+/// the DP produced for it.
+type SpeculationRound = Vec<Option<(Vec<u8>, Selection)>>;
 
 /// Stable handle of one path in the advisor, valid across epochs until the
 /// path is removed. Handles are never reused within one advisor.
@@ -238,6 +260,27 @@ impl BudgetedWorkloadPlan {
     pub fn cost_ratio(&self) -> f64 {
         self.plan.total_cost / self.unconstrained_cost
     }
+
+    /// [`WorkloadPlan::assert_bit_identical_to`] extended over the budget
+    /// search's own outcome: feasibility, the winning λ, and the
+    /// sweep/repair telemetry must match too.
+    pub fn assert_bit_identical_to(&self, other: &BudgetedWorkloadPlan, ctx: &str) {
+        self.plan.assert_bit_identical_to(&other.plan, ctx);
+        assert_eq!(self.feasible, other.feasible, "{ctx}: feasibility");
+        assert_eq!(self.lambda.to_bits(), other.lambda.to_bits(), "{ctx}: λ");
+        assert_eq!(self.lambda_sweeps, other.lambda_sweeps, "{ctx}: λ sweeps");
+        assert_eq!(self.repairs, other.repairs, "{ctx}: repairs");
+        assert_eq!(
+            self.unconstrained_cost.to_bits(),
+            other.unconstrained_cost.to_bits(),
+            "{ctx}: unconstrained cost"
+        );
+        assert_eq!(
+            self.unconstrained_size.to_bits(),
+            other.unconstrained_size.to_bits(),
+            "{ctx}: unconstrained size"
+        );
+    }
 }
 
 /// The online workload-scale advisor. Class statistics and maintenance
@@ -267,6 +310,20 @@ pub struct WorkloadAdvisor<'a> {
     epoch: u64,
     /// Mutations applied since the last completed re-optimization.
     mutations: u64,
+    /// How the per-path stages run: inline, or fanned out over a pool.
+    /// Either way the plan is bit-identical (DESIGN.md §5.13).
+    exec: Executor,
+}
+
+/// One dirty path's buffered re-pricing output, computed read-only on a
+/// worker and merged into the advisor (memo installs in path-id order) on
+/// the caller — see `WorkloadAdvisor::reprice_compute`.
+struct RepriceOut {
+    /// Fresh query shares, when the path's were stale.
+    query_costs: Option<Vec<[f64; 3]>>,
+    /// `(candidate, org, maintenance, size)` for every cell that was
+    /// unpriced when the pricing phase began.
+    cells: Vec<(CandidateId, Org, f64, f64)>,
 }
 
 impl<'a> WorkloadAdvisor<'a> {
@@ -286,7 +343,27 @@ impl<'a> WorkloadAdvisor<'a> {
             next_id: 0,
             epoch: 0,
             mutations: 0,
+            exec: Executor::from_env(),
         }
+    }
+
+    /// Replaces the executor the per-path stages run on (chainable). The
+    /// default is [`Executor::from_env`]; the plan is bit-identical for
+    /// any choice, so this is purely a wall-clock knob.
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// [`Self::with_executor`] by lane count: `1` is the sequential
+    /// engine, `n ≥ 2` recruits `n - 1` shared pool workers.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_executor(Executor::with_threads(threads))
+    }
+
+    /// The executor the per-path stages run on.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// Sets the shared per-class statistics (chainable; equivalent to
@@ -458,12 +535,13 @@ impl<'a> WorkloadAdvisor<'a> {
     }
 
     /// A cold copy: a fresh advisor over the same schema, parameters,
-    /// statistics, rates and live paths (same order), with every cache
-    /// empty. `rebuild().optimize()` is the from-scratch baseline that
-    /// [`Self::reoptimize`] must match — benches time the two against each
-    /// other; the property tests pin the cost equality.
+    /// statistics, rates, live paths (same order) and executor, with every
+    /// cache empty. `rebuild().optimize()` is the from-scratch baseline
+    /// that [`Self::reoptimize`] must match — benches time the two against
+    /// each other; the property tests pin the cost equality.
     pub fn rebuild(&self) -> WorkloadAdvisor<'a> {
-        let mut adv = WorkloadAdvisor::new(self.schema, self.params);
+        let mut adv =
+            WorkloadAdvisor::new(self.schema, self.params).with_executor(self.exec.clone());
         adv.stats.clone_from(&self.stats);
         adv.maint.clone_from(&self.maint);
         for st in &self.paths {
@@ -509,25 +587,70 @@ impl<'a> WorkloadAdvisor<'a> {
         self.epoch += 1;
         let mutations = std::mem::take(&mut self.mutations);
 
-        // Phase 1 — re-price dirty paths.
+        // Phase 1 — re-price dirty paths. Parallel mode computes each
+        // dirty path's model + prices read-only into a buffer, then merges
+        // the buffers in path-id order: a cell shared by several dirty
+        // paths keeps the lowest-id owner's value, exactly like the
+        // sequential first-owner-prices-it walk, so memo contents *and*
+        // the pricing counter are bit-identical for any thread count.
         let pricings_before = self.space.maintenance_pricings();
-        let mut repriced = 0usize;
-        for i in 0..self.paths.len() {
-            if self.paths[i].dirty_query || self.paths[i].dirty_maint {
+        let dirty: Vec<usize> = (0..self.paths.len())
+            .filter(|&i| self.paths[i].dirty_query || self.paths[i].dirty_maint)
+            .collect();
+        let repriced = dirty.len();
+        if self.exec.is_parallel() && dirty.len() > 1 {
+            let outs: Vec<RepriceOut> = {
+                let paths = &self.paths;
+                let space = &self.space;
+                let stats = &self.stats;
+                let maint = &self.maint;
+                let (schema, params) = (self.schema, self.params);
+                self.exec.par_map(&dirty, |_, &i| {
+                    Self::reprice_compute(schema, params, stats, maint, space, &paths[i])
+                })
+            };
+            for (out, &i) in outs.into_iter().zip(&dirty) {
+                for (cand, org, m, s) in out.cells {
+                    // First-in-path-order install; later buffers hit.
+                    self.space.maintenance_cost(cand, org, || m);
+                    self.space.size_cost(cand, org, || s);
+                }
+                let st = &mut self.paths[i];
+                if let Some(q) = out.query_costs {
+                    st.query_costs = q;
+                }
+                st.dirty_query = false;
+                st.dirty_maint = false;
+            }
+        } else {
+            for &i in &dirty {
                 self.reprice(i);
-                repriced += 1;
             }
         }
 
-        // Phase 2 — standalone optima (maintenance unshared).
+        // Phase 2 — standalone optima (maintenance unshared). Per-path
+        // independent DPs over the now-frozen memo: embarrassingly
+        // parallel, results written back in path order.
         let mut dp_runs = 0u64;
-        for i in 0..self.paths.len() {
-            if self.paths[i].standalone.is_some() {
-                continue;
+        let stale: Vec<usize> = (0..self.paths.len())
+            .filter(|&i| self.paths[i].standalone.is_none())
+            .collect();
+        dp_runs += stale.len() as u64;
+        if self.exec.is_parallel() && stale.len() > 1 {
+            let results = {
+                let paths = &self.paths;
+                let space = &self.space;
+                self.exec
+                    .par_map(&stale, |_, &i| Self::best_response(&paths[i], space, None))
+            };
+            for (result, &i) in results.into_iter().zip(&stale) {
+                self.paths[i].standalone = Some(result);
             }
-            let result = Self::best_response(&self.paths[i], &self.space, None);
-            dp_runs += 1;
-            self.paths[i].standalone = Some(result);
+        } else {
+            for &i in &stale {
+                let result = Self::best_response(&self.paths[i], &self.space, None);
+                self.paths[i].standalone = Some(result);
+            }
         }
         let independent_cost: f64 = self
             .paths
@@ -552,6 +675,17 @@ impl<'a> WorkloadAdvisor<'a> {
         let mut dp_memo_hits = 0u64;
         for _ in 0..MAX_SWEEPS {
             sweeps += 1;
+            // Speculate the round's best responses in parallel against the
+            // round-start ownership snapshot; the sequential commit below
+            // adopts a speculation only when its predicted sharing context
+            // matches the actual (Gauss–Seidel) one, so the trajectory —
+            // and the plan — is bit-identical to the sequential engine.
+            let specs: Option<SpeculationRound> = if self.exec.is_parallel() && self.paths.len() > 1
+            {
+                Some(self.speculate_round(&owned, &selections, None))
+            } else {
+                None
+            };
             let mut changed = false;
             for (i, sel) in selections.iter_mut().enumerate() {
                 let st = &self.paths[i];
@@ -571,8 +705,14 @@ impl<'a> WorkloadAdvisor<'a> {
                         pairs.clone()
                     }
                     _ => {
-                        let (pairs, _) = Self::best_response(st, &self.space, Some(&context));
                         dp_runs += 1;
+                        let pairs = match specs.as_ref().and_then(|s| s[i].as_ref()) {
+                            // The DP is a pure function of (path, memo,
+                            // context): a context-matching speculation IS
+                            // the sequential result.
+                            Some((pred, pairs)) if *pred == context => pairs.clone(),
+                            _ => Self::best_response(st, &self.space, Some(&context)).0,
+                        };
                         self.paths[i].sweep_memo = Some((context, pairs.clone()));
                         pairs
                     }
@@ -695,43 +835,92 @@ impl<'a> WorkloadAdvisor<'a> {
 
     /// Rebuilds the cost model of path `i` and refreshes its cached query
     /// shares (when stale) and its candidates' maintenance memo cells
-    /// (memoized: only invalidated or never-priced cells compute).
+    /// (memoized: only invalidated or never-priced cells compute). This is
+    /// [`Self::reprice_compute`] + an immediate merge — the sequential
+    /// spelling of the buffered parallel phase, same values, same
+    /// counters.
     fn reprice(&mut self, i: usize) {
-        let st = &mut self.paths[i];
-        let chars = PathCharacteristics::build(self.schema, &st.path, |c| self.stats[c.index()]);
-        let model = CostModel::new(self.schema, &st.path, &chars, self.params);
-        let n = st.path.len();
-        if st.dirty_query {
-            let alphas = &st.alphas;
-            let qld = LoadDistribution::build(self.schema, &st.path, |c| {
-                Triplet::new(alphas[c.index()], 0.0, 0.0)
-            });
-            for r in 0..SubpathId::count(n) {
-                let sub = SubpathId::from_rank(n, r);
-                for org in Org::ALL {
-                    st.query_costs[r][org.index()] =
-                        pc::processing_cost(&model, &qld, sub, Choice::Index(org));
-                }
-            }
+        let out = Self::reprice_compute(
+            self.schema,
+            self.params,
+            &self.stats,
+            &self.maint,
+            &self.space,
+            &self.paths[i],
+        );
+        for (cand, org, m, s) in out.cells {
+            self.space.maintenance_cost(cand, org, || m);
+            self.space.size_cost(cand, org, || s);
         }
-        let mld = LoadDistribution::build(self.schema, &st.path, |c| {
-            let (beta, gamma) = self.maint[c.index()];
-            Triplet::new(0.0, beta, gamma)
-        });
-        for r in 0..SubpathId::count(n) {
-            let sub = SubpathId::from_rank(n, r);
-            for org in Org::ALL {
-                self.space.maintenance_cost(st.cands[r], org, || {
-                    pc::processing_cost(&model, &mld, sub, Choice::Index(org))
-                });
-                // The footprint rides the same memo discipline: priced once
-                // per (candidate, org), invalidated with maintenance.
-                self.space
-                    .size_cost(st.cands[r], org, || model.size_pages(org, sub));
-            }
+        let st = &mut self.paths[i];
+        if let Some(q) = out.query_costs {
+            st.query_costs = q;
         }
         st.dirty_query = false;
         st.dirty_maint = false;
+    }
+
+    /// The read-only half of re-pricing one dirty path: rebuild its cost
+    /// model, recompute stale query shares, and price every candidate
+    /// cell that is **unpriced in `space` right now** into a buffer. Runs
+    /// on pool workers against a frozen `&CandidateSpace`; the caller
+    /// merges buffers in path-id order, so a cell computed by several
+    /// concurrent owners keeps the lowest-id owner's value — exactly the
+    /// value the sequential first-owner walk installs.
+    fn reprice_compute(
+        schema: &Schema,
+        params: CostParams,
+        stats: &[ClassStats],
+        maint: &[(f64, f64)],
+        space: &CandidateSpace,
+        st: &PathState,
+    ) -> RepriceOut {
+        let chars = PathCharacteristics::build(schema, &st.path, |c| stats[c.index()]);
+        let model = CostModel::new(schema, &st.path, &chars, params);
+        let n = st.path.len();
+        let query_costs = st.dirty_query.then(|| {
+            let alphas = &st.alphas;
+            let qld = LoadDistribution::build(schema, &st.path, |c| {
+                Triplet::new(alphas[c.index()], 0.0, 0.0)
+            });
+            (0..SubpathId::count(n))
+                .map(|r| {
+                    let sub = SubpathId::from_rank(n, r);
+                    let mut cell = [0.0; 3];
+                    for org in Org::ALL {
+                        cell[org.index()] =
+                            pc::processing_cost(&model, &qld, sub, Choice::Index(org));
+                    }
+                    cell
+                })
+                .collect()
+        });
+        let mld = LoadDistribution::build(schema, &st.path, |c| {
+            let (beta, gamma) = maint[c.index()];
+            Triplet::new(0.0, beta, gamma)
+        });
+        let mut cells = Vec::new();
+        for r in 0..SubpathId::count(n) {
+            let sub = SubpathId::from_rank(n, r);
+            for org in Org::ALL {
+                let cand = st.cands[r];
+                // The footprint rides the maintenance memo discipline
+                // (priced once per (candidate, org), invalidated
+                // together), so one staleness check covers both planes.
+                if space.priced_maintenance(cand, org).is_some()
+                    && space.priced_size(cand, org).is_some()
+                {
+                    continue;
+                }
+                cells.push((
+                    cand,
+                    org,
+                    pc::processing_cost(&model, &mld, sub, Choice::Index(org)),
+                    model.size_pages(org, sub),
+                ));
+            }
+        }
+        RepriceOut { query_costs, cells }
     }
 
     /// The 3-bit-per-rank mask of this path's `(candidate, org)` cells that
@@ -750,6 +939,73 @@ impl<'a> WorkloadAdvisor<'a> {
                 mask
             })
             .collect()
+    }
+
+    /// The sharing context path `st` would see if every *other* path kept
+    /// the selection recorded in the round-start snapshot: `counts` with
+    /// the path's own round-start selection subtracted. This is what a
+    /// parallel worker speculates against; the sequential commit loop
+    /// adopts the speculation only when the live Gauss–Seidel context
+    /// turns out equal.
+    fn predicted_context(
+        st: &PathState,
+        counts: &HashMap<(CandidateId, Org), usize>,
+        own: &Selection,
+    ) -> Vec<u8> {
+        let n = st.path.len();
+        let mut own_contrib = vec![0u8; st.cands.len()];
+        for &(sub, org) in own {
+            own_contrib[sub.rank(n)] |= 1 << org.index();
+        }
+        st.cands
+            .iter()
+            .enumerate()
+            .map(|(r, &cand)| {
+                let mut mask = 0u8;
+                for org in Org::ALL {
+                    let total = counts.get(&(cand, org)).copied().unwrap_or(0);
+                    let own = usize::from(own_contrib[r] & (1 << org.index()) != 0);
+                    if total.saturating_sub(own) > 0 {
+                        mask |= 1 << org.index();
+                    }
+                }
+                mask
+            })
+            .collect()
+    }
+
+    /// One parallel speculation round: every path's best response against
+    /// its [`Self::predicted_context`], fanned out over the executor.
+    /// `lambda = None` is the memo-aware unconstrained sweep (paths whose
+    /// sweep memo already answers the predicted context return `None` —
+    /// the commit loop will take the memo hit); `lambda = Some(λ)` is the
+    /// memo-less λ-priced sweep of the budgeted search.
+    fn speculate_round(
+        &self,
+        owned: &HashMap<(CandidateId, Org), usize>,
+        selections: &[Selection],
+        lambda: Option<f64>,
+    ) -> SpeculationRound {
+        let paths = &self.paths;
+        let space = &self.space;
+        let idxs: Vec<usize> = (0..paths.len()).collect();
+        self.exec.par_map(&idxs, |_, &i| {
+            let st = &paths[i];
+            let pred = Self::predicted_context(st, owned, &selections[i]);
+            match lambda {
+                None => match &st.sweep_memo {
+                    Some((key, _)) if *key == pred => None,
+                    _ => {
+                        let (pairs, _) = Self::best_response(st, space, Some(&pred));
+                        Some((pred, pairs))
+                    }
+                },
+                Some(l) => {
+                    let m = Self::priced_matrix(st, space, Some(&pred), l);
+                    Some((pred, Self::matrix_selection(&m)))
+                }
+            }
+        })
     }
 
     /// One path's optimal configuration under a sharing context: a covered
@@ -841,16 +1097,24 @@ impl<'a> WorkloadAdvisor<'a> {
     /// One full coordinate-descent pass pricing `cost + λ·size` — the
     /// unconstrained sweep in a Lagrangian-relaxed objective. Read-only:
     /// neither the sweep memos nor the standalone caches are touched (they
-    /// hold λ = 0 artifacts).
+    /// hold λ = 0 artifacts). Parallel executors fan the context-free
+    /// seeding and each round's speculation out exactly like the
+    /// unconstrained sweeps; the sequential commit keeps the trajectory
+    /// bit-identical.
     fn lambda_sweep(&self, lambda: f64) -> Vec<Selection> {
-        let mut selections: Vec<Selection> = self
-            .paths
-            .iter()
-            .map(|st| {
-                let m = Self::priced_matrix(st, &self.space, None, lambda);
-                Self::matrix_selection(&m)
-            })
-            .collect();
+        let seed = |_: usize, st: &PathState| {
+            let m = Self::priced_matrix(st, &self.space, None, lambda);
+            Self::matrix_selection(&m)
+        };
+        let mut selections: Vec<Selection> = if self.exec.is_parallel() && self.paths.len() > 1 {
+            self.exec.par_map(&self.paths, seed)
+        } else {
+            self.paths
+                .iter()
+                .enumerate()
+                .map(|(i, st)| seed(i, st))
+                .collect()
+        };
         let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
         for (st, sel) in self.paths.iter().zip(&selections) {
             let n = st.path.len();
@@ -859,6 +1123,12 @@ impl<'a> WorkloadAdvisor<'a> {
             }
         }
         for _ in 0..MAX_SWEEPS {
+            let specs: Option<SpeculationRound> = if self.exec.is_parallel() && self.paths.len() > 1
+            {
+                Some(self.speculate_round(&owned, &selections, Some(lambda)))
+            } else {
+                None
+            };
             let mut changed = false;
             for (i, sel) in selections.iter_mut().enumerate() {
                 let st = &self.paths[i];
@@ -872,8 +1142,13 @@ impl<'a> WorkloadAdvisor<'a> {
                     }
                 }
                 let context = Self::context_key(st, &owned);
-                let m = Self::priced_matrix(st, &self.space, Some(&context), lambda);
-                let pairs = Self::matrix_selection(&m);
+                let pairs = match specs.as_ref().and_then(|s| s[i].as_ref()) {
+                    Some((pred, pairs)) if *pred == context => pairs.clone(),
+                    _ => {
+                        let m = Self::priced_matrix(st, &self.space, Some(&context), lambda);
+                        Self::matrix_selection(&m)
+                    }
+                };
                 changed |= pairs != *sel;
                 for &(sub, org) in &pairs {
                     *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
@@ -1037,53 +1312,29 @@ impl<'a> WorkloadAdvisor<'a> {
             // Deterministic candidate order (hash maps iterate randomly).
             let mut pairs: Vec<(CandidateId, Org)> = owners_map.keys().copied().collect();
             pairs.sort_unstable();
+            // Each trial is read-only given the current selections, so the
+            // fan-out is free of coordination; the fold below walks the
+            // sorted pair order, which keeps the chosen eviction — and the
+            // whole descent — bit-identical to the sequential engine.
+            let trial_of = |_: usize, pair: &(CandidateId, Org)| {
+                self.eviction_trial(selections, &owners_map, &banned, *pair)
+            };
+            let trials: Vec<Option<(Vec<Selection>, f64, f64)>> =
+                if self.exec.is_parallel() && pairs.len() > 1 {
+                    self.exec.par_map(&pairs, trial_of)
+                } else {
+                    pairs
+                        .iter()
+                        .enumerate()
+                        .map(|(k, pair)| trial_of(k, pair))
+                        .collect()
+                };
             let stol = 1e-9 * size0.abs().max(1.0);
             let mut best: Option<EvictionTrial> = None;
-            for pair in pairs {
-                banned.insert(pair);
-                let mut trial = selections.clone();
-                let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
-                for (st, sel) in self.paths.iter().zip(trial.iter()) {
-                    let n = st.path.len();
-                    for &(sub, org) in sel {
-                        *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
-                    }
-                }
-                let mut ok = true;
-                for &i in &owners_map[&pair] {
-                    let st = &self.paths[i];
-                    let n = st.path.len();
-                    for &(sub, org) in &trial[i] {
-                        let key = (st.cands[sub.rank(n)], org);
-                        let count = owned.get_mut(&key).expect("selection was registered");
-                        *count -= 1;
-                        if *count == 0 {
-                            owned.remove(&key);
-                        }
-                    }
-                    let context = Self::context_key(st, &owned);
-                    let matrix =
-                        Self::priced_matrix_banned(st, &self.space, Some(&context), &banned);
-                    // frontier_dp rather than the scalar DP, deliberately:
-                    // its empty point set detects a ban that left the path
-                    // uncoverable (the scalar DP panics there), and its
-                    // first point breaks exact cost ties toward the leaner
-                    // configuration — the right bias while evicting pages.
-                    let frontier = crate::select::frontier_dp(&matrix);
-                    let Some(point) = frontier.points.first() else {
-                        ok = false; // the ban left this path uncoverable
-                        break;
-                    };
-                    trial[i] = Self::to_selection(&point.config);
-                    for &(sub, org) in &trial[i] {
-                        *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
-                    }
-                }
-                banned.remove(&pair);
-                if !ok {
-                    continue;
-                }
-                let (cost, size) = self.selection_totals(&trial);
+            for (&pair, outcome) in pairs.iter().zip(trials) {
+                let Some((trial, cost, size)) = outcome else {
+                    continue; // the ban left some owner uncoverable
+                };
                 if size >= size0 - stol {
                     continue; // evicting this index frees nothing
                 }
@@ -1103,6 +1354,57 @@ impl<'a> WorkloadAdvisor<'a> {
             banned.insert(pair);
             *selections = trial;
         }
+    }
+
+    /// One eviction trial: ban `pair` on top of `banned_base` and let all
+    /// of its owner paths re-select without it under the live sharing
+    /// context. Returns the re-selected workload with its true `(cost,
+    /// size)`, or `None` when the ban leaves some owner uncoverable.
+    /// Read-only (runs on pool workers during the parallel descent).
+    fn eviction_trial(
+        &self,
+        selections: &[Selection],
+        owners_map: &HashMap<(CandidateId, Org), Vec<usize>>,
+        banned_base: &std::collections::HashSet<(CandidateId, Org)>,
+        pair: (CandidateId, Org),
+    ) -> Option<(Vec<Selection>, f64, f64)> {
+        let mut banned = banned_base.clone();
+        banned.insert(pair);
+        let mut trial = selections.to_vec();
+        let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
+        for (st, sel) in self.paths.iter().zip(trial.iter()) {
+            let n = st.path.len();
+            for &(sub, org) in sel {
+                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+            }
+        }
+        for &i in &owners_map[&pair] {
+            let st = &self.paths[i];
+            let n = st.path.len();
+            for &(sub, org) in &trial[i] {
+                let key = (st.cands[sub.rank(n)], org);
+                let count = owned.get_mut(&key).expect("selection was registered");
+                *count -= 1;
+                if *count == 0 {
+                    owned.remove(&key);
+                }
+            }
+            let context = Self::context_key(st, &owned);
+            let matrix = Self::priced_matrix_banned(st, &self.space, Some(&context), &banned);
+            // frontier_dp rather than the scalar DP, deliberately:
+            // its empty point set detects a ban that left the path
+            // uncoverable (the scalar DP panics there), and its
+            // first point breaks exact cost ties toward the leaner
+            // configuration — the right bias while evicting pages.
+            let frontier = crate::select::frontier_dp(&matrix);
+            let point = frontier.points.first()?;
+            trial[i] = Self::to_selection(&point.config);
+            for &(sub, org) in &trial[i] {
+                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+            }
+        }
+        let (cost, size) = self.selection_totals(&trial);
+        Some((trial, cost, size))
     }
 
     /// Workload-scale selection under a **shared page budget**: the
@@ -1295,6 +1597,78 @@ impl<'a> WorkloadAdvisor<'a> {
 }
 
 impl WorkloadPlan {
+    /// Asserts this plan **bit-identical** to `other` — the canonical
+    /// spelling of the parallel determinism contract (DESIGN.md §5.13),
+    /// used by the cross-thread-count property tests, the scaling bench
+    /// and the parallel example so their coverage cannot drift apart.
+    /// Floats compare via `to_bits`; selections, shared-index outcomes
+    /// and the work-audit telemetry (sweeps, pricings, DP runs, memo
+    /// hits) must all match. Panics with `ctx` on the first divergence.
+    ///
+    /// Only [`WorkloadPlan::epoch`] and [`WorkloadPlan::mutations`] are
+    /// exempt: they describe the advisor's history, not the plan, so
+    /// e.g. a warm plan may be compared against its cold rebuild.
+    pub fn assert_bit_identical_to(&self, other: &WorkloadPlan, ctx: &str) {
+        assert_eq!(
+            self.total_cost.to_bits(),
+            other.total_cost.to_bits(),
+            "{ctx}: total_cost {} vs {}",
+            self.total_cost,
+            other.total_cost
+        );
+        assert_eq!(
+            self.independent_cost.to_bits(),
+            other.independent_cost.to_bits(),
+            "{ctx}: independent_cost"
+        );
+        assert_eq!(
+            self.size_pages.to_bits(),
+            other.size_pages.to_bits(),
+            "{ctx}: size_pages"
+        );
+        assert_eq!(self.physical_indexes, other.physical_indexes, "{ctx}");
+        assert_eq!(self.candidates, other.candidates, "{ctx}");
+        assert_eq!(self.sweeps, other.sweeps, "{ctx}: sweeps");
+        assert_eq!(
+            self.repriced_paths, other.repriced_paths,
+            "{ctx}: repriced paths"
+        );
+        assert_eq!(
+            self.epoch_pricings, other.epoch_pricings,
+            "{ctx}: epoch pricings"
+        );
+        assert_eq!(
+            self.maintenance_pricings, other.maintenance_pricings,
+            "{ctx}: cumulative pricings"
+        );
+        assert_eq!(self.dp_runs, other.dp_runs, "{ctx}: dp runs");
+        assert_eq!(self.dp_memo_hits, other.dp_memo_hits, "{ctx}: dp memo hits");
+        assert_eq!(self.paths.len(), other.paths.len(), "{ctx}: path count");
+        for (a, b) in self.paths.iter().zip(&other.paths) {
+            assert_eq!(a.id, b.id, "{ctx}");
+            assert_eq!(
+                a.selection.pairs(),
+                b.selection.pairs(),
+                "{ctx}: selections diverged for path {:?}",
+                a.id
+            );
+            assert_eq!(a.query_cost.to_bits(), b.query_cost.to_bits(), "{ctx}");
+            assert_eq!(
+                a.standalone_cost.to_bits(),
+                b.standalone_cost.to_bits(),
+                "{ctx}"
+            );
+        }
+        assert_eq!(self.shared.len(), other.shared.len(), "{ctx}: shared count");
+        for (a, b) in self.shared.iter().zip(&other.shared) {
+            assert_eq!(a.candidate, b.candidate, "{ctx}");
+            assert_eq!(a.org, b.org, "{ctx}");
+            assert_eq!(a.owners, b.owners, "{ctx}");
+            assert_eq!(a.maintenance.to_bits(), b.maintenance.to_bits(), "{ctx}");
+            assert_eq!(a.saving.to_bits(), b.saving.to_bits(), "{ctx}");
+        }
+    }
+
     /// Human-readable report.
     pub fn render(&self, schema: &Schema) -> String {
         use std::fmt::Write as _;

@@ -42,3 +42,22 @@ pub use characteristics::{ClassStats, PathCharacteristics};
 pub use model::CostModel;
 pub use org::Org;
 pub use params::CostParams;
+
+// The workload advisor's parallel stages (`oic_core`, DESIGN.md §5.13)
+// share priced models and characteristics across worker threads by
+// reference. That is sound because every memo in this crate is filled at
+// construction — there is no interior mutability anywhere on the pricing
+// path — and these assertions keep it that way: adding a `Cell`/`RefCell`
+// lazy cache to any of these types is a compile error here, pointing at
+// this contract instead of at a distant auto-trait failure in `oic_core`.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    const fn pricing_path_is_shareable() {
+        assert_sync_send::<CostModel<'_>>();
+        assert_sync_send::<PathCharacteristics>();
+        assert_sync_send::<ClassStats>();
+        assert_sync_send::<CostParams>();
+        assert_sync_send::<Org>();
+    }
+    _ = pricing_path_is_shareable;
+};

@@ -1,0 +1,571 @@
+//! An offline-friendly **work-stealing thread pool** over `std::thread`
+//! primitives — no registry dependencies — with a rayon-like scoped API:
+//! [`ThreadPool::scope`] spawns borrowing closures, [`Executor::par_map`]
+//! fans a slice out across the pool and returns results **in input
+//! order**.
+//!
+//! The pool exists to parallelize the per-path stages of the workload
+//! advisor (`oic_core::WorkloadAdvisor`), whose headline invariant is that
+//! the parallel plan is **bit-identical** to the sequential one for any
+//! thread count (DESIGN.md §5.13). The executor's part of that contract is
+//! narrow and easy to audit:
+//!
+//! * `par_map` applies a *pure* function per item and returns the results
+//!   indexed exactly like the input — which worker computed an item, and
+//!   in which order items finished, is unobservable;
+//! * [`Executor::sequential`] (`OIC_THREADS=1`) runs everything inline on
+//!   the caller's thread — the sequential engine is the same code with the
+//!   fan-out skipped, not a second implementation.
+//!
+//! All ordering-sensitive reductions (merging memo writes, summing floats)
+//! stay in the *caller*, which sequences them deterministically from the
+//! order-stable `par_map` output.
+//!
+//! # Scheduling
+//!
+//! One local FIFO deque per worker plus a shared injector. Submitted jobs
+//! are placed round-robin across the local deques; an idle worker drains
+//! its own deque first, then the injector, then **steals from the back of
+//! a sibling's deque**. Workers park on a condvar when every queue is
+//! empty; submission wakes exactly one. `par_map` additionally
+//! self-balances *within* a batch: workers claim item indexes from one
+//! shared atomic counter, so an uneven item granularity cannot idle a lane
+//! while another lane still holds a long tail.
+//!
+//! # Panics
+//!
+//! A panicking task never poisons the pool: the payload is captured, every
+//! other task of the scope still runs to completion, and the panic resumes
+//! on the caller once the scope is drained — so a failing assertion inside
+//! a parallel stage surfaces exactly like its sequential counterpart.
+//!
+//! ```
+//! use oic_exec::Executor;
+//!
+//! let exec = Executor::with_threads(4);
+//! let squares = exec.par_map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]); // input order, any thread count
+//! assert_eq!(Executor::sequential().par_map(&[1u64, 2], |i, _| i), vec![0, 1]);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread;
+
+/// The environment variable the default executor reads: the total number
+/// of compute lanes (caller thread included). `1` selects the sequential
+/// engine; unset, `0`, or unparsable values fall back to the machine's
+/// available parallelism.
+pub const THREADS_ENV: &str = "OIC_THREADS";
+
+/// Upper bound on configurable lanes — a sanity clamp, far above any
+/// machine this targets, so a typo in `OIC_THREADS` cannot fork-bomb.
+const MAX_LANES: usize = 256;
+
+/// A type-erased unit of work. Jobs created by [`ThreadPool::scope`]
+/// borrow the scope's stack frame; the scope guarantees they finish (or
+/// never start) before that frame unwinds.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lock, shrugging off poison: a panicking *task* is caught inside the
+/// job wrapper, but a panicking worker thread (impossible by
+/// construction, defensively handled) must not deadlock the others.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// Global overflow queue, drained after a worker's own deque.
+    injector: Mutex<VecDeque<Job>>,
+    /// One local deque per worker; siblings steal from the **back**.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Wakeup state: queued-job claims and the shutdown flag.
+    idle: Mutex<IdleState>,
+    /// Workers park here when every queue is empty.
+    wakeup: Condvar,
+    /// Round-robin cursor for job placement.
+    place: AtomicUsize,
+}
+
+struct IdleState {
+    /// Jobs pushed and not yet claimed by a worker.
+    pending: usize,
+    /// Set once by `Drop`; workers exit when it is set and no job remains.
+    shutdown: bool,
+}
+
+/// A fixed-size work-stealing thread pool. Workers are spawned eagerly and
+/// park when idle (zero CPU); dropping the pool drains every queued job,
+/// then joins the workers.
+///
+/// Most callers want an [`Executor`] (which memoizes one process-global
+/// pool per thread count) rather than a pool of their own.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `workers` worker threads (the caller's thread is *not* one
+    /// of them; [`Executor::par_map`] adds it as an extra lane while a
+    /// batch runs). `workers` must be ≥ 1 — a zero-worker pool is spelled
+    /// [`Executor::sequential`].
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(IdleState {
+                pending: 0,
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+            place: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("oic-exec-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.locals.len()
+    }
+
+    /// Places one job (round-robin across the local deques) and wakes a
+    /// parked worker.
+    fn submit(&self, job: Job) {
+        let slot = self.shared.place.fetch_add(1, Ordering::Relaxed) % self.shared.locals.len();
+        lock(&self.shared.locals[slot]).push_back(job);
+        lock(&self.shared.idle).pending += 1;
+        self.shared.wakeup.notify_one();
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowing closures can be
+    /// spawned onto the pool. Every spawned task is guaranteed to have
+    /// finished when `scope` returns — including when `f` itself panics —
+    /// which is what makes lending the tasks references to the caller's
+    /// stack sound. If any task panicked, the first captured payload is
+    /// resumed on the caller after the scope drains.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env, '_>) -> R) -> R {
+        let state = Arc::new(ScopeState {
+            running: Mutex::new(0),
+            drained: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
+        // The guard waits for stragglers even when `f` unwinds: no task
+        // may outlive the borrows it captured from `f`'s frame.
+        let _drain = DrainGuard(&state);
+        let out = f(&scope);
+        state.wait();
+        if let Some(payload) = lock(&state.panic).take() {
+            resume_unwind(payload);
+        }
+        out
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        lock(&self.shared.idle).shutdown = true;
+        self.shared.wakeup.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        // Claim one queued job, or decide to park/exit.
+        {
+            let mut idle = lock(&shared.idle);
+            loop {
+                if idle.pending > 0 {
+                    idle.pending -= 1;
+                    break;
+                }
+                if idle.shutdown {
+                    return;
+                }
+                idle = shared.wakeup.wait(idle).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // A claim corresponds to a job already pushed; scan until it (or
+        // any other unclaimed job) is found: own deque front, injector,
+        // then steal from the back of a sibling's deque. Claims never
+        // outnumber pushed jobs, so the scan terminates.
+        let job = loop {
+            if let Some(job) = lock(&shared.locals[me]).pop_front() {
+                break job;
+            }
+            if let Some(job) = lock(&shared.injector).pop_front() {
+                break job;
+            }
+            let steal = (0..shared.locals.len())
+                .filter(|&other| other != me)
+                .find_map(|other| lock(&shared.locals[other]).pop_back());
+            if let Some(job) = steal {
+                break job;
+            }
+            std::hint::spin_loop();
+        };
+        job();
+    }
+}
+
+/// Completion tracking for one [`ThreadPool::scope`].
+struct ScopeState {
+    /// Spawned tasks not yet finished.
+    running: Mutex<usize>,
+    /// Signalled when `running` returns to zero.
+    drained: Condvar,
+    /// First captured task panic, resumed on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn wait(&self) {
+        let mut running = lock(&self.running);
+        while *running > 0 {
+            running = self
+                .drained
+                .wait(running)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn finish_one(&self) {
+        let mut running = lock(&self.running);
+        *running -= 1;
+        if *running == 0 {
+            self.drained.notify_all();
+        }
+    }
+}
+
+/// Blocks until the scope's tasks drain; runs on both the normal and the
+/// unwinding exit path of [`ThreadPool::scope`].
+struct DrainGuard<'a>(&'a Arc<ScopeState>);
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// A spawn handle lending the pool closures that borrow the enclosing
+/// [`ThreadPool::scope`] frame (lifetime `'env`).
+pub struct Scope<'env, 'pool> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env, '_> {
+    /// Spawns `task` onto the pool. The task may borrow anything that
+    /// outlives the `scope` call; it runs at most once, and the scope
+    /// blocks until it has finished. A panic inside `task` is captured and
+    /// resumed from `scope` after the remaining tasks drain.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        *lock(&self.state.running) += 1;
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                lock(&state.panic).get_or_insert(payload);
+            }
+            state.finish_one();
+        });
+        // SAFETY: lifetime erasure only. The job is executed (or the
+        // process aborts) before `scope` returns: `running` was
+        // incremented above, the worker decrements it strictly after the
+        // closure finishes, and `DrainGuard`/`ScopeState::wait` block the
+        // scope — on the normal *and* unwinding path — until `running`
+        // is zero. Every `'env` borrow the closure captured therefore
+        // outlives its execution, which is the guarantee `'static` is
+        // standing in for. The pool itself never drops a queued job
+        // without running it (shutdown drains the queues first).
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.submit(job);
+    }
+}
+
+/// Process-global pool per lane count, so every advisor (and every test)
+/// asking for the same `OIC_THREADS` shares one set of parked workers
+/// instead of spawning its own.
+fn global_pool(lanes: usize) -> Arc<ThreadPool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    Arc::clone(
+        lock(pools)
+            .entry(lanes)
+            .or_insert_with(|| Arc::new(ThreadPool::new(lanes - 1))),
+    )
+}
+
+/// A cheaply clonable handle selecting how parallel stages run: inline on
+/// the caller ([`Executor::sequential`]) or fanned out over a shared
+/// [`ThreadPool`]. `threads` counts *lanes* — the caller's thread plus the
+/// pool workers a `par_map` batch recruits — so `with_threads(8)` uses a
+/// 7-worker pool and `with_threads(1)` is exactly the sequential engine.
+#[derive(Clone)]
+pub struct Executor {
+    lanes: usize,
+    pool: Option<Arc<ThreadPool>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("lanes", &self.lanes)
+            .finish()
+    }
+}
+
+impl Default for Executor {
+    /// [`Executor::from_env`].
+    fn default() -> Self {
+        Executor::from_env()
+    }
+}
+
+impl Executor {
+    /// Everything inline on the caller's thread — the sequential engine.
+    pub fn sequential() -> Self {
+        Executor {
+            lanes: 1,
+            pool: None,
+        }
+    }
+
+    /// `lanes` compute lanes (clamped to `1..=256`): the caller plus
+    /// `lanes - 1` workers from the process-global pool of that size.
+    /// `with_threads(1)` is [`Executor::sequential`].
+    pub fn with_threads(lanes: usize) -> Self {
+        let lanes = lanes.clamp(1, MAX_LANES);
+        if lanes == 1 {
+            return Executor::sequential();
+        }
+        Executor {
+            lanes,
+            pool: Some(global_pool(lanes)),
+        }
+    }
+
+    /// Reads [`THREADS_ENV`] (`OIC_THREADS`): `1` → sequential, `n ≥ 2` →
+    /// `n` lanes; unset, `0`, or unparsable → one lane per available CPU.
+    pub fn from_env() -> Self {
+        let lanes = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()));
+        Executor::with_threads(lanes)
+    }
+
+    /// Total compute lanes (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether stages fan out to a pool at all.
+    pub fn is_parallel(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**; `f` receives `(index, &item)`. Sequential executors (and
+    /// trivial batches) run inline; parallel executors recruit up to
+    /// `threads() - 1` pool workers alongside the caller, all claiming
+    /// item indexes from one shared counter. For a pure `f` the result is
+    /// identical for every thread count — the determinism contract the
+    /// advisor's bit-identity invariant builds on.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let pool = match &self.pool {
+            Some(pool) if n > 1 => pool,
+            _ => return items.iter().enumerate().map(|(i, t)| f(i, t)).collect(),
+        };
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let run = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let out = f(i, &items[i]);
+            *lock(&slots[i]) = Some(out);
+        };
+        pool.scope(|scope| {
+            // One recruit per spare lane, capped by the batch size; the
+            // caller is the final lane.
+            for _ in 0..(self.lanes - 1).min(n - 1) {
+                scope.spawn(run);
+            }
+            run();
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                lock(&slot)
+                    .take()
+                    .unwrap_or_else(|| panic!("par_map item {i} produced no result"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_runs_inline() {
+        let exec = Executor::sequential();
+        assert_eq!(exec.threads(), 1);
+        assert!(!exec.is_parallel());
+        let caller = thread::current().id();
+        let ids = exec.par_map(&[(); 4], |_, _| thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let exec = Executor::with_threads(4);
+        let items: Vec<u64> = (0..1000).collect();
+        let out = exec.par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3 + 1
+        });
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn all_thread_counts_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |_: usize, &x: &u64| (x as f64).sqrt().to_bits();
+        let baseline = Executor::sequential().par_map(&items, f);
+        for lanes in [2, 3, 8] {
+            assert_eq!(Executor::with_threads(lanes).par_map(&items, f), baseline);
+        }
+    }
+
+    #[test]
+    fn batches_actually_fan_out() {
+        let exec = Executor::with_threads(4);
+        assert_eq!(exec.threads(), 4);
+        // Pool workers exist and run jobs (even on a single-CPU host the
+        // recruited lanes execute; they just time-slice).
+        let hits = AtomicU64::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        exec.par_map(&items, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn with_threads_one_is_sequential() {
+        assert!(!Executor::with_threads(1).is_parallel());
+        assert!(!Executor::with_threads(0).is_parallel(), "clamped up to 1");
+        assert!(Executor::with_threads(2).is_parallel());
+    }
+
+    #[test]
+    fn scope_runs_borrowing_tasks_to_completion() {
+        let pool = ThreadPool::new(3);
+        let counter = AtomicU64::new(0);
+        let data: Vec<u64> = (1..=100).collect();
+        pool.scope(|s| {
+            for chunk in data.chunks(7) {
+                s.spawn(|| {
+                    counter.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        // The scope returned, so every task (borrowing `data` and
+        // `counter`) has finished.
+        assert_eq!(counter.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_the_scope_drains() {
+        let exec = Executor::with_threads(3);
+        let done = AtomicU64::new(0);
+        let items: Vec<usize> = (0..32).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.par_map(&items, |i, _| {
+                if i == 5 {
+                    panic!("boom at {i}");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        let payload = result.expect_err("the task panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 5"), "unexpected payload: {msg}");
+        // The pool survives the panic and keeps working.
+        let out = exec.par_map(&items, |_, &x| x + 1);
+        assert_eq!(out[31], 32);
+    }
+
+    #[test]
+    fn dropping_a_private_pool_drains_queued_jobs() {
+        let pool = ThreadPool::new(2);
+        let ran = Arc::new(AtomicU64::new(0));
+        pool.scope(|s| {
+            for _ in 0..50 {
+                let ran = Arc::clone(&ran);
+                s.spawn(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        drop(pool);
+        assert_eq!(ran.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn global_pools_are_shared_per_lane_count() {
+        let a = Executor::with_threads(5);
+        let b = Executor::with_threads(5);
+        let (Some(pa), Some(pb)) = (&a.pool, &b.pool) else {
+            panic!("parallel executors carry a pool");
+        };
+        assert!(Arc::ptr_eq(pa, pb), "same lane count, same pool");
+        assert_eq!(pa.workers(), 4);
+    }
+}

@@ -103,6 +103,9 @@ proptest! {
     /// Churn dominated by departures and re-arrivals: candidate freeing,
     /// id recycling and re-pricing keep the space consistent with a cold
     /// interning of the survivors.
+    ///
+    /// (The long-horizon variant of this anchor — 200 epochs under the
+    /// *parallel* engine — is the non-proptest stress test below.)
     #[test]
     fn departure_heavy_churn_keeps_space_live(
         base_seed in 0u64..500,
@@ -134,4 +137,61 @@ proptest! {
             prop_assert_eq!(warm.candidates, cold.candidates);
         }
     }
+}
+
+/// 200 epochs of drift under the **parallel engine**: the warm
+/// `reoptimize()` still equals a cold `rebuild().optimize()` after long
+/// cache-churn horizons — id recycling, memo invalidation and
+/// best-response memos never drift, and the parallel fan-out (buffered
+/// pricing merges, speculative sweeps) never perturbs the anchor. The
+/// cold baseline inherits the advisor's executor via `rebuild()`, so
+/// both sides of every comparison run the same engine.
+#[test]
+fn two_hundred_epoch_parallel_churn_keeps_the_warm_cold_anchor() {
+    let w = synth_workload(&WorkloadSpec {
+        paths: 12,
+        depth: 4,
+        fanout: 2,
+        seed: 1994,
+    });
+    let mut adv = w.advisor(CostParams::default()).with_threads(4);
+    assert!(adv.executor().is_parallel());
+    let first = adv.optimize();
+    assert!(first.total_cost.is_finite() && first.total_cost > 0.0);
+    let mut sim = DriftSim::new(
+        &w,
+        DriftSpec {
+            arrivals: 2,
+            departures: 2,
+            stat_drifts: 1,
+            rate_drifts: 1,
+            query_drifts: 2,
+            seed: 77,
+        },
+    );
+    let mut total_mutations = 0usize;
+    for epoch in 0..200 {
+        let churn = sim.step(&mut adv);
+        total_mutations += churn.total();
+        let warm = adv.reoptimize();
+        let cold = adv.rebuild().optimize();
+        assert_plans_match(&warm, &cold, &format!("stress epoch {epoch} ({churn:?})"));
+        assert_eq!(
+            warm.candidates, cold.candidates,
+            "stress epoch {epoch}: candidate space leaked or dangled"
+        );
+        // The warm engine must keep doing *less* pricing work than the
+        // cold rebuild, epoch after epoch — caches that silently died
+        // would still pass the cost check above.
+        assert!(
+            warm.epoch_pricings <= cold.epoch_pricings,
+            "stress epoch {epoch}: warm priced {} cells, cold {}",
+            warm.epoch_pricings,
+            cold.epoch_pricings
+        );
+    }
+    assert!(
+        total_mutations >= 200,
+        "the drift spec must actually churn: {total_mutations} mutations"
+    );
 }

@@ -1,0 +1,109 @@
+//! The parallel-engine determinism harness: for any thread count, the
+//! advisor's plan must be **bit-identical** to the sequential engine's —
+//! selections, every float (compared via `to_bits`), and the work-audit
+//! telemetry (pricings, DP runs, memo hits, sweeps) alike, as spelled by
+//! `WorkloadPlan::assert_bit_identical_to`.
+//!
+//! This is deliberately stronger than the warm-vs-cold anchor in
+//! `evolving.rs` (which tolerates float-summation noise): the parallel
+//! engine runs the *same* trajectory as the sequential one — buffered
+//! memo merges in path-id order, speculation committed only on
+//! context match, value-sorted float reductions — so nothing may move by
+//! even one ulp (DESIGN.md §5.13).
+
+use oic_core::{BudgetedWorkloadPlan, WorkloadPlan};
+use oic_cost::CostParams;
+use oic_sim::{synth_workload, DriftSim, DriftSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Thread counts under test: the sequential engine and two pool shapes.
+const LANES: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `optimize()` and post-churn `reoptimize()` are bit-identical across
+    /// thread counts {1, 2, 8} on random workloads of up to 64 paths.
+    #[test]
+    fn parallel_optimize_and_reoptimize_match_sequential(
+        seed in 0u64..1_000,
+        drift_seed in 0u64..1_000,
+        paths in 2usize..=64,
+    ) {
+        let w = synth_workload(&WorkloadSpec {
+            paths,
+            depth: 4,
+            fanout: 2,
+            seed,
+        });
+        // One advisor per engine over the identical workload; each gets
+        // its own drift simulator with the same seed, so the advisors see
+        // the same mutation stream.
+        let mut advisors: Vec<_> = LANES
+            .iter()
+            .map(|&lanes| w.advisor(CostParams::default()).with_threads(lanes))
+            .collect();
+        let mut sims: Vec<_> = LANES
+            .iter()
+            .map(|_| DriftSim::new(&w, DriftSpec { seed: drift_seed, ..DriftSpec::default() }))
+            .collect();
+
+        let plans: Vec<WorkloadPlan> = advisors.iter_mut().map(|a| a.optimize()).collect();
+        for (plan, &lanes) in plans.iter().zip(&LANES).skip(1) {
+            plans[0].assert_bit_identical_to(plan, &format!("cold optimize, {lanes} lanes"));
+        }
+
+        for epoch in 0..2 {
+            let plans: Vec<WorkloadPlan> = advisors
+                .iter_mut()
+                .zip(&mut sims)
+                .map(|(adv, sim)| {
+                    sim.step(adv);
+                    adv.reoptimize()
+                })
+                .collect();
+            for (plan, &lanes) in plans.iter().zip(&LANES).skip(1) {
+                plans[0].assert_bit_identical_to(
+                    plan,
+                    &format!("epoch {epoch} reoptimize, {lanes} lanes"),
+                );
+            }
+        }
+    }
+
+    /// The budgeted search — λ sweeps, eviction descent, frontier repair —
+    /// is bit-identical across thread counts, feasible or not.
+    #[test]
+    fn parallel_budgeted_selection_matches_sequential(
+        seed in 0u64..1_000,
+        paths in 2usize..=12,
+        tightness in 0usize..=2,
+    ) {
+        let w = synth_workload(&WorkloadSpec {
+            paths,
+            depth: 4,
+            fanout: 2,
+            seed,
+        });
+        let unconstrained = w
+            .advisor(CostParams::default())
+            .with_threads(1)
+            .optimize();
+        // Slack, binding, and infeasibility-prone budgets.
+        let budget = unconstrained.size_pages * [1.0, 0.6, 0.05][tightness];
+        let budgeted: Vec<BudgetedWorkloadPlan> = LANES
+            .iter()
+            .map(|&lanes| {
+                w.advisor(CostParams::default())
+                    .with_threads(lanes)
+                    .optimize_with_budget(budget)
+            })
+            .collect();
+        for (plan, &lanes) in budgeted.iter().zip(&LANES).skip(1) {
+            budgeted[0].assert_bit_identical_to(
+                plan,
+                &format!("budget {budget:.0}, {lanes} lanes"),
+            );
+        }
+    }
+}

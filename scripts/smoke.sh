@@ -47,4 +47,8 @@ run vehicle_registry "all four evaluations agree on"
 # must report itself as such.
 run budgeted_workload "within budget"
 
+# parallel_workload runs the advisor sequentially and over an 8-lane pool
+# and must verify the plans bit-identical.
+run parallel_workload "parallel plan == sequential plan"
+
 echo "smoke: all examples alive"

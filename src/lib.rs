@@ -17,6 +17,8 @@
 //! * [`cost`] — the analytic page-access model (Yao, `CRL/CML/CRT/CMT`,
 //!   per-organization costs, `CMD`);
 //! * [`workload`] — load distributions and subpath load derivation;
+//! * [`exec`] — the offline-friendly work-stealing thread pool behind the
+//!   advisor's parallel stages (`OIC_THREADS`, bit-identical plans);
 //! * [`core`] — index configurations, the cost matrix, branch-and-bound and
 //!   polynomial-DP selection, the shared candidate space, the workload-scale
 //!   advisor, and the Section 6 extensions;
@@ -58,6 +60,7 @@
 pub use oic_btree as btree;
 pub use oic_core as core;
 pub use oic_cost as cost;
+pub use oic_exec as exec;
 pub use oic_index as index;
 pub use oic_schema as schema;
 pub use oic_sim as sim;
@@ -73,6 +76,7 @@ pub mod prelude {
         WorkloadAdvisor, WorkloadPlan,
     };
     pub use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
+    pub use oic_exec::Executor;
     pub use oic_schema::{
         AtomicType, Attribute, Cardinality, ClassId, Path, PathSignature, Schema, SchemaBuilder,
         SubpathId,
