@@ -11,11 +11,11 @@ use oic_storage::Value;
 
 fn bench_btree(c: &mut Criterion) {
     use oic_btree::{BTreeIndex, Layout};
-    use oic_storage::PageStore;
+    use oic_storage::SimStore;
     let mut g = c.benchmark_group("btree");
     g.bench_function("insert_10k", |b| {
         b.iter_batched(
-            || PageStore::new(4096),
+            || SimStore::new(4096),
             |mut store| {
                 let mut t = BTreeIndex::new(&mut store, Layout::for_page_size(4096));
                 for i in 0..10_000u64 {
@@ -26,7 +26,7 @@ fn bench_btree(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
-    let mut store = PageStore::new(4096);
+    let mut store = SimStore::new(4096);
     let mut tree = BTreeIndex::new(&mut store, Layout::for_page_size(4096));
     for i in 0..100_000u64 {
         tree.insert_entry(&mut store, &i.to_be_bytes(), vec![0u8; 8]);

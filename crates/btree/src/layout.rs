@@ -8,7 +8,7 @@
 /// the backing store's `page_size`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Layout {
-    /// Page size in bytes; must match the backing `PageStore`.
+    /// Page size in bytes; must match the backing `SimStore`.
     pub page_size: usize,
     /// Per-node header (next-pointer, counts).
     pub node_header: usize,

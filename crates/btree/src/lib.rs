@@ -13,7 +13,7 @@
 //!   `⌈ln/p⌉` pages, and partial reads count only the pages actually
 //!   containing the requested entries (the paper's `pr_X < ⌈ln/p⌉` case);
 //! * every node visit is accounted against the backing
-//!   [`PageStore`](oic_storage::PageStore), so a descent costs `h` page
+//!   [`SimStore`](oic_storage::SimStore), so a descent costs `h` page
 //!   reads for in-page records and `h − 1 + pr` for spanning records —
 //!   matching the paper's `CRL`.
 //!
@@ -27,8 +27,10 @@
 
 mod layout;
 mod node;
+pub mod paged;
 mod tree;
 
 pub use layout::Layout;
 pub use node::LevelProfile;
+pub use paged::PagedBTree;
 pub use tree::BTreeIndex;

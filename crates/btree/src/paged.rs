@@ -1,0 +1,848 @@
+//! A B+-tree serialized to fixed-size pages of a [`PageStore`].
+//!
+//! Where [`BTreeIndex`](crate::BTreeIndex) materializes node payloads in
+//! memory and *accounts* page touches (the paper's cost-model substrate),
+//! [`PagedBTree`] is the durable twin: every node is a page image, every
+//! descent is a sequence of `read_page` calls against the store, and the
+//! tree survives drop/reopen when the store does (its root, height, and
+//! record count ride the store's meta blob, committed atomically with the
+//! pages). The same type runs over the heap-backed
+//! [`MemStore`](oic_storage::MemStore) for tests and over the file-backed
+//! `oic-pager` for durability — that polymorphism is what the
+//! model-differential harness exploits.
+//!
+//! ## Page layout
+//!
+//! ```text
+//! leaf:     [tag=1][nrec:u16][next:u64][prev:u64]
+//!           ([klen:u16][vlen:u16][key][val])*          (19-byte header)
+//! internal: [tag=2][nsep:u16][child0:u64]
+//!           ([klen:u16][key][child:u64])*              (11-byte header)
+//! ```
+//!
+//! Leaves are chained both ways through `next`/`prev` (page id 0 is the
+//! nil sentinel — the pager's header page can never be a node). An
+//! internal node routes `key` to the last separator with `sep ≤ key`, or
+//! to `child0` when every separator is greater; a separator is a lower
+//! bound for its subtree, and may be *stale-loose* after deletions (less
+//! than the subtree's current minimum), which routing tolerates.
+//!
+//! Splits are by byte size, not record count: a node that no longer
+//! encodes within a page splits at the cumulative-size midpoint, so
+//! variable-length records keep both halves near half-full. Records are
+//! capped at a quarter of a node's payload, which guarantees any split
+//! point in `[1, n-1]` leaves both halves within a page. Deletion frees
+//! emptied nodes (pages return to the store's freelist) and collapses
+//! single-child roots, but does not rebalance non-empty siblings — the
+//! classic lazy scheme: heights only shrink at the root.
+
+use oic_storage::paged::StoreError::Corrupt;
+use oic_storage::paged::{PageStore, StoreError};
+use oic_storage::PageId;
+
+const LEAF_TAG: u8 = 1;
+const INT_TAG: u8 = 2;
+const LEAF_HDR: usize = 1 + 2 + 8 + 8;
+const INT_HDR: usize = 1 + 2 + 8;
+const LEAF_REC_HDR: usize = 4;
+const SEP_HDR: usize = 10;
+const META_MAGIC: [u8; 8] = *b"OICBT1\0\0";
+const META_LEN: usize = 28;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        next: u64,
+        prev: u64,
+        recs: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    Internal {
+        child0: u64,
+        seps: Vec<(Vec<u8>, u64)>,
+    },
+}
+
+/// An owned key/value record, as returned by [`PagedBTree::range`] and
+/// [`PagedBTree::scan`].
+pub type Record = (Vec<u8>, Vec<u8>);
+
+/// A durable B+-tree over any [`PageStore`]; see the module docs.
+#[derive(Debug)]
+pub struct PagedBTree<S: PageStore> {
+    store: S,
+    root: u64,
+    height: u32,
+    count: u64,
+}
+
+impl<S: PageStore> PagedBTree<S> {
+    /// Opens the tree persisted in `store`'s meta blob, or starts an
+    /// empty tree if the store carries no meta yet.
+    pub fn open(store: S) -> Result<Self, StoreError> {
+        let meta = store.meta();
+        if meta.is_empty() {
+            let mut t = PagedBTree {
+                store,
+                root: 0,
+                height: 0,
+                count: 0,
+            };
+            t.write_meta()?;
+            return Ok(t);
+        }
+        if meta.len() != META_LEN || meta[..8] != META_MAGIC {
+            return Err(Corrupt("store meta is not a PagedBTree".into()));
+        }
+        let root = u64::from_le_bytes(meta[8..16].try_into().expect("8 bytes"));
+        let height = u32::from_le_bytes(meta[16..20].try_into().expect("4 bytes"));
+        let count = u64::from_le_bytes(meta[20..28].try_into().expect("8 bytes"));
+        Ok(PagedBTree {
+            store,
+            root,
+            height,
+            count,
+        })
+    }
+
+    /// The backing store (e.g. for [`PageStore::io_stats`]).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable access to the backing store.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Consumes the tree, returning the store (meta already up to date).
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the tree holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Tree height in levels (0 = empty, 1 = a single leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Commits the tree (meta and all dirty pages) durably.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        self.store.commit()
+    }
+
+    /// Largest `key.len() + value.len()` this tree accepts (a quarter of
+    /// a leaf's payload, so splits always succeed; the key alone must
+    /// also fit a quarter of an internal node's payload).
+    pub fn max_item(&self) -> usize {
+        let ps = self.store.page_size();
+        let leaf = (ps - LEAF_HDR) / 4 - LEAF_REC_HDR;
+        let key = (ps - INT_HDR) / 4 - SEP_HDR;
+        leaf.min(key)
+    }
+
+    fn write_meta(&mut self) -> Result<(), StoreError> {
+        let mut m = [0u8; META_LEN];
+        m[..8].copy_from_slice(&META_MAGIC);
+        m[8..16].copy_from_slice(&self.root.to_le_bytes());
+        m[16..20].copy_from_slice(&self.height.to_le_bytes());
+        m[20..28].copy_from_slice(&self.count.to_le_bytes());
+        self.store.set_meta(&m)
+    }
+
+    // ---- node (de)serialization ------------------------------------
+
+    fn load(&mut self, page: u64) -> Result<Node, StoreError> {
+        let ps = self.store.page_size();
+        let mut buf = vec![0u8; ps];
+        self.store.read_page(PageId(page), &mut buf)?;
+        decode(&buf)
+    }
+
+    fn store_node(&mut self, page: u64, node: &Node) -> Result<(), StoreError> {
+        let ps = self.store.page_size();
+        let img = encode(node, ps)?;
+        self.store.write_page(PageId(page), &img)
+    }
+
+    // ---- lookup ----------------------------------------------------
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        if self.root == 0 {
+            return Ok(None);
+        }
+        let mut page = self.root;
+        loop {
+            match self.load(page)? {
+                Node::Internal { child0, seps } => page = route(child0, &seps, key),
+                Node::Leaf { recs, .. } => {
+                    return Ok(
+                        match recs.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                            Ok(i) => Some(recs[i].1.clone()),
+                            Err(_) => None,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// All records with `lo ≤ key ≤ hi`, in key order, via the leaf
+    /// chain: one descent to the start leaf, then `next` links.
+    pub fn range(&mut self, lo: &[u8], hi: &[u8]) -> Result<Vec<Record>, StoreError> {
+        let mut out = Vec::new();
+        if self.root == 0 || lo > hi {
+            return Ok(out);
+        }
+        let mut page = self.root;
+        while let Node::Internal { child0, seps } = self.load(page)? {
+            page = route(child0, &seps, lo);
+        }
+        while page != 0 {
+            let Node::Leaf { next, recs, .. } = self.load(page)? else {
+                return Err(Corrupt("leaf chain links to a non-leaf".into()));
+            };
+            for (k, v) in recs {
+                if k.as_slice() > hi {
+                    return Ok(out);
+                }
+                if k.as_slice() >= lo {
+                    out.push((k, v));
+                }
+            }
+            page = next;
+        }
+        Ok(out)
+    }
+
+    /// Every record in key order (leftmost descent + leaf chain).
+    pub fn scan(&mut self) -> Result<Vec<Record>, StoreError> {
+        let mut out = Vec::new();
+        if self.root == 0 {
+            return Ok(out);
+        }
+        let mut page = self.root;
+        while let Node::Internal { child0, .. } = self.load(page)? {
+            page = child0;
+        }
+        while page != 0 {
+            let Node::Leaf { next, recs, .. } = self.load(page)? else {
+                return Err(Corrupt("leaf chain links to a non-leaf".into()));
+            };
+            out.extend(recs);
+            page = next;
+        }
+        Ok(out)
+    }
+
+    // ---- insert ----------------------------------------------------
+
+    /// Inserts (or replaces) a record, returning the previous value.
+    pub fn insert(&mut self, key: &[u8], val: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        if key.len() + val.len() > self.max_item() || key.is_empty() {
+            return Err(StoreError::Invalid(format!(
+                "item of {} bytes exceeds the {}-byte cap (or empty key)",
+                key.len() + val.len(),
+                self.max_item()
+            )));
+        }
+        if self.root == 0 {
+            let page = self.store.alloc()?.0;
+            let node = Node::Leaf {
+                next: 0,
+                prev: 0,
+                recs: vec![(key.to_vec(), val.to_vec())],
+            };
+            self.store_node(page, &node)?;
+            self.root = page;
+            self.height = 1;
+            self.count = 1;
+            self.write_meta()?;
+            return Ok(None);
+        }
+        let (old, promo) = self.insert_at(self.root, self.height, key, val)?;
+        if let Some((sep, right)) = promo {
+            let page = self.store.alloc()?.0;
+            let node = Node::Internal {
+                child0: self.root,
+                seps: vec![(sep, right)],
+            };
+            self.store_node(page, &node)?;
+            self.root = page;
+            self.height += 1;
+        }
+        if old.is_none() {
+            self.count += 1;
+        }
+        self.write_meta()?;
+        Ok(old)
+    }
+
+    /// Recursive insert; returns `(old value, promoted separator)`.
+    #[allow(clippy::type_complexity)]
+    fn insert_at(
+        &mut self,
+        page: u64,
+        depth: u32,
+        key: &[u8],
+        val: &[u8],
+    ) -> Result<(Option<Vec<u8>>, Option<(Vec<u8>, u64)>), StoreError> {
+        let ps = self.store.page_size();
+        match self.load(page)? {
+            Node::Leaf {
+                next,
+                prev,
+                mut recs,
+            } => {
+                if depth != 1 {
+                    return Err(Corrupt("leaf above level 1".into()));
+                }
+                let old = match recs.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Some(std::mem::replace(&mut recs[i].1, val.to_vec())),
+                    Err(i) => {
+                        recs.insert(i, (key.to_vec(), val.to_vec()));
+                        None
+                    }
+                };
+                if leaf_size(&recs) <= ps {
+                    self.store_node(page, &Node::Leaf { next, prev, recs })?;
+                    return Ok((old, None));
+                }
+                // Split at the byte-size midpoint.
+                let sp = split_point(recs.iter().map(|(k, v)| LEAF_REC_HDR + k.len() + v.len()));
+                let right_recs = recs.split_off(sp);
+                let right_page = self.store.alloc()?.0;
+                let sep = right_recs[0].0.clone();
+                if next != 0 {
+                    // The old successor's back-link now points at the
+                    // new right node.
+                    let Node::Leaf {
+                        next: nn, recs: nr, ..
+                    } = self.load(next)?
+                    else {
+                        return Err(Corrupt("leaf chain links to a non-leaf".into()));
+                    };
+                    self.store_node(
+                        next,
+                        &Node::Leaf {
+                            next: nn,
+                            prev: right_page,
+                            recs: nr,
+                        },
+                    )?;
+                }
+                self.store_node(
+                    right_page,
+                    &Node::Leaf {
+                        next,
+                        prev: page,
+                        recs: right_recs,
+                    },
+                )?;
+                self.store_node(
+                    page,
+                    &Node::Leaf {
+                        next: right_page,
+                        prev,
+                        recs,
+                    },
+                )?;
+                Ok((old, Some((sep, right_page))))
+            }
+            Node::Internal { child0, mut seps } => {
+                let idx = seps.partition_point(|(k, _)| k.as_slice() <= key);
+                let child = if idx == 0 { child0 } else { seps[idx - 1].1 };
+                let (old, promo) = self.insert_at(child, depth - 1, key, val)?;
+                let Some((sep, right)) = promo else {
+                    return Ok((old, None));
+                };
+                // The promoted separator slots exactly where we routed.
+                seps.insert(idx, (sep, right));
+                if int_size(&seps) <= ps {
+                    self.store_node(page, &Node::Internal { child0, seps })?;
+                    return Ok((old, None));
+                }
+                let sp = split_point(seps.iter().map(|(k, _)| SEP_HDR + k.len()));
+                let mut right_seps = seps.split_off(sp);
+                let (up_key, right_child0) = right_seps.remove(0);
+                let right_page = self.store.alloc()?.0;
+                self.store_node(
+                    right_page,
+                    &Node::Internal {
+                        child0: right_child0,
+                        seps: right_seps,
+                    },
+                )?;
+                self.store_node(page, &Node::Internal { child0, seps })?;
+                Ok((old, Some((up_key, right_page))))
+            }
+        }
+    }
+
+    // ---- remove ----------------------------------------------------
+
+    /// Removes a record, returning its value. Emptied nodes are freed
+    /// back to the store and single-child roots collapse.
+    pub fn remove(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        if self.root == 0 {
+            return Ok(None);
+        }
+        let (old, emptied) = self.remove_at(self.root, self.height, key)?;
+        if old.is_some() {
+            self.count -= 1;
+        }
+        if emptied {
+            self.store.free(PageId(self.root))?;
+            self.root = 0;
+            self.height = 0;
+        } else if old.is_some() {
+            // Collapse a root chain of separator-less internals.
+            while self.height > 1 {
+                let Node::Internal { child0, seps } = self.load(self.root)? else {
+                    break;
+                };
+                if !seps.is_empty() {
+                    break;
+                }
+                self.store.free(PageId(self.root))?;
+                self.root = child0;
+                self.height -= 1;
+            }
+        }
+        self.write_meta()?;
+        Ok(old)
+    }
+
+    /// Recursive remove; returns `(old value, this node is now empty)`.
+    /// An emptied node's *parent* frees its page (the root is freed by
+    /// [`PagedBTree::remove`]); an emptied leaf unlinks itself from the
+    /// chain before reporting.
+    fn remove_at(
+        &mut self,
+        page: u64,
+        depth: u32,
+        key: &[u8],
+    ) -> Result<(Option<Vec<u8>>, bool), StoreError> {
+        match self.load(page)? {
+            Node::Leaf {
+                next,
+                prev,
+                mut recs,
+            } => {
+                if depth != 1 {
+                    return Err(Corrupt("leaf above level 1".into()));
+                }
+                let Ok(i) = recs.binary_search_by(|(k, _)| k.as_slice().cmp(key)) else {
+                    return Ok((None, false));
+                };
+                let old = recs.remove(i).1;
+                if !recs.is_empty() {
+                    self.store_node(page, &Node::Leaf { next, prev, recs })?;
+                    return Ok((Some(old), false));
+                }
+                // Unlink the emptied leaf from the chain.
+                if prev != 0 {
+                    let Node::Leaf {
+                        prev: pp, recs: pr, ..
+                    } = self.load(prev)?
+                    else {
+                        return Err(Corrupt("leaf chain links to a non-leaf".into()));
+                    };
+                    self.store_node(
+                        prev,
+                        &Node::Leaf {
+                            next,
+                            prev: pp,
+                            recs: pr,
+                        },
+                    )?;
+                }
+                if next != 0 {
+                    let Node::Leaf {
+                        next: nn, recs: nr, ..
+                    } = self.load(next)?
+                    else {
+                        return Err(Corrupt("leaf chain links to a non-leaf".into()));
+                    };
+                    self.store_node(
+                        next,
+                        &Node::Leaf {
+                            next: nn,
+                            prev,
+                            recs: nr,
+                        },
+                    )?;
+                }
+                Ok((Some(old), true))
+            }
+            Node::Internal {
+                mut child0,
+                mut seps,
+            } => {
+                let idx = seps.partition_point(|(k, _)| k.as_slice() <= key);
+                let child = if idx == 0 { child0 } else { seps[idx - 1].1 };
+                let (old, child_empty) = self.remove_at(child, depth - 1, key)?;
+                if !child_empty {
+                    return Ok((old, false));
+                }
+                self.store.free(PageId(child))?;
+                if idx == 0 {
+                    if seps.is_empty() {
+                        // Last child gone: this node is empty too. Its
+                        // page content no longer matters — the parent
+                        // frees it.
+                        return Ok((old, true));
+                    }
+                    child0 = seps.remove(0).1;
+                } else {
+                    seps.remove(idx - 1);
+                }
+                self.store_node(page, &Node::Internal { child0, seps })?;
+                Ok((old, false))
+            }
+        }
+    }
+
+    // ---- integrity -------------------------------------------------
+
+    /// Every page reachable from the root (the tree's footprint), in
+    /// ascending order. Together with the store's freelist these must
+    /// partition the data pages — the crash harness asserts exactly
+    /// that.
+    pub fn reachable_pages(&mut self) -> Result<Vec<PageId>, StoreError> {
+        let mut out = Vec::new();
+        if self.root != 0 {
+            self.collect_pages(self.root, &mut out)?;
+        }
+        out.sort_unstable();
+        Ok(out.into_iter().map(PageId).collect())
+    }
+
+    fn collect_pages(&mut self, page: u64, out: &mut Vec<u64>) -> Result<(), StoreError> {
+        out.push(page);
+        if let Node::Internal { child0, seps } = self.load(page)? {
+            self.collect_pages(child0, out)?;
+            for (_, c) in seps {
+                self.collect_pages(c, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural self-check: uniform leaf depth equal to the height,
+    /// sorted keys, separators lower-bounding their subtrees, a record
+    /// count matching the meta, and a doubly-consistent leaf chain whose
+    /// in-order traversal equals the tree's records.
+    pub fn check_invariants(&mut self) -> Result<(), StoreError> {
+        if self.root == 0 {
+            if self.height != 0 || self.count != 0 {
+                return Err(Corrupt("empty tree with nonzero height/count".into()));
+            }
+            return Ok(());
+        }
+        let mut leaves = Vec::new();
+        let n = self.check_node(self.root, self.height, None, &mut leaves)?;
+        if n != self.count {
+            return Err(Corrupt(format!(
+                "record count {n} != meta count {}",
+                self.count
+            )));
+        }
+        // The leaf chain must visit exactly the in-order leaves.
+        let (mut chain, mut prev) = (Vec::new(), 0u64);
+        let mut page = *leaves.first().expect("nonempty tree has a leaf");
+        while page != 0 {
+            chain.push(page);
+            let Node::Leaf { next, prev: p, .. } = self.load(page)? else {
+                return Err(Corrupt("leaf chain links to a non-leaf".into()));
+            };
+            if p != prev {
+                return Err(Corrupt(format!("leaf {page} prev-link {p} != {prev}")));
+            }
+            prev = page;
+            page = next;
+        }
+        if chain != leaves {
+            return Err(Corrupt("leaf chain disagrees with tree order".into()));
+        }
+        Ok(())
+    }
+
+    /// Checks one subtree; returns its record count and appends its
+    /// leaves in order. `lower` is the separator bounding this subtree.
+    fn check_node(
+        &mut self,
+        page: u64,
+        depth: u32,
+        lower: Option<&[u8]>,
+        leaves: &mut Vec<u64>,
+    ) -> Result<u64, StoreError> {
+        match self.load(page)? {
+            Node::Leaf { recs, .. } => {
+                if depth != 1 {
+                    return Err(Corrupt(format!("leaf at depth {depth}")));
+                }
+                if recs.is_empty() {
+                    return Err(Corrupt("empty non-root leaf".into()));
+                }
+                if !recs.windows(2).all(|w| w[0].0 < w[1].0) {
+                    return Err(Corrupt("leaf keys not strictly sorted".into()));
+                }
+                if let Some(lo) = lower {
+                    if recs[0].0.as_slice() < lo {
+                        return Err(Corrupt("leaf key below its separator".into()));
+                    }
+                }
+                leaves.push(page);
+                Ok(recs.len() as u64)
+            }
+            Node::Internal { child0, seps } => {
+                if depth <= 1 {
+                    return Err(Corrupt("internal node at leaf depth".into()));
+                }
+                if !seps.windows(2).all(|w| w[0].0 < w[1].0) {
+                    return Err(Corrupt("separators not strictly sorted".into()));
+                }
+                let mut n = self.check_node(child0, depth - 1, lower, leaves)?;
+                for (k, c) in &seps {
+                    n += self.check_node(*c, depth - 1, Some(k), leaves)?;
+                }
+                Ok(n)
+            }
+        }
+    }
+}
+
+/// Routes `key` through an internal node: the last separator ≤ key.
+fn route(child0: u64, seps: &[(Vec<u8>, u64)], key: &[u8]) -> u64 {
+    let idx = seps.partition_point(|(k, _)| k.as_slice() <= key);
+    if idx == 0 {
+        child0
+    } else {
+        seps[idx - 1].1
+    }
+}
+
+fn leaf_size(recs: &[(Vec<u8>, Vec<u8>)]) -> usize {
+    LEAF_HDR
+        + recs
+            .iter()
+            .map(|(k, v)| LEAF_REC_HDR + k.len() + v.len())
+            .sum::<usize>()
+}
+
+fn int_size(seps: &[(Vec<u8>, u64)]) -> usize {
+    INT_HDR + seps.iter().map(|(k, _)| SEP_HDR + k.len()).sum::<usize>()
+}
+
+/// First index whose cumulative size reaches half the total, clamped so
+/// both sides are nonempty.
+fn split_point(sizes: impl ExactSizeIterator<Item = usize> + Clone) -> usize {
+    let len = sizes.len();
+    let total: usize = sizes.clone().sum();
+    let mut cum = 0;
+    for (i, s) in sizes.enumerate() {
+        cum += s;
+        if 2 * cum >= total {
+            return (i + 1).clamp(1, len - 1);
+        }
+    }
+    len - 1
+}
+
+fn encode(node: &Node, page_size: usize) -> Result<Vec<u8>, StoreError> {
+    let mut out = Vec::with_capacity(page_size);
+    match node {
+        Node::Leaf { next, prev, recs } => {
+            out.push(LEAF_TAG);
+            out.extend_from_slice(&(recs.len() as u16).to_le_bytes());
+            out.extend_from_slice(&next.to_le_bytes());
+            out.extend_from_slice(&prev.to_le_bytes());
+            for (k, v) in recs {
+                out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+                out.extend_from_slice(k);
+                out.extend_from_slice(v);
+            }
+        }
+        Node::Internal { child0, seps } => {
+            out.push(INT_TAG);
+            out.extend_from_slice(&(seps.len() as u16).to_le_bytes());
+            out.extend_from_slice(&child0.to_le_bytes());
+            for (k, c) in seps {
+                out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                out.extend_from_slice(k);
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+    if out.len() > page_size {
+        return Err(Corrupt(format!(
+            "node encodes to {} bytes > page size {page_size}",
+            out.len()
+        )));
+    }
+    out.resize(page_size, 0);
+    Ok(out)
+}
+
+fn decode(buf: &[u8]) -> Result<Node, StoreError> {
+    let need = |off: usize, n: usize| -> Result<(), StoreError> {
+        if off + n > buf.len() {
+            Err(Corrupt("node truncated".into()))
+        } else {
+            Ok(())
+        }
+    };
+    let u16_at = |off: usize| u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes"));
+    let u64_at = |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
+    match buf.first() {
+        Some(&LEAF_TAG) => {
+            let nrec = u16_at(1) as usize;
+            let next = u64_at(3);
+            let prev = u64_at(11);
+            let mut off = LEAF_HDR;
+            let mut recs = Vec::with_capacity(nrec);
+            for _ in 0..nrec {
+                need(off, LEAF_REC_HDR)?;
+                let klen = u16_at(off) as usize;
+                let vlen = u16_at(off + 2) as usize;
+                off += LEAF_REC_HDR;
+                need(off, klen + vlen)?;
+                recs.push((
+                    buf[off..off + klen].to_vec(),
+                    buf[off + klen..off + klen + vlen].to_vec(),
+                ));
+                off += klen + vlen;
+            }
+            Ok(Node::Leaf { next, prev, recs })
+        }
+        Some(&INT_TAG) => {
+            let nsep = u16_at(1) as usize;
+            let child0 = u64_at(3);
+            let mut off = INT_HDR;
+            let mut seps = Vec::with_capacity(nsep);
+            for _ in 0..nsep {
+                need(off, 2)?;
+                let klen = u16_at(off) as usize;
+                off += 2;
+                need(off, klen + 8)?;
+                seps.push((buf[off..off + klen].to_vec(), u64_at(off + klen)));
+                off += klen + 8;
+            }
+            Ok(Node::Internal { child0, seps })
+        }
+        _ => Err(Corrupt("unknown node tag".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_storage::MemStore;
+
+    fn tree(page_size: usize) -> PagedBTree<MemStore> {
+        PagedBTree::open(MemStore::new(page_size)).unwrap()
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_roundtrip_small_pages() {
+        let mut t = tree(128);
+        for i in 0..500u32 {
+            assert!(t.insert(&key(i * 7 % 500), &key(i)).unwrap().is_none());
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.height() > 2, "128-byte pages force a multi-level tree");
+        t.check_invariants().unwrap();
+        // i*7 mod 500 is a bijection (gcd(7, 500) = 1): each key was
+        // inserted exactly once, with key(i) as its value.
+        for i in 0..500u32 {
+            assert_eq!(t.get(&key(i * 7 % 500)).unwrap().unwrap(), key(i));
+        }
+        assert!(t.get(&key(500)).unwrap().is_none());
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let mut t = tree(256);
+        assert!(t.insert(b"k", b"v1").unwrap().is_none());
+        assert_eq!(t.insert(b"k", b"v2").unwrap().unwrap(), b"v1");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(b"k").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn range_uses_leaf_chain() {
+        let mut t = tree(128);
+        for i in (0..300u32).rev() {
+            t.insert(&key(i), &key(i * 2)).unwrap();
+        }
+        let got = t.range(&key(100), &key(199)).unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[0].0, key(100));
+        assert_eq!(got[99].0, key(199));
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(t.scan().unwrap().len(), 300);
+    }
+
+    #[test]
+    fn remove_frees_pages_and_collapses_root() {
+        let mut t = tree(128);
+        for i in 0..400u32 {
+            t.insert(&key(i), b"payload").unwrap();
+        }
+        let peak = t.store().live_pages();
+        for i in 0..400u32 {
+            assert_eq!(t.remove(&key(i)).unwrap().unwrap(), b"payload");
+            if i % 97 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 0);
+        assert_eq!(
+            t.store().live_pages(),
+            0,
+            "all {peak} pages returned to the store"
+        );
+        assert!(t.get(&key(3)).unwrap().is_none());
+        // The tree is reusable after emptying.
+        t.insert(b"again", b"x").unwrap();
+        assert_eq!(t.get(b"again").unwrap().unwrap(), b"x");
+    }
+
+    #[test]
+    fn oversized_items_rejected() {
+        let mut t = tree(128);
+        let big = vec![7u8; 200];
+        assert!(matches!(t.insert(b"k", &big), Err(StoreError::Invalid(_))));
+        assert!(matches!(t.insert(b"", b"v"), Err(StoreError::Invalid(_))));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn survives_reopen_via_meta() {
+        let mut t = tree(256);
+        for i in 0..100u32 {
+            t.insert(&key(i), &key(i + 1)).unwrap();
+        }
+        let store = t.into_store();
+        let mut t = PagedBTree::open(store).unwrap();
+        assert_eq!(t.len(), 100);
+        t.check_invariants().unwrap();
+        assert_eq!(t.get(&key(42)).unwrap().unwrap(), key(43));
+    }
+}

@@ -2,9 +2,9 @@
 
 use crate::node::{Node, NodeId, Record};
 use crate::{Layout, LevelProfile};
-use oic_storage::PageStore;
+use oic_storage::SimStore;
 
-/// A B+-tree index with chained leaves over a [`PageStore`].
+/// A B+-tree index with chained leaves over a [`SimStore`].
 ///
 /// Records are `(key, posting list)`; oversized records (longer than a page)
 /// own a dedicated chain of `⌈ln/p⌉` pages, giving the paper's `CRL/CML`
@@ -21,7 +21,7 @@ pub struct BTreeIndex {
 
 impl BTreeIndex {
     /// Creates an empty tree (a single empty leaf).
-    pub fn new(store: &mut PageStore, layout: Layout) -> Self {
+    pub fn new(store: &mut SimStore, layout: Layout) -> Self {
         assert_eq!(
             layout.page_size,
             store.page_size(),
@@ -79,7 +79,7 @@ impl BTreeIndex {
         self.nodes.len() - 1
     }
 
-    fn drop_node(&mut self, store: &mut PageStore, id: NodeId) {
+    fn drop_node(&mut self, store: &mut SimStore, id: NodeId) {
         if let Some(n) = self.nodes[id].take() {
             match n {
                 Node::Internal { page, .. } => store.free(page),
@@ -98,7 +98,7 @@ impl BTreeIndex {
     /// page read per level (the leaf's *first* page only; chain pages are
     /// charged by the record accessors). Returns the internal path with the
     /// child index taken at each internal node, plus the leaf id.
-    fn descend(&self, store: &PageStore, key: &[u8]) -> (Vec<(NodeId, usize)>, NodeId) {
+    fn descend(&self, store: &SimStore, key: &[u8]) -> (Vec<(NodeId, usize)>, NodeId) {
         let mut path = Vec::with_capacity(self.height.saturating_sub(1));
         let mut cur = self.root;
         loop {
@@ -125,7 +125,7 @@ impl BTreeIndex {
 
     /// Full retrieval of the record for `key`: clones the posting list.
     /// Counts the whole overflow chain for oversized records.
-    pub fn lookup(&self, store: &PageStore, key: &[u8]) -> Option<Vec<Vec<u8>>> {
+    pub fn lookup(&self, store: &SimStore, key: &[u8]) -> Option<Vec<Vec<u8>>> {
         let (_, leaf) = self.descend(store, key);
         let Node::Leaf { records, pages, .. } = self.node(leaf) else {
             unreachable!()
@@ -143,7 +143,7 @@ impl BTreeIndex {
     /// the paper's `pr_X` fraction for NIX/IIX records spanning pages.
     pub fn lookup_filtered(
         &self,
-        store: &PageStore,
+        store: &SimStore,
         key: &[u8],
         mut pred: impl FnMut(&[u8]) -> bool,
     ) -> Vec<Vec<u8>> {
@@ -209,7 +209,7 @@ impl BTreeIndex {
     // ---- write operations -------------------------------------------------
 
     /// Inserts one posting entry under `key`, creating the record if absent.
-    pub fn insert_entry(&mut self, store: &mut PageStore, key: &[u8], entry: Vec<u8>) {
+    pub fn insert_entry(&mut self, store: &mut SimStore, key: &[u8], entry: Vec<u8>) {
         let (path, leaf) = self.descend(store, key);
         let layout = self.layout;
         let Node::Leaf { records, pages, .. } = self.node_mut(leaf) else {
@@ -258,7 +258,7 @@ impl BTreeIndex {
     /// matching entries.
     pub fn remove_entries(
         &mut self,
-        store: &mut PageStore,
+        store: &mut SimStore,
         key: &[u8],
         mut pred: impl FnMut(&[u8]) -> bool,
     ) -> usize {
@@ -323,7 +323,7 @@ impl BTreeIndex {
     /// Deletes the whole record for `key`, counting a write per chain page
     /// (the paper's `CML` with `⌈ln/p⌉` pages: “all these pages should be
     /// deleted”). Returns the number of entries the record held.
-    pub fn remove_record(&mut self, store: &mut PageStore, key: &[u8]) -> Option<usize> {
+    pub fn remove_record(&mut self, store: &mut SimStore, key: &[u8]) -> Option<usize> {
         let (path, leaf) = self.descend(store, key);
         let Node::Leaf { records, pages, .. } = self.node_mut(leaf) else {
             unreachable!()
@@ -354,7 +354,7 @@ impl BTreeIndex {
     /// `numchild` counter.
     pub fn replace_entry(
         &mut self,
-        store: &mut PageStore,
+        store: &mut SimStore,
         key: &[u8],
         mut pred: impl FnMut(&[u8]) -> bool,
         new_entry: Vec<u8>,
@@ -391,7 +391,7 @@ impl BTreeIndex {
 
     fn rebalance_after_growth(
         &mut self,
-        store: &mut PageStore,
+        store: &mut SimStore,
         mut path: Vec<(NodeId, usize)>,
         leaf: NodeId,
     ) {
@@ -471,7 +471,7 @@ impl BTreeIndex {
         self.insert_into_parent(store, &mut path, leaf, sep, right_id);
     }
 
-    fn ensure_chain(&mut self, store: &mut PageStore, leaf: NodeId) {
+    fn ensure_chain(&mut self, store: &mut SimStore, leaf: NodeId) {
         let layout = self.layout;
         let (nrec, ln) = match self.node(leaf) {
             Node::Leaf { records, .. } => (
@@ -501,7 +501,7 @@ impl BTreeIndex {
 
     fn insert_into_parent(
         &mut self,
-        store: &mut PageStore,
+        store: &mut SimStore,
         path: &mut Vec<(NodeId, usize)>,
         left: NodeId,
         sep: Vec<u8>,
@@ -557,7 +557,7 @@ impl BTreeIndex {
 
     fn rebalance_after_shrink(
         &mut self,
-        store: &mut PageStore,
+        store: &mut SimStore,
         mut path: Vec<(NodeId, usize)>,
         leaf: NodeId,
     ) {
@@ -693,7 +693,7 @@ impl BTreeIndex {
     /// Scans every leaf page in chain order, counting a read per page.
     /// Returns the number of records visited. Models the paper's `SA1`
     /// (“the leaf nodes of the auxiliary index can be scanned”).
-    pub fn scan_leaves(&self, store: &PageStore) -> u64 {
+    pub fn scan_leaves(&self, store: &SimStore) -> u64 {
         let mut cur = self.root;
         while let Node::Internal { children, .. } = self.node(cur) {
             cur = children[0];
@@ -847,8 +847,8 @@ mod tests {
         i.to_be_bytes().to_vec()
     }
 
-    fn small_tree(page: usize) -> (PageStore, BTreeIndex) {
-        let mut store = PageStore::new(page);
+    fn small_tree(page: usize) -> (SimStore, BTreeIndex) {
+        let mut store = SimStore::new(page);
         let t = BTreeIndex::new(&mut store, Layout::for_page_size(page));
         (store, t)
     }

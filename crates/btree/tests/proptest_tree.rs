@@ -3,7 +3,7 @@
 //! inserts, entry removals and record removals, across page sizes.
 
 use oic_btree::{BTreeIndex, Layout};
-use oic_storage::PageStore;
+use oic_storage::SimStore;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -32,7 +32,7 @@ proptest! {
     #[test]
     fn tree_matches_model(ops in prop::collection::vec(op_strategy(), 1..200),
                           page_size in prop::sample::select(vec![128usize, 256, 1024])) {
-        let mut store = PageStore::new(page_size);
+        let mut store = SimStore::new(page_size);
         let mut tree = BTreeIndex::new(&mut store, Layout::for_page_size(page_size));
         let mut model: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
 
@@ -95,7 +95,7 @@ proptest! {
 
     #[test]
     fn mass_delete_releases_pages(n in 1usize..300) {
-        let mut store = PageStore::new(256);
+        let mut store = SimStore::new(256);
         let mut tree = BTreeIndex::new(&mut store, Layout::for_page_size(256));
         for i in 0..n {
             tree.insert_entry(&mut store, &key(i as u16), vec![0u8; 8]);

@@ -151,9 +151,9 @@ mod tests {
     fn estimate_matches_real_tree_shape() {
         // Cross-check against the actual oic-btree structure.
         use oic_btree::{BTreeIndex, Layout};
-        use oic_storage::PageStore;
+        use oic_storage::SimStore;
         let page = 512usize;
-        let mut store = PageStore::new(page);
+        let mut store = SimStore::new(page);
         let mut tree = BTreeIndex::new(&mut store, Layout::for_page_size(page));
         let d = 2_000u64;
         for i in 0..d {

@@ -1,0 +1,79 @@
+//! Validation hooks for the paged storage stack: the model's per-query
+//! page predictions packaged as rows a physical-I/O harness can check
+//! off one by one.
+//!
+//! The Section 3 formulas predict *page accesses per operation*. The
+//! counting `SimStore` validates them against logical distinct-page
+//! touches (`oic-sim`'s `validate` twin of this module); the paged
+//! stack (`oic-pager` + `PagedBTree`) validates them against what a real
+//! disk would see — physical reads, cold or warm. This module owns the
+//! prediction side of that second loop so benches and tests don't
+//! re-derive it: one [`QueryIoRow`] per (organization, path position),
+//! whole-path configuration, exactly the workload `BENCH_paged_io.json`
+//! reports.
+
+use crate::{CostModel, Org};
+use oic_schema::SubpathId;
+
+/// One predicted-query-I/O row: the model's expected page accesses for
+/// an equality query on the path's ending attribute with respect to the
+/// class at `pos`, under a whole-path index of `org`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryIoRow {
+    /// Organization of the whole-path index.
+    pub org: Org,
+    /// 1-based path position of the queried class.
+    pub pos: usize,
+    /// Predicted page accesses (`CR_X` at `pos`, root class).
+    pub predicted: f64,
+}
+
+/// Predicted query I/O per path position for a whole-path index of
+/// `org`; `path_len` is the number of positions in the indexed path.
+pub fn query_io_rows(model: &CostModel<'_>, org: Org, path_len: usize) -> Vec<QueryIoRow> {
+    let full = SubpathId {
+        start: 1,
+        end: path_len,
+    };
+    (1..=path_len)
+        .map(|pos| QueryIoRow {
+            org,
+            pos,
+            predicted: model.retrieval(org, full, pos, 0),
+        })
+        .collect()
+}
+
+/// Rows for every organization, concatenated (the full prediction table
+/// the paged-I/O bench walks).
+pub fn query_io_table(model: &CostModel<'_>, path_len: usize) -> Vec<QueryIoRow> {
+    Org::ALL
+        .into_iter()
+        .flat_map(|org| query_io_rows(model, org, path_len))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{characteristics, CostParams};
+    use oic_schema::fixtures;
+
+    #[test]
+    fn rows_cover_every_org_and_position_with_positive_predictions() {
+        let (schema, _) = fixtures::paper_schema();
+        let (path, chars) = characteristics::example51(&schema);
+        let model = CostModel::new(&schema, &path, &chars, CostParams::calibrated(1024.0));
+        let table = query_io_table(&model, path.len());
+        assert_eq!(table.len(), Org::ALL.len() * path.len());
+        for row in &table {
+            assert!(
+                row.predicted.is_finite() && row.predicted > 0.0,
+                "{row:?} must predict positive finite page I/O"
+            );
+        }
+        // The table is the concatenation of the per-org row sets.
+        let mx = query_io_rows(&model, Org::Mx, path.len());
+        assert_eq!(&table[..path.len()], &mx[..]);
+    }
+}

@@ -5,7 +5,7 @@
 use oic_btree::{BTreeIndex, Layout};
 use oic_cost::est::estimate_btree;
 use oic_cost::CostParams;
-use oic_storage::PageStore;
+use oic_storage::SimStore;
 use proptest::prelude::*;
 
 proptest! {
@@ -18,7 +18,7 @@ proptest! {
         entry_len in 4usize..64,
         page_size in prop::sample::select(vec![512usize, 1024, 4096]),
     ) {
-        let mut store = PageStore::new(page_size);
+        let mut store = SimStore::new(page_size);
         let mut tree = BTreeIndex::new(&mut store, Layout::for_page_size(page_size));
         for i in 0..keys {
             let mut k = vec![1u8];
@@ -54,7 +54,7 @@ proptest! {
         entries_per_key in 50usize..400,
     ) {
         let page_size = 512usize;
-        let mut store = PageStore::new(page_size);
+        let mut store = SimStore::new(page_size);
         let mut tree = BTreeIndex::new(&mut store, Layout::for_page_size(page_size));
         for i in 0..keys {
             let mut k = vec![1u8];

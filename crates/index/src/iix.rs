@@ -3,7 +3,7 @@
 
 use oic_btree::{BTreeIndex, Layout};
 use oic_schema::ClassId;
-use oic_storage::{encode_key, Object, Oid, PageStore, Value};
+use oic_storage::{encode_key, Object, Oid, SimStore, Value};
 
 /// An index on an attribute of all classes in the inheritance hierarchy
 /// rooted at a class. Posting entries carry the owning class inside the
@@ -21,7 +21,7 @@ impl InheritedIndex {
     /// Creates an empty inherited index on `attr` of the hierarchy
     /// `hierarchy` (root first, as produced by `Schema::hierarchy`).
     pub fn new(
-        store: &mut PageStore,
+        store: &mut SimStore,
         root: ClassId,
         hierarchy: Vec<ClassId>,
         attr: impl Into<String>,
@@ -51,7 +51,7 @@ impl InheritedIndex {
     }
 
     /// All oids (any class of the hierarchy) holding `key`.
-    pub fn lookup_all(&self, store: &PageStore, key: &Value) -> Vec<Oid> {
+    pub fn lookup_all(&self, store: &SimStore, key: &Value) -> Vec<Oid> {
         self.tree
             .lookup(store, &encode_key(key))
             .unwrap_or_default()
@@ -62,7 +62,7 @@ impl InheritedIndex {
 
     /// Oids of exactly `class` holding `key`; reads only the pages holding
     /// that class's entries when the record spans pages.
-    pub fn lookup_class(&self, store: &PageStore, key: &Value, class: ClassId) -> Vec<Oid> {
+    pub fn lookup_class(&self, store: &SimStore, key: &Value, class: ClassId) -> Vec<Oid> {
         self.tree
             .lookup_filtered(store, &encode_key(key), |e| {
                 crate::traits::entry_to_oid(e).class == class
@@ -73,7 +73,7 @@ impl InheritedIndex {
     }
 
     /// Indexes an object (must belong to the hierarchy).
-    pub fn insert_object(&mut self, store: &mut PageStore, obj: &Object) {
+    pub fn insert_object(&mut self, store: &mut SimStore, obj: &Object) {
         debug_assert!(self.covers(obj.class()));
         for v in obj.values_of(&self.attr) {
             self.tree
@@ -82,7 +82,7 @@ impl InheritedIndex {
     }
 
     /// Removes an object's entries.
-    pub fn delete_object(&mut self, store: &mut PageStore, obj: &Object) {
+    pub fn delete_object(&mut self, store: &mut SimStore, obj: &Object) {
         let bytes = obj.oid.to_bytes();
         for v in obj.values_of(&self.attr) {
             self.tree
@@ -91,7 +91,7 @@ impl InheritedIndex {
     }
 
     /// Drops the whole record for `key`.
-    pub fn remove_key(&mut self, store: &mut PageStore, key: &Value) -> usize {
+    pub fn remove_key(&mut self, store: &mut SimStore, key: &Value) -> usize {
         self.tree
             .remove_record(store, &encode_key(key))
             .unwrap_or(0)
@@ -133,7 +133,7 @@ mod tests {
         // Section 2.2: an IIX on Veh.color yields (White, {Vehicle[i], …})
         // and covers Bus/Truck objects in the same records.
         let (schema, c) = fixtures::paper_schema();
-        let mut store = PageStore::new(1024);
+        let mut store = SimStore::new(1024);
         let mut iix =
             InheritedIndex::new(&mut store, c.vehicle, schema.hierarchy(c.vehicle), "color");
         let vi = mkveh(&schema, c.vehicle, 0, "White", vec![]);

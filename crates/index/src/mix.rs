@@ -4,7 +4,7 @@
 use crate::traits::normalize;
 use crate::{InheritedIndex, PathIndex, Segment};
 use oic_schema::{ClassId, Path, Schema, SubpathId};
-use oic_storage::{Object, ObjectStore, Oid, PageStore, Value};
+use oic_storage::{Object, ObjectStore, Oid, SimStore, Value};
 
 /// The multi-inherited index: one [`InheritedIndex`] per segment position,
 /// each covering the whole inheritance hierarchy at that position (“if a
@@ -19,7 +19,7 @@ pub struct MultiInheritedIndex {
 
 impl MultiInheritedIndex {
     /// Creates an empty MIX on subpath `sub` of `path`.
-    pub fn new(schema: &Schema, path: &Path, sub: SubpathId, store: &mut PageStore) -> Self {
+    pub fn new(schema: &Schema, path: &Path, sub: SubpathId, store: &mut SimStore) -> Self {
         let segment = Segment::new(schema, path, sub);
         let indexes = (0..segment.len())
             .map(|i| {
@@ -43,7 +43,7 @@ impl MultiInheritedIndex {
         schema: &Schema,
         path: &Path,
         sub: SubpathId,
-        store: &mut PageStore,
+        store: &mut SimStore,
         heap: &ObjectStore,
     ) -> Self {
         let mut idx = Self::new(schema, path, sub, store);
@@ -66,7 +66,7 @@ impl PathIndex for MultiInheritedIndex {
 
     fn lookup(
         &self,
-        store: &PageStore,
+        store: &SimStore,
         keys: &[Value],
         target: ClassId,
         with_subclasses: bool,
@@ -107,13 +107,13 @@ impl PathIndex for MultiInheritedIndex {
         normalize(out)
     }
 
-    fn on_insert(&mut self, store: &mut PageStore, obj: &Object) {
+    fn on_insert(&mut self, store: &mut SimStore, obj: &Object) {
         if let Some(local) = self.segment.local_of(obj.class()) {
             self.indexes[local].insert_object(store, obj);
         }
     }
 
-    fn on_delete(&mut self, store: &mut PageStore, obj: &Object) {
+    fn on_delete(&mut self, store: &mut SimStore, obj: &Object) {
         if let Some(local) = self.segment.local_of(obj.class()) {
             self.indexes[local].delete_object(store, obj);
             if local > 0 {

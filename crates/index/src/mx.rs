@@ -4,7 +4,7 @@
 use crate::traits::normalize;
 use crate::{PathIndex, Segment, SimpleIndex};
 use oic_schema::{ClassId, Path, Schema, SubpathId};
-use oic_storage::{Object, ObjectStore, Oid, PageStore, Value};
+use oic_storage::{Object, ObjectStore, Oid, SimStore, Value};
 
 /// The multi-index: per position of the segment, one [`SimpleIndex`] per
 /// class of the inheritance hierarchy at that position, on the path
@@ -21,7 +21,7 @@ pub struct MultiIndex {
 
 impl MultiIndex {
     /// Creates an empty MX on subpath `sub` of `path`.
-    pub fn new(schema: &Schema, path: &Path, sub: SubpathId, store: &mut PageStore) -> Self {
+    pub fn new(schema: &Schema, path: &Path, sub: SubpathId, store: &mut SimStore) -> Self {
         let segment = Segment::new(schema, path, sub);
         let mut indexes = Vec::with_capacity(segment.len());
         for i in 0..segment.len() {
@@ -50,7 +50,7 @@ impl MultiIndex {
         schema: &Schema,
         path: &Path,
         sub: SubpathId,
-        store: &mut PageStore,
+        store: &mut SimStore,
         heap: &ObjectStore,
     ) -> Self {
         let mut idx = Self::new(schema, path, sub, store);
@@ -65,7 +65,7 @@ impl MultiIndex {
         idx
     }
 
-    fn lookup_position(&self, store: &PageStore, local: usize, keys: &[Value]) -> Vec<Oid> {
+    fn lookup_position(&self, store: &SimStore, local: usize, keys: &[Value]) -> Vec<Oid> {
         let mut out = Vec::new();
         for six in &self.indexes[local] {
             for key in keys {
@@ -83,7 +83,7 @@ impl PathIndex for MultiIndex {
 
     fn lookup(
         &self,
-        store: &PageStore,
+        store: &SimStore,
         keys: &[Value],
         target: ClassId,
         with_subclasses: bool,
@@ -119,7 +119,7 @@ impl PathIndex for MultiIndex {
         normalize(out)
     }
 
-    fn on_insert(&mut self, store: &mut PageStore, obj: &Object) {
+    fn on_insert(&mut self, store: &mut SimStore, obj: &Object) {
         if let Some(local) = self.segment.local_of(obj.class()) {
             if let Some(six) = self.indexes[local]
                 .iter_mut()
@@ -130,7 +130,7 @@ impl PathIndex for MultiIndex {
         }
     }
 
-    fn on_delete(&mut self, store: &mut PageStore, obj: &Object) {
+    fn on_delete(&mut self, store: &mut SimStore, obj: &Object) {
         if let Some(local) = self.segment.local_of(obj.class()) {
             if let Some(six) = self.indexes[local]
                 .iter_mut()

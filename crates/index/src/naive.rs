@@ -4,7 +4,7 @@
 
 use crate::Segment;
 use oic_schema::{ClassId, Path, Schema, SubpathId};
-use oic_storage::{ObjectStore, Oid, PageStore, Value};
+use oic_storage::{ObjectStore, Oid, SimStore, Value};
 use std::collections::HashMap;
 
 /// Naive forward-navigation evaluator over a segment. Stateless with
@@ -33,7 +33,7 @@ impl NaivePathEvaluator {
     /// counted against `store`.
     pub fn lookup(
         &self,
-        store: &PageStore,
+        store: &SimStore,
         heap: &ObjectStore,
         keys: &[Value],
         target: ClassId,
@@ -61,7 +61,7 @@ impl NaivePathEvaluator {
 
     fn reaches(
         &self,
-        store: &PageStore,
+        store: &SimStore,
         heap: &ObjectStore,
         oid: Oid,
         local: usize,

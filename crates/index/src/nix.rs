@@ -19,7 +19,7 @@ use crate::traits::{entry_to_oid, normalize};
 use crate::{PathIndex, Segment};
 use oic_btree::{BTreeIndex, Layout};
 use oic_schema::{ClassId, Path, Schema, SubpathId};
-use oic_storage::{encode_key, Object, ObjectStore, Oid, PageStore, Value};
+use oic_storage::{encode_key, Object, ObjectStore, Oid, SimStore, Value};
 
 const TAG_POINTER: u8 = 1;
 const TAG_PARENT: u8 = 2;
@@ -77,7 +77,7 @@ pub struct NestedInheritedIndex {
 
 impl NestedInheritedIndex {
     /// Creates an empty NIX on subpath `sub` of `path`.
-    pub fn new(schema: &Schema, path: &Path, sub: SubpathId, store: &mut PageStore) -> Self {
+    pub fn new(schema: &Schema, path: &Path, sub: SubpathId, store: &mut SimStore) -> Self {
         let segment = Segment::new(schema, path, sub);
         let boundary = match segment.step(segment.len() - 1).attr.kind {
             oic_schema::AttrKind::Reference(domain) => Some(schema.hierarchy(domain)),
@@ -99,7 +99,7 @@ impl NestedInheritedIndex {
         schema: &Schema,
         path: &Path,
         sub: SubpathId,
-        store: &mut PageStore,
+        store: &mut SimStore,
         heap: &ObjectStore,
     ) -> Self {
         let mut idx = Self::new(schema, path, sub, store);
@@ -127,7 +127,7 @@ impl NestedInheritedIndex {
     /// Primary keys the object contributes to, with contribution counts:
     /// for the last position these are the attribute values themselves; for
     /// earlier positions, the union of the children's pointer arrays.
-    fn contribution(&self, store: &PageStore, obj: &Object, local: usize) -> Vec<(Vec<u8>, u32)> {
+    fn contribution(&self, store: &SimStore, obj: &Object, local: usize) -> Vec<(Vec<u8>, u32)> {
         let attr = self.segment.attr_name(local);
         let mut counts: Vec<(Vec<u8>, u32)> = Vec::new();
         let bump = |counts: &mut Vec<(Vec<u8>, u32)>, key: Vec<u8>| {
@@ -156,7 +156,7 @@ impl NestedInheritedIndex {
     /// steps 3a–3c cascade. Decrements `numchild`; on zero, removes the
     /// entry, drops the pointer from the parent's 3-tuple and recurses to
     /// its parents.
-    fn cascade_decrement(&mut self, store: &mut PageStore, key: &[u8], parent: Oid) {
+    fn cascade_decrement(&mut self, store: &mut SimStore, key: &[u8], parent: Oid) {
         let bytes = parent.to_bytes();
         let found = self
             .primary
@@ -199,7 +199,7 @@ impl PathIndex for NestedInheritedIndex {
 
     fn lookup(
         &self,
-        store: &PageStore,
+        store: &SimStore,
         keys: &[Value],
         target: ClassId,
         with_subclasses: bool,
@@ -220,7 +220,7 @@ impl PathIndex for NestedInheritedIndex {
         normalize(out)
     }
 
-    fn on_insert(&mut self, store: &mut PageStore, obj: &Object) {
+    fn on_insert(&mut self, store: &mut SimStore, obj: &Object) {
         let Some(local) = self.segment.local_of(obj.class()) else {
             return;
         };
@@ -248,7 +248,7 @@ impl PathIndex for NestedInheritedIndex {
         }
     }
 
-    fn on_delete(&mut self, store: &mut PageStore, obj: &Object) {
+    fn on_delete(&mut self, store: &mut SimStore, obj: &Object) {
         if let Some(local) = self.segment.local_of(obj.class()) {
             // Step 2: remove the object from its children's parent lists.
             if local + 1 < self.segment.len() {

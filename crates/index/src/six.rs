@@ -2,7 +2,7 @@
 
 use oic_btree::{BTreeIndex, Layout};
 use oic_schema::ClassId;
-use oic_storage::{encode_key, Object, Oid, PageStore, Value};
+use oic_storage::{encode_key, Object, Oid, SimStore, Value};
 
 /// An index on an attribute of a single class: each attribute value maps to
 /// the oids of that class's objects holding it. The building block of the
@@ -16,7 +16,7 @@ pub struct SimpleIndex {
 
 impl SimpleIndex {
     /// Creates an empty index on `class.attr`.
-    pub fn new(store: &mut PageStore, class: ClassId, attr: impl Into<String>) -> Self {
+    pub fn new(store: &mut SimStore, class: ClassId, attr: impl Into<String>) -> Self {
         SimpleIndex {
             class,
             attr: attr.into(),
@@ -35,7 +35,7 @@ impl SimpleIndex {
     }
 
     /// Oids holding `key` for the indexed attribute.
-    pub fn lookup(&self, store: &PageStore, key: &Value) -> Vec<Oid> {
+    pub fn lookup(&self, store: &SimStore, key: &Value) -> Vec<Oid> {
         self.tree
             .lookup(store, &encode_key(key))
             .unwrap_or_default()
@@ -45,7 +45,7 @@ impl SimpleIndex {
     }
 
     /// Indexes a (possibly multi-valued) object.
-    pub fn insert_object(&mut self, store: &mut PageStore, obj: &Object) {
+    pub fn insert_object(&mut self, store: &mut SimStore, obj: &Object) {
         debug_assert_eq!(obj.class(), self.class);
         for v in obj.values_of(&self.attr) {
             self.tree
@@ -54,7 +54,7 @@ impl SimpleIndex {
     }
 
     /// Removes an object's entries.
-    pub fn delete_object(&mut self, store: &mut PageStore, obj: &Object) {
+    pub fn delete_object(&mut self, store: &mut SimStore, obj: &Object) {
         debug_assert_eq!(obj.class(), self.class);
         let bytes = obj.oid.to_bytes();
         for v in obj.values_of(&self.attr) {
@@ -64,7 +64,7 @@ impl SimpleIndex {
     }
 
     /// Drops the whole record for `key` (used when the key is a dead oid).
-    pub fn remove_key(&mut self, store: &mut PageStore, key: &Value) -> usize {
+    pub fn remove_key(&mut self, store: &mut SimStore, key: &Value) -> usize {
         self.tree
             .remove_record(store, &encode_key(key))
             .unwrap_or(0)
@@ -103,7 +103,7 @@ mod tests {
         // Section 2.2: an index on Veh.color yields (White, {Vehicle[i]}),
         // (Red, {Vehicle[j], Vehicle[k]}).
         let (schema, c) = fixtures::paper_schema();
-        let mut store = PageStore::new(1024);
+        let mut store = SimStore::new(1024);
         let mut six = SimpleIndex::new(&mut store, c.vehicle, "color");
         let comp = Oid::new(c.company, 0);
         let vi = veh(&schema, 0, "White", comp);
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn multi_valued_attributes_index_every_value() {
         let (schema, c) = fixtures::paper_schema();
-        let mut store = PageStore::new(1024);
+        let mut store = SimStore::new(1024);
         let mut six = SimpleIndex::new(&mut store, c.vehicle, "man");
         let c1 = Oid::new(c.company, 1);
         let c2 = Oid::new(c.company, 2);

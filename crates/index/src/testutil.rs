@@ -4,13 +4,13 @@
 
 use oic_schema::fixtures::{paper_path_pe, paper_path_pexa, paper_schema, PaperClasses};
 use oic_schema::{Path, Schema};
-use oic_storage::{FieldValue, Object, ObjectStore, Oid, PageStore, Value};
+use oic_storage::{FieldValue, Object, ObjectStore, Oid, SimStore, Value};
 
 /// The fixture database.
 pub struct TestDb {
     pub schema: Schema,
     pub classes: PaperClasses,
-    pub store: PageStore,
+    pub store: SimStore,
     pub heap: ObjectStore,
     pub path_pe: Path,
     pub path_pexa: Path,
@@ -25,10 +25,10 @@ pub struct TestDb {
 /// * persons P0..P5 owning V0, V1, Bus0, Truck0, Bus1, V2 respectively.
 pub fn figure2_db(page_size: usize) -> TestDb {
     let (schema, classes) = paper_schema();
-    let mut store = PageStore::new(page_size);
+    let mut store = SimStore::new(page_size);
     let mut heap = ObjectStore::new();
 
-    let div = |heap: &mut ObjectStore, store: &mut PageStore, name: &str| {
+    let div = |heap: &mut ObjectStore, store: &mut SimStore, name: &str| {
         let oid = heap.fresh_oid(classes.division);
         let o = Object::new(
             &schema,
@@ -48,7 +48,7 @@ pub fn figure2_db(page_size: usize) -> TestDb {
     let d_sales_r = div(&mut heap, &mut store, "sales");
     let d_rnd_d = div(&mut heap, &mut store, "rnd");
 
-    let comp = |heap: &mut ObjectStore, store: &mut PageStore, name: &str, divs: Vec<Oid>| {
+    let comp = |heap: &mut ObjectStore, store: &mut SimStore, name: &str, divs: Vec<Oid>| {
         let oid = heap.fresh_oid(classes.company);
         let o = Object::new(
             &schema,
@@ -82,7 +82,7 @@ pub fn figure2_db(page_size: usize) -> TestDb {
             ),
         ]
     };
-    let veh = |heap: &mut ObjectStore, store: &mut PageStore, color: &str, man: Vec<Oid>| {
+    let veh = |heap: &mut ObjectStore, store: &mut SimStore, color: &str, man: Vec<Oid>| {
         let oid = heap.fresh_oid(classes.vehicle);
         let o = Object::new(&schema, oid, veh_fields(color, man)).unwrap();
         heap.insert(store, o).unwrap();
@@ -92,7 +92,7 @@ pub fn figure2_db(page_size: usize) -> TestDb {
     let v1 = veh(&mut heap, &mut store, "Red", vec![renault.1]);
     let v2 = veh(&mut heap, &mut store, "Red", vec![renault.1]);
 
-    let bus = |heap: &mut ObjectStore, store: &mut PageStore, man: Vec<Oid>| {
+    let bus = |heap: &mut ObjectStore, store: &mut SimStore, man: Vec<Oid>| {
         let oid = heap.fresh_oid(classes.bus);
         let mut f = veh_fields("Yellow", man);
         f.push(("seats", Value::Int(50).into()));

@@ -2,7 +2,7 @@
 
 use crate::Segment;
 use oic_schema::ClassId;
-use oic_storage::{Object, Oid, PageStore, Value};
+use oic_storage::{Object, Oid, SimStore, Value};
 
 /// A (sub)path index: answers equality lookups against the segment's ending
 /// attribute and absorbs object insertions/deletions.
@@ -18,7 +18,7 @@ pub trait PathIndex {
     /// (`Value::Ref`); for atomic endings they are the query constants.
     fn lookup(
         &self,
-        store: &PageStore,
+        store: &SimStore,
         keys: &[Value],
         target: ClassId,
         with_subclasses: bool,
@@ -26,12 +26,12 @@ pub trait PathIndex {
 
     /// Maintains the index for a newly inserted object. Objects outside the
     /// segment's scope are ignored.
-    fn on_insert(&mut self, store: &mut PageStore, obj: &Object);
+    fn on_insert(&mut self, store: &mut SimStore, obj: &Object);
 
     /// Maintains the index for a deleted object. Handles both scope members
     /// and *boundary* objects (domain of the ending attribute), whose death
     /// removes the record keyed by their oid — the paper's `CMD` effect.
-    fn on_delete(&mut self, store: &mut PageStore, obj: &Object);
+    fn on_delete(&mut self, store: &mut SimStore, obj: &Object);
 
     /// Short human-readable description (organization + segment).
     fn describe(&self) -> String;

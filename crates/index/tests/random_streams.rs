@@ -7,7 +7,7 @@ use oic_index::{
 };
 use oic_schema::fixtures::{paper_path_pe, paper_schema};
 use oic_schema::{ClassId, Path, Schema, SubpathId};
-use oic_storage::{FieldValue, Object, ObjectStore, Oid, PageStore, Value};
+use oic_storage::{FieldValue, Object, ObjectStore, Oid, SimStore, Value};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 struct Db {
     schema: Schema,
     path: Path,
-    store: PageStore,
+    store: SimStore,
     heap: ObjectStore,
     names: Vec<String>,
 }
@@ -66,7 +66,7 @@ fn person(schema: &Schema, oid: Oid, owns: Oid) -> Object {
 fn random_db(seed: u64, n_comp: usize, n_veh: usize, n_per: usize) -> Db {
     let (schema, classes) = paper_schema();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut store = PageStore::new(512);
+    let mut store = SimStore::new(512);
     let mut heap = ObjectStore::new();
     let names: Vec<String> = (0..n_comp.max(2) / 2).map(|i| format!("co{i}")).collect();
     let mut comps = Vec::new();

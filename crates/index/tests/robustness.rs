@@ -5,17 +5,17 @@
 use oic_index::{MultiIndex, MultiInheritedIndex, NestedInheritedIndex, PathIndex};
 use oic_schema::fixtures::paper_schema;
 use oic_schema::SubpathId;
-use oic_storage::{FieldValue, Object, ObjectStore, Oid, PageStore, Value};
+use oic_storage::{FieldValue, Object, ObjectStore, Oid, SimStore, Value};
 
 fn tiny_db() -> (
     oic_schema::Schema,
     oic_schema::fixtures::PaperClasses,
-    PageStore,
+    SimStore,
     ObjectStore,
     oic_schema::Path,
 ) {
     let (schema, classes) = paper_schema();
-    let mut store = PageStore::new(512);
+    let mut store = SimStore::new(512);
     let mut heap = ObjectStore::new();
     let comp = heap.fresh_oid(classes.company);
     heap.insert(

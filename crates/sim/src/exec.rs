@@ -131,6 +131,16 @@ impl<'a> ConfiguredDb<'a> {
         self.path.step(start_pos).class
     }
 
+    /// Number of positions in the indexed path.
+    pub fn path_len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// The class at 1-based path position `pos`.
+    pub fn class_at(&self, pos: usize) -> ClassId {
+        self.path.step(pos).class
+    }
+
     /// Inserts an object: heap write plus maintenance of every subpath
     /// index. Returns the operation statistics.
     pub fn insert(&mut self, obj: Object) -> OpStats {
@@ -296,7 +306,7 @@ mod tests {
             let heap_counts: Vec<usize> = exec.db.pools.iter().map(Vec::len).collect();
             assert!(heap_counts[0] > 0);
             let db2 = GeneratedDb {
-                store: oic_storage::PageStore::new(1024),
+                store: oic_storage::SimStore::new(1024),
                 heap: clone_heap(&schema, &exec.db),
                 pools: exec.db.pools.clone(),
                 ending_values: exec.db.ending_values.clone(),
@@ -312,7 +322,7 @@ mod tests {
 
     fn clone_heap(schema: &Schema, db: &GeneratedDb) -> oic_storage::ObjectStore {
         let mut heap = oic_storage::ObjectStore::new();
-        let mut store = oic_storage::PageStore::new(1024);
+        let mut store = oic_storage::SimStore::new(1024);
         for c in schema.class_ids() {
             for oid in db.heap.oids_of(c) {
                 let obj = db.heap.peek(oid).unwrap().clone();

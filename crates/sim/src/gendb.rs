@@ -2,7 +2,7 @@
 
 use oic_cost::{ClassStats, PathCharacteristics};
 use oic_schema::{AtomicType, AttrKind, Cardinality, ClassId, Path, Schema};
-use oic_storage::{FieldValue, Object, ObjectStore, Oid, PageStore, Value};
+use oic_storage::{FieldValue, Object, ObjectStore, Oid, SimStore, Value};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -28,7 +28,7 @@ impl Default for GenSpec {
 /// A generated database bound to one path.
 pub struct GeneratedDb {
     /// The counting page store.
-    pub store: PageStore,
+    pub store: SimStore,
     /// The object heap.
     pub heap: ObjectStore,
     /// Oids per path position (1-based position − 1), all hierarchy classes
@@ -76,7 +76,7 @@ pub fn generate(
     spec: &GenSpec,
 ) -> GeneratedDb {
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    let mut store = PageStore::new(spec.page_size);
+    let mut store = SimStore::new(spec.page_size);
     let mut heap = ObjectStore::new();
     let n = path.len();
     let mut pools: Vec<Vec<Oid>> = vec![Vec::new(); n];

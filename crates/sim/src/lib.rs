@@ -4,7 +4,7 @@
 //! The paper's evaluation is purely analytic; this crate closes the loop the
 //! paper left to its references by *running* the index organizations of
 //! `oic-index` on generated data and comparing observed page accesses (from
-//! the counting `PageStore`) against the `oic-cost` predictions:
+//! the counting `SimStore`) against the `oic-cost` predictions:
 //!
 //! * [`GenSpec`]/[`generate`] — builds a database whose realized statistics
 //!   (`n`, `d`, `nin` per class) match a `PathCharacteristics`, bottom-up so
@@ -18,6 +18,10 @@
 //! * [`workload_gen`] — synthetic N-path workloads (class trees, shared
 //!   prefixes, per-path query rates) for workload-scale validation and the
 //!   `scaling_dp_vs_bb` bench;
+//! * [`paged`] — the paged executor mode: per-position query answers
+//!   materialized into a durable `PagedBTree` with chunked posting lists,
+//!   so the same predictions can be compared against *physical* page I/O
+//!   (cold and warm) from the real pager, not just logical touch counts;
 //! * [`drift`] — epoch-batched workload churn (path arrivals/departures,
 //!   statistic drift, rate and query churn) driving the online
 //!   `WorkloadAdvisor`'s incremental re-optimization, for the
@@ -29,10 +33,12 @@
 pub mod drift;
 mod exec;
 mod gendb;
+pub mod paged;
 pub mod validate;
 pub mod workload_gen;
 
 pub use drift::{DriftSim, DriftSpec, EpochChurn};
 pub use exec::ConfiguredDb;
 pub use gendb::{generate, scale_chars, GenSpec, GeneratedDb};
+pub use paged::PagedMirror;
 pub use workload_gen::{synth_workload, SynthWorkload, WorkloadSpec};

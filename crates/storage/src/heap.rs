@@ -1,6 +1,6 @@
 //! The object heap: one class per page (the paper's storage assumption).
 
-use crate::{Object, Oid, PageId, PageStore};
+use crate::{Object, Oid, PageId, SimStore};
 use oic_schema::ClassId;
 use std::collections::HashMap;
 use std::fmt;
@@ -67,7 +67,7 @@ impl ObjectStore {
 
     /// Stores an object, placing it in a page of its class and counting the
     /// page write.
-    pub fn insert(&mut self, store: &mut PageStore, obj: Object) -> Result<(), HeapError> {
+    pub fn insert(&mut self, store: &mut SimStore, obj: Object) -> Result<(), HeapError> {
         if self.by_oid.contains_key(&obj.oid) {
             return Err(HeapError::Duplicate(obj.oid));
         }
@@ -90,7 +90,7 @@ impl ObjectStore {
     }
 
     /// Fetches an object, counting the page read.
-    pub fn get(&self, store: &PageStore, oid: Oid) -> Result<&Object, HeapError> {
+    pub fn get(&self, store: &SimStore, oid: Oid) -> Result<&Object, HeapError> {
         let (obj, page) = self.by_oid.get(&oid).ok_or(HeapError::NotFound(oid))?;
         store.touch_read(*page);
         Ok(obj)
@@ -103,7 +103,7 @@ impl ObjectStore {
     }
 
     /// Removes an object, counting the read and rewrite of its page.
-    pub fn delete(&mut self, store: &mut PageStore, oid: Oid) -> Result<Object, HeapError> {
+    pub fn delete(&mut self, store: &mut SimStore, oid: Oid) -> Result<Object, HeapError> {
         let (obj, page) = self.by_oid.remove(&oid).ok_or(HeapError::NotFound(oid))?;
         store.touch_read(page);
         store.touch_write(page);
@@ -118,7 +118,7 @@ impl ObjectStore {
     /// the naive (index-less) evaluator.
     pub fn scan<'a>(
         &'a self,
-        store: &PageStore,
+        store: &SimStore,
         class: ClassId,
     ) -> impl Iterator<Item = &'a Object> + 'a {
         if let Some(heap) = self.classes.get(&class) {
@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn insert_get_delete_roundtrip() {
         let (s, c) = fixtures::paper_schema();
-        let mut store = PageStore::new(4096);
+        let mut store = SimStore::new(4096);
         let mut heap = ObjectStore::new();
         let obj = division(&s, &mut heap, "sales");
         let oid = obj.oid;
@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn duplicate_insert_rejected() {
         let (s, _) = fixtures::paper_schema();
-        let mut store = PageStore::new(4096);
+        let mut store = SimStore::new(4096);
         let mut heap = ObjectStore::new();
         let obj = division(&s, &mut heap, "a");
         let dup = obj.clone();
@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn pages_fill_before_allocating() {
         let (s, c) = fixtures::paper_schema();
-        let mut store = PageStore::new(4096);
+        let mut store = SimStore::new(4096);
         let mut heap = ObjectStore::new();
         for i in 0..100 {
             let obj = division(&s, &mut heap, &format!("d{i}"));
@@ -237,7 +237,7 @@ mod tests {
     #[test]
     fn scan_counts_one_read_per_page() {
         let (s, c) = fixtures::paper_schema();
-        let mut store = PageStore::new(4096);
+        let mut store = SimStore::new(4096);
         let mut heap = ObjectStore::new();
         for i in 0..50 {
             let obj = division(&s, &mut heap, &format!("d{i}"));
@@ -252,7 +252,7 @@ mod tests {
     #[test]
     fn classes_never_share_pages() {
         let (s, c) = fixtures::paper_schema();
-        let mut store = PageStore::new(4096);
+        let mut store = SimStore::new(4096);
         let mut heap = ObjectStore::new();
         // Interleave insertions of two classes; pages must stay disjoint.
         for i in 0..20 {

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// Cumulative page-access counters of a [`crate::PageStore`].
+/// Cumulative page-access counters of a [`crate::SimStore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessStats {
     /// Total page reads since the last reset.
@@ -34,7 +34,7 @@ impl fmt::Display for AccessStats {
 }
 
 /// Per-operation statistics collected between
-/// [`crate::PageStore::begin_op`] and [`crate::PageStore::end_op`].
+/// [`crate::SimStore::begin_op`] and [`crate::SimStore::end_op`].
 ///
 /// `distinct_*` counts each page at most once within the operation — the
 /// quantity estimated by Yao's formula and by the paper's convention that a

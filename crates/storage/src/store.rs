@@ -4,7 +4,7 @@ use crate::{AccessStats, OpStats};
 use std::cell::RefCell;
 use std::collections::HashSet;
 
-/// Identifier of a page in a [`PageStore`].
+/// Identifier of a page in a [`SimStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageId(pub u64);
 
@@ -36,7 +36,7 @@ struct OpScope {
 /// path; capacity decisions are still made against the real `page_size` by
 /// the owners.
 #[derive(Debug)]
-pub struct PageStore {
+pub struct SimStore {
     page_size: usize,
     next: u64,
     free: Vec<PageId>,
@@ -44,11 +44,11 @@ pub struct PageStore {
     counters: RefCell<Counters>,
 }
 
-impl PageStore {
+impl SimStore {
     /// Creates a store with the given page size in bytes.
     pub fn new(page_size: usize) -> Self {
         assert!(page_size >= 64, "page size unrealistically small");
-        PageStore {
+        SimStore {
             page_size,
             next: 0,
             free: Vec::new(),
@@ -121,8 +121,16 @@ impl PageStore {
         self.counters.borrow_mut().stats = AccessStats::default();
     }
 
+    /// Returns the cumulative counters and resets them in one step — the
+    /// per-phase snapshot primitive (`let phase = store.take_stats();`
+    /// brackets exactly the accesses since the previous take/reset).
+    pub fn take_stats(&self) -> AccessStats {
+        let mut c = self.counters.borrow_mut();
+        std::mem::take(&mut c.stats)
+    }
+
     /// Opens an operation scope; accesses are additionally tracked with
-    /// distinct-page resolution until [`PageStore::end_op`]. Scopes do not
+    /// distinct-page resolution until [`SimStore::end_op`]. Scopes do not
     /// nest — beginning a new scope discards the previous one.
     pub fn begin_op(&self) {
         self.counters.borrow_mut().op = Some(OpScope::default());
@@ -150,7 +158,7 @@ mod tests {
 
     #[test]
     fn alloc_free_recycles() {
-        let mut s = PageStore::new(4096);
+        let mut s = SimStore::new(4096);
         let a = s.alloc();
         let b = s.alloc();
         assert_ne!(a, b);
@@ -163,7 +171,7 @@ mod tests {
 
     #[test]
     fn counting_and_reset() {
-        let mut s = PageStore::new(4096);
+        let mut s = SimStore::new(4096);
         let a = s.alloc();
         s.touch_read(a);
         s.touch_read(a);
@@ -180,8 +188,35 @@ mod tests {
     }
 
     #[test]
+    fn take_stats_snapshots_and_resets() {
+        let mut s = SimStore::new(4096);
+        let a = s.alloc();
+        s.touch_read(a);
+        s.touch_write(a);
+        let phase1 = s.take_stats();
+        assert_eq!(
+            phase1,
+            AccessStats {
+                reads: 1,
+                writes: 1
+            }
+        );
+        s.touch_read(a);
+        let phase2 = s.take_stats();
+        assert_eq!(
+            phase2,
+            AccessStats {
+                reads: 1,
+                writes: 0
+            },
+            "second phase starts from zero"
+        );
+        assert_eq!(s.stats().total(), 0);
+    }
+
+    #[test]
     fn op_scope_tracks_distinct_pages() {
-        let mut s = PageStore::new(4096);
+        let mut s = SimStore::new(4096);
         let a = s.alloc();
         let b = s.alloc();
         s.begin_op();
@@ -201,7 +236,7 @@ mod tests {
 
     #[test]
     fn measure_wraps_closure() {
-        let mut s = PageStore::new(4096);
+        let mut s = SimStore::new(4096);
         let a = s.alloc();
         let (val, op) = s.measure(|| {
             s.touch_read(a);
@@ -214,6 +249,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn tiny_pages_rejected() {
-        let _ = PageStore::new(16);
+        let _ = SimStore::new(16);
     }
 }

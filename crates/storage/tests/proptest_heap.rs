@@ -2,7 +2,7 @@
 //! accounting, under random insert/get/delete interleavings.
 
 use oic_schema::fixtures::paper_schema;
-use oic_storage::{Object, ObjectStore, Oid, PageStore, Value};
+use oic_storage::{Object, ObjectStore, Oid, SimStore, Value};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -30,7 +30,7 @@ proptest! {
     #[test]
     fn heap_matches_model(ops in ops(), page_size in prop::sample::select(vec![128usize, 512, 4096])) {
         let (schema, classes) = paper_schema();
-        let mut store = PageStore::new(page_size);
+        let mut store = SimStore::new(page_size);
         let mut heap = ObjectStore::new();
         let mut model: HashMap<u8, Oid> = HashMap::new();
 

@@ -51,4 +51,16 @@ run budgeted_workload "within budget"
 # and must verify the plans bit-identical.
 run parallel_workload "parallel plan == sequential plan"
 
+# paged_store builds a file-backed tree, drops every handle, and reopens
+# it cold from the file alone; run it under a tiny cache so the eviction
+# path is exercised too.
+OIC_PAGE_CACHE=2 run paged_store "survived drop/reopen"
+
+# The crash-injection sweep is the durability proof (DESIGN.md §5.14):
+# a torn write at every write count, recovery must land on the last
+# successful commit. Keep it in the smoke path so it cannot be skipped.
+echo "── cargo test --release -p oic-pager --test crash_recovery"
+cargo test --release --quiet -p oic-pager --test crash_recovery
+echo "ok: crash-injection sweep recovered every torn commit"
+
 echo "smoke: all examples alive"

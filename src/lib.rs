@@ -10,9 +10,14 @@
 //! The workspace is re-exported here as a facade:
 //!
 //! * [`schema`] — classes, inheritance/aggregation hierarchies, paths;
-//! * [`storage`] — oids, typed values, the page-access-counting store and
-//!   the one-class-per-page object heap;
-//! * [`btree`] — the chained-leaf B+-tree with overflow records;
+//! * [`storage`] — oids, typed values, the page-access-counting store,
+//!   the one-class-per-page object heap, and the [`storage::paged`]
+//!   `PageStore` trait the durable stack is generic over;
+//! * [`pager`] — durable paged storage: the file-backed pager (header
+//!   page, freelist, undo-journal commits) with an LRU page cache, plus
+//!   the crash-injection harness (`OIC_PAGE_CACHE` sizes the cache);
+//! * [`btree`] — the chained-leaf B+-tree with overflow records, and its
+//!   durable twin [`btree::PagedBTree`] serialized to `PageStore` pages;
 //! * [`index`] — real SIX/IIX/MX/MIX/NIX structures and a naive evaluator;
 //! * [`cost`] — the analytic page-access model (Yao, `CRL/CML/CRT/CMT`,
 //!   per-organization costs, `CMD`);
@@ -62,6 +67,7 @@ pub use oic_core as core;
 pub use oic_cost as cost;
 pub use oic_exec as exec;
 pub use oic_index as index;
+pub use oic_pager as pager;
 pub use oic_schema as schema;
 pub use oic_sim as sim;
 pub use oic_storage as storage;
@@ -69,6 +75,7 @@ pub use oic_workload as workload;
 
 /// Most-used types in one import.
 pub mod prelude {
+    pub use oic_btree::PagedBTree;
     pub use oic_core::{
         exhaustive, exhaustive_frontier, frontier_dp, opt_ind_con, opt_ind_con_dp, Advisor,
         BudgetedWorkloadPlan, CandidateId, CandidateSpace, Choice, CostMatrix, FrontierPoint,
@@ -77,10 +84,11 @@ pub mod prelude {
     };
     pub use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
     pub use oic_exec::Executor;
+    pub use oic_pager::{FilePager, MemPager};
     pub use oic_schema::{
         AtomicType, Attribute, Cardinality, ClassId, Path, PathSignature, Schema, SchemaBuilder,
         SubpathId,
     };
-    pub use oic_storage::{Oid, Value};
+    pub use oic_storage::{MemStore, Oid, Value};
     pub use oic_workload::{LoadDistribution, Triplet};
 }
