@@ -123,12 +123,16 @@ fn main() {
     if host_cpus >= 4 {
         assert!(
             speedup_8 >= 2.0,
-            "8 lanes on a {host_cpus}-CPU host must be ≥ 2x over sequential, got {speedup_8:.2}x"
+            "thread scaling regressed: 8 lanes on this {host_cpus}-CPU host must be ≥ 2x over \
+             sequential, got {speedup_8:.2}x (this gate measures the thread pool only — \
+             single-core scaling is the sharded engine's claim, gated by workload_scale_100k)"
         );
     } else {
         println!(
-            "(host has {host_cpus} CPU(s): the ≥ 2x assertion needs ≥ 4 — \
-             bit-identity still enforced above)"
+            "(host has {host_cpus} CPU(s): the ≥ 2x gate measures thread scaling and needs \
+             ≥ 4 CPUs, so it is skipped here — bit-identity is still enforced above; for the \
+             scaling claim that does hold on one core, see the sharded engine's \
+             BENCH_workload_scale.json / DESIGN.md §5.15)"
         );
     }
 

@@ -45,6 +45,7 @@ pub mod fig6;
 mod matrix;
 pub mod pc;
 pub mod select;
+mod shard;
 pub mod space;
 pub mod trace;
 pub mod workload_advisor;
@@ -54,7 +55,7 @@ pub use config::{Choice, IndexConfiguration};
 pub use matrix::CostMatrix;
 pub use select::{
     candidate_space_size, exhaustive, exhaustive_frontier, frontier_dp, opt_ind_con,
-    opt_ind_con_dp, FrontierPoint, FrontierResult, SelectionResult,
+    opt_ind_con_dp, prune_dominated, FrontierPoint, FrontierResult, SelectionResult,
 };
 pub use space::{CandidateId, CandidateSpace};
 pub use trace::{opt_ind_con_traced, TraceEvent};

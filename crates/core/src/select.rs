@@ -510,6 +510,75 @@ pub fn exhaustive(matrix: &CostMatrix) -> SelectionResult {
     }
 }
 
+/// CoPhy-style dominance pruning over a path's `(subpath rank ×
+/// organization)` cell grid: a 3-bit mask per rank marking cells provably
+/// absent from every optimum of [`opt_ind_con_dp`] on the full matrix —
+/// under **any** sharing context, because covered cells bypass the mask
+/// entirely (the advisor prices them before consulting it).
+///
+/// `query[r][o]` / `maint[r][o]` are the query share and the maintenance
+/// price of rank `r` under organization `o`; `n` is the path length. Two
+/// strict arguments, both piece-local (the DP's transition reads one
+/// `choice_cost` per piece, so replacing a piece's cells never touches the
+/// rest of a configuration):
+///
+/// * **Org dominance** — prune `(r, o)` iff `query[r][o] >
+///   min_o'(query[r][o'] + maint[r][o'])`: even paying `o`'s query share
+///   alone beats nothing, since some other organization's *full* price is
+///   strictly below it. The argmin organization always survives (`q ≤ q +
+///   m` as `m ≥ 0`), so no rank is ever erased.
+/// * **Rank elimination** — for a non-singleton rank, prune all three
+///   cells iff `min_o query[r][o]` strictly exceeds the summed
+///   singleton-replacement floor `Σ_{l ∈ r} min_o(query + maint)` at each
+///   position's singleton rank: breaking the piece into singletons is
+///   strictly cheaper than its query share alone. The replacement's argmin
+///   cells survive org dominance by the first rule.
+///
+/// Strictness is what preserves **bit-identity**: a pruned cell's every DP
+/// total is strictly above the prefix minimum at its column's position, so
+/// it can neither win nor *tie* any `parent`/`prefix_best` entry on the
+/// reconstruction chain — costs and tie-broken selections are unchanged,
+/// not merely cost-equal (property-tested below and in `oic-sim`).
+///
+/// Sound **only** for the unbanned, λ = 0 objective the arguments price:
+/// λ-weighted sweeps, eviction bans and the budget frontier must not
+/// apply these masks.
+pub fn prune_dominated(query: &[[f64; 3]], maint: &[[f64; 3]], n: usize) -> Vec<u8> {
+    let ranks = SubpathId::count(n);
+    debug_assert_eq!(query.len(), ranks);
+    debug_assert_eq!(maint.len(), ranks);
+    // Full price floor of each position's singleton rank.
+    let mut single = vec![f64::INFINITY; n + 1];
+    for (l, floor) in single.iter_mut().enumerate().skip(1) {
+        let r = SubpathId { start: l, end: l }.rank(n);
+        for o in 0..3 {
+            *floor = floor.min(query[r][o] + maint[r][o]);
+        }
+    }
+    (0..ranks)
+        .map(|r| {
+            let sub = SubpathId::from_rank(n, r);
+            let floor = (0..3)
+                .map(|o| query[r][o] + maint[r][o])
+                .fold(f64::INFINITY, f64::min);
+            let mut mask = 0u8;
+            for (o, &q) in query[r].iter().enumerate() {
+                if q > floor {
+                    mask |= 1 << o;
+                }
+            }
+            if sub.start < sub.end {
+                let replacement: f64 = (sub.start..=sub.end).map(|l| single[l]).sum();
+                let cheapest = (0..3).map(|o| query[r][o]).fold(f64::INFINITY, f64::min);
+                if cheapest > replacement {
+                    mask = 0b111;
+                }
+            }
+            mask
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -953,6 +1022,104 @@ mod tests {
                 dp.cost,
                 bb.cost
             );
+        }
+    }
+
+    #[test]
+    fn prune_dominated_strikes_dominated_orgs_and_keeps_argmins() {
+        // Rank (1,1): Mx full price 2.0; Mix query 5.0 > 2.0 (pruned),
+        // Nix query 1.5 ≤ 2.0 (kept). Argmin Mx always survives.
+        let query = vec![
+            [1.0, 5.0, 1.5],  // (1,1)
+            [1.0, 1.0, 1.0],  // (2,2)
+            [0.5, 0.6, 20.0], // (1,2): Nix query 20 > Mx full 1.5
+        ];
+        let maint = vec![
+            [1.0, 1.0, 1.0], // (1,1): floor = 2.0 (Mx)
+            [1.0, 1.0, 1.0],
+            [1.0, 1.0, 1.0],
+        ];
+        let masks = prune_dominated(&query, &maint, 2);
+        assert_eq!(masks[sid(1, 1).rank(2)], 0b010, "Mix dominated at (1,1)");
+        assert_eq!(masks[sid(2, 2).rank(2)], 0, "three-way tie keeps all");
+        assert_eq!(masks[sid(1, 2).rank(2)], 0b100, "Nix dominated at (1,2)");
+    }
+
+    #[test]
+    fn prune_dominated_eliminates_ranks_beaten_by_singleton_floors() {
+        // Singleton floors: 2.0 + 2.0 = 4.0. Rank (1,2)'s cheapest query
+        // share alone is 10.0 > 4.0: the whole rank is eliminated.
+        let query = vec![[1.0, 1.5, 1.2], [1.0, 1.1, 1.3], [10.0, 11.0, 12.0]];
+        let maint = vec![[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [0.0, 0.0, 0.0]];
+        let masks = prune_dominated(&query, &maint, 2);
+        assert_eq!(masks[sid(1, 2).rank(2)], 0b111, "rank eliminated");
+        // Singleton ranks are never rank-eliminated, whatever their price.
+        assert_ne!(masks[sid(1, 1).rank(2)], 0b111);
+        assert_ne!(masks[sid(2, 2).rank(2)], 0b111);
+    }
+
+    /// The advisor-facing contract: masking pruned cells to `INFINITY`
+    /// leaves the DP's cost *bits* and its tie-broken selection unchanged
+    /// — on the uncovered pricing and under random coverage (covered
+    /// cells pay query only and bypass the mask, exactly as
+    /// `priced_matrix_inner` prices them).
+    #[test]
+    fn masked_dp_is_bit_identical_on_random_grids() {
+        let mut seed = 0xDEC0DE_u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for n in 2..=8 {
+            for trial in 0..8 {
+                let ranks = SubpathId::count(n);
+                let mut query = Vec::with_capacity(ranks);
+                let mut maint = Vec::with_capacity(ranks);
+                for _ in 0..ranks {
+                    let cell = |r: &mut dyn FnMut() -> u64| (r() % 1000) as f64 / 100.0;
+                    query.push([cell(&mut rng), cell(&mut rng), cell(&mut rng)]);
+                    maint.push([cell(&mut rng), cell(&mut rng), cell(&mut rng)]);
+                }
+                let masks = prune_dominated(&query, &maint, n);
+                // Random coverage (none on even trials).
+                let covered: Vec<u8> = (0..ranks)
+                    .map(|_| if trial % 2 == 0 { 0 } else { (rng() % 8) as u8 })
+                    .collect();
+                let price = |with_mask: bool| {
+                    let values: Vec<(SubpathId, [f64; 3])> = (0..ranks)
+                        .map(|r| {
+                            let mut cell = [0.0; 3];
+                            for o in 0..3 {
+                                cell[o] = if covered[r] & (1 << o) != 0 {
+                                    query[r][o]
+                                } else if with_mask && masks[r] & (1 << o) != 0 {
+                                    f64::INFINITY
+                                } else {
+                                    query[r][o] + maint[r][o]
+                                };
+                            }
+                            (SubpathId::from_rank(n, r), cell)
+                        })
+                        .collect();
+                    opt_ind_con_dp(&CostMatrix::from_values(n, &values))
+                };
+                let full = price(false);
+                let masked = price(true);
+                assert_eq!(
+                    full.cost.to_bits(),
+                    masked.cost.to_bits(),
+                    "n={n} trial={trial}: cost {} vs {}",
+                    full.cost,
+                    masked.cost
+                );
+                assert_eq!(
+                    full.best.pairs(),
+                    masked.best.pairs(),
+                    "n={n} trial={trial}: selections diverged"
+                );
+            }
         }
     }
 

@@ -82,7 +82,8 @@
 //! summation order. DESIGN.md §5.13 states the contract;
 //! `oic-sim/tests/parallel.rs` pins it across thread counts {1, 2, 8}.
 
-use crate::select::opt_ind_con_dp;
+use crate::select::{opt_ind_con_dp, prune_dominated};
+use crate::shard::ShardIndex;
 use crate::space::{CandidateId, CandidateSpace};
 use crate::{pc, Choice, CostMatrix, IndexConfiguration};
 use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
@@ -146,6 +147,11 @@ struct PathState {
     /// while the path is clean — a sweep whose context matches is a memo
     /// hit, not a DP run.
     sweep_memo: Option<(Vec<u8>, Selection)>,
+    /// Per-rank dominance prune mask (bit per organization; `0b111` = the
+    /// whole rank is eliminated): cells provably absent from any best
+    /// response, under any sharing context (DESIGN.md §5.15). `None` when
+    /// stale — or always, in the unsharded engine.
+    pruned: Option<Vec<u8>>,
     /// Query shares stale (class statistics in scope, or own rates, moved).
     dirty_query: bool,
     /// Maintenance prices of this path's candidates possibly unpriced.
@@ -224,6 +230,20 @@ pub struct WorkloadPlan {
     pub dp_runs: u64,
     /// Per-path DP selections answered from the best-response memo.
     pub dp_memo_hits: u64,
+    /// Candidate-sharing components of the workload: groups of paths
+    /// connected by chains of shared physical candidates. Paths in
+    /// different components share no index, so the descent decomposes
+    /// exactly across them (DESIGN.md §5.15).
+    pub components: usize,
+    /// Paths in the largest component.
+    pub largest_component: usize,
+    /// `(rank, organization)` matrix cells the dominance pruner removed
+    /// from the best-response DPs this epoch (0 in the unsharded engine).
+    pub candidates_pruned: u64,
+    /// Singleton components whose descent was skipped outright — their
+    /// standalone optimum *is* the fixed point (0 in the unsharded
+    /// engine).
+    pub speculation_skips: u64,
 }
 
 /// A [`WorkloadPlan`] selected under a shared page budget, with the
@@ -281,6 +301,29 @@ impl BudgetedWorkloadPlan {
             "{ctx}: unconstrained size"
         );
     }
+
+    /// [`WorkloadPlan::assert_same_plan`] extended over the budget
+    /// search's outcome. The λ sweeps, the eviction descent and the repair
+    /// pass run on bitwise-identical inputs in both engines (neither uses
+    /// pruning or the sharded descent), so everything except the inner
+    /// epoch's work counters must agree across engines.
+    pub fn assert_same_plan(&self, other: &BudgetedWorkloadPlan, ctx: &str) {
+        self.plan.assert_same_plan(&other.plan, ctx);
+        assert_eq!(self.feasible, other.feasible, "{ctx}: feasibility");
+        assert_eq!(self.lambda.to_bits(), other.lambda.to_bits(), "{ctx}: λ");
+        assert_eq!(self.lambda_sweeps, other.lambda_sweeps, "{ctx}: λ sweeps");
+        assert_eq!(self.repairs, other.repairs, "{ctx}: repairs");
+        assert_eq!(
+            self.unconstrained_cost.to_bits(),
+            other.unconstrained_cost.to_bits(),
+            "{ctx}: unconstrained cost"
+        );
+        assert_eq!(
+            self.unconstrained_size.to_bits(),
+            other.unconstrained_size.to_bits(),
+            "{ctx}: unconstrained size"
+        );
+    }
 }
 
 /// The online workload-scale advisor. Class statistics and maintenance
@@ -313,6 +356,19 @@ pub struct WorkloadAdvisor<'a> {
     /// How the per-path stages run: inline, or fanned out over a pool.
     /// Either way the plan is bit-identical (DESIGN.md §5.13).
     exec: Executor,
+    /// Incremental union-find over the live paths, keyed by shared
+    /// candidates — the component decomposition of the sharded descent.
+    shards: ShardIndex,
+    /// Per-signature query-pricing basis: retrieval coefficients priced
+    /// once per distinct path signature, evaluated per path against its
+    /// own query rates (sharded engine only). `update_stats` evicts the
+    /// bases whose scope contains the mutated class.
+    basis: HashMap<PathSignature, QueryBasis>,
+    /// Engine gate: component-sharded descent + dominance pruning +
+    /// per-signature query bases. Off = the legacy global engine,
+    /// verbatim. Plans are identical in content either way (DESIGN.md
+    /// §5.15).
+    sharding: bool,
 }
 
 /// One dirty path's buffered re-pricing output, computed read-only on a
@@ -324,6 +380,135 @@ struct RepriceOut {
     /// `(candidate, org, maintenance, size)` for every cell that was
     /// unpriced when the pricing phase began.
     cells: Vec<(CandidateId, Org, f64, f64)>,
+}
+
+/// One component's buffered descent output, computed read-only on a worker
+/// and installed into the advisor (selections, sweep memos, work counters)
+/// by the caller in component order — see
+/// `WorkloadAdvisor::descend_component`.
+struct CompOut {
+    /// Converged selection per member, in component order.
+    sels: Vec<Selection>,
+    /// Final sweep memo per member, in component order.
+    memos: Vec<Option<(Vec<u8>, Selection)>>,
+    /// Sweeps this component ran until convergence.
+    sweeps: usize,
+    /// Context-keyed DP invocations inside this component.
+    dp_runs: u64,
+    /// Context-keyed memo hits inside this component.
+    dp_memo_hits: u64,
+}
+
+/// Per-signature query-retrieval basis: the per-slot retrieval
+/// coefficients of one path *shape*, priced once and re-evaluated against
+/// any path of the same signature under any query rates.
+///
+/// Query retrieval costs (`model.retrieval*`) depend only on the path's
+/// class statistics and the physical parameters — never on query,
+/// insert/delete, or maintenance rates — so every path sharing a signature
+/// (same classes step for step, hence the same characteristics and cost
+/// model) shares these coefficients exactly. [`QueryBasis::eval`] replays
+/// the legacy per-path pricing arithmetic — same slot order, same guards,
+/// same fold — term for term, so the shares it produces are **bitwise**
+/// the ones `Path::query_cost_shares` computes from scratch (property
+/// tested; DESIGN.md §5.15).
+struct QueryBasis {
+    /// The representative path's scope (sorted class ids) — the
+    /// invalidation key: `update_stats(c, ..)` evicts every basis whose
+    /// scope contains `c`.
+    scope: Vec<ClassId>,
+    /// Classes per position (`Path::scope_by_position`): `classes[l - 1]`
+    /// is position `l`'s native-slot class list, in hierarchy order.
+    classes: Vec<Vec<ClassId>>,
+    /// Per rank, per organization: the retrieval coefficient of each
+    /// native slot `(l, x)` in the legacy accumulation order (`l`
+    /// ascending through the subpath, `x` ascending within the position).
+    coeffs: Vec<[Vec<f64>; 3]>,
+    /// Per rank, per organization: the traversal-retrieval coefficient
+    /// (multiplies the upstream query mass when the subpath starts past
+    /// position 1).
+    traversal: Vec<[f64; 3]>,
+}
+
+impl QueryBasis {
+    /// Prices the retrieval coefficients of `st`'s path shape: one cost
+    /// model build, then every `(rank, org, slot)` retrieval unit cost in
+    /// the exact order `pc::processing_cost` visits them.
+    fn build(schema: &Schema, params: CostParams, stats: &[ClassStats], st: &PathState) -> Self {
+        let chars = PathCharacteristics::build(schema, &st.path, |c| stats[c.index()]);
+        let model = CostModel::new(schema, &st.path, &chars, params);
+        let n = st.path.len();
+        let classes = st.path.scope_by_position(schema);
+        let mut coeffs = Vec::with_capacity(SubpathId::count(n));
+        let mut traversal = Vec::with_capacity(SubpathId::count(n));
+        for r in 0..SubpathId::count(n) {
+            let sub = SubpathId::from_rank(n, r);
+            let mut per_org: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            let mut trav = [0.0; 3];
+            for org in Org::ALL {
+                let slots = &mut per_org[org.index()];
+                for l in sub.start..=sub.end {
+                    for x in 0..classes[l - 1].len() {
+                        slots.push(model.retrieval(org, sub, l, x));
+                    }
+                }
+                trav[org.index()] = model.retrieval_traversal(org, sub);
+            }
+            coeffs.push(per_org);
+            traversal.push(trav);
+        }
+        QueryBasis {
+            scope: st.scope.clone(),
+            classes,
+            coeffs,
+            traversal,
+        }
+    }
+
+    /// Query shares of a path of this signature under per-class query
+    /// rates `alphas` — a bitwise replay of the from-scratch pricing:
+    /// native slots accumulate in `(l ascending, x ascending)` order with
+    /// the same `mass > 0.0` guards, and the upstream masses are snapshots
+    /// of the one left-to-right fold `upstream_query_mass` runs, added
+    /// last with the same guard (query-only loads never fire the
+    /// insert/delete or boundary-deletion terms, so those contribute
+    /// exactly nothing here as there).
+    fn eval(&self, alphas: &[f64], n: usize) -> Vec<[f64; 3]> {
+        let mut upstream = vec![0.0; n + 1];
+        let mut acc = 0.0;
+        for (p, classes) in self.classes.iter().enumerate() {
+            for &c in classes {
+                acc += alphas[c.index()];
+            }
+            upstream[p + 1] = acc;
+        }
+        (0..SubpathId::count(n))
+            .map(|r| {
+                let sub = SubpathId::from_rank(n, r);
+                let mut cell = [0.0; 3];
+                for org in Org::ALL {
+                    let coeffs = &self.coeffs[r][org.index()];
+                    let mut total = 0.0;
+                    let mut k = 0;
+                    for l in sub.start..=sub.end {
+                        for &c in &self.classes[l - 1] {
+                            let a = alphas[c.index()];
+                            if a > 0.0 {
+                                total += a * coeffs[k];
+                            }
+                            k += 1;
+                        }
+                    }
+                    let t = upstream[sub.start - 1];
+                    if t > 0.0 {
+                        total += t * self.traversal[r][org.index()];
+                    }
+                    cell[org.index()] = total;
+                }
+                cell
+            })
+            .collect()
+    }
 }
 
 impl<'a> WorkloadAdvisor<'a> {
@@ -344,6 +529,9 @@ impl<'a> WorkloadAdvisor<'a> {
             epoch: 0,
             mutations: 0,
             exec: Executor::from_env(),
+            shards: ShardIndex::new(),
+            basis: HashMap::new(),
+            sharding: std::env::var("OIC_SHARDS").map_or(true, |v| v != "1"),
         }
     }
 
@@ -364,6 +552,23 @@ impl<'a> WorkloadAdvisor<'a> {
     /// The executor the per-path stages run on.
     pub fn executor(&self) -> &Executor {
         &self.exec
+    }
+
+    /// Toggles the sharded engine (component decomposition, dominance
+    /// pruning, per-signature query bases — DESIGN.md §5.15). On by
+    /// default; setting `OIC_SHARDS=1` in the environment forces it off.
+    /// The plan content is identical either way (property-tested in
+    /// `oic-sim`), so like the executor this is a wall-clock knob, not a
+    /// semantic one.
+    pub fn with_sharding(mut self, on: bool) -> Self {
+        self.sharding = on;
+        // Prune masks are refreshed by the sharded engine's own pricing
+        // pass; a mask computed under the other setting may never be
+        // refreshed again, so drop them all on a toggle.
+        for st in &mut self.paths {
+            st.pruned = None;
+        }
+        self
     }
 
     /// Sets the shared per-class statistics (chainable; equivalent to
@@ -400,6 +605,7 @@ impl<'a> WorkloadAdvisor<'a> {
         let id = PathId(self.next_id);
         self.next_id += 1;
         let cands = self.space.intern_path(self.schema, &path);
+        self.shards.add_path(id.0, &cands);
         let n = path.len();
         self.paths.push(PathState {
             id,
@@ -410,6 +616,7 @@ impl<'a> WorkloadAdvisor<'a> {
             query_costs: vec![[0.0; 3]; SubpathId::count(n)],
             standalone: None,
             sweep_memo: None,
+            pruned: None,
             dirty_query: true,
             dirty_maint: true,
             path,
@@ -426,6 +633,7 @@ impl<'a> WorkloadAdvisor<'a> {
         let i = self.find(id)?;
         let st = self.paths.remove(i);
         self.space.release_path(&st.cands);
+        self.shards.remove_path();
         self.mutations += 1;
         Some(st.path)
     }
@@ -441,6 +649,11 @@ impl<'a> WorkloadAdvisor<'a> {
         }
         self.stats[class.index()] = stats;
         self.space.invalidate_class(class);
+        // Retrieval coefficients read class statistics; evict the bases
+        // that depend on the mutated class (rate churn leaves them alone —
+        // they are maintenance- and α-blind).
+        self.basis
+            .retain(|_, b| b.scope.binary_search(&class).is_err());
         for st in &mut self.paths {
             if st.scope.binary_search(&class).is_ok() {
                 st.dirty_query = true;
@@ -507,9 +720,11 @@ impl<'a> WorkloadAdvisor<'a> {
         self.paths.len()
     }
 
-    /// Live path handles, in insertion order.
-    pub fn path_ids(&self) -> Vec<PathId> {
-        self.paths.iter().map(|st| st.id).collect()
+    /// Live path handles, in insertion order — an iterator, so callers
+    /// that want the first handle (or a count) never allocate a vector of
+    /// 100k ids.
+    pub fn path_ids(&self) -> impl Iterator<Item = PathId> + '_ {
+        self.paths.iter().map(|st| st.id)
     }
 
     /// The path behind a handle.
@@ -540,8 +755,9 @@ impl<'a> WorkloadAdvisor<'a> {
     /// that [`Self::reoptimize`] must match — benches time the two against
     /// each other; the property tests pin the cost equality.
     pub fn rebuild(&self) -> WorkloadAdvisor<'a> {
-        let mut adv =
-            WorkloadAdvisor::new(self.schema, self.params).with_executor(self.exec.clone());
+        let mut adv = WorkloadAdvisor::new(self.schema, self.params)
+            .with_executor(self.exec.clone())
+            .with_sharding(self.sharding);
         adv.stats.clone_from(&self.stats);
         adv.maint.clone_from(&self.maint);
         for st in &self.paths {
@@ -598,15 +814,63 @@ impl<'a> WorkloadAdvisor<'a> {
             .filter(|&i| self.paths[i].dirty_query || self.paths[i].dirty_maint)
             .collect();
         let repriced = dirty.len();
+
+        // Basis prepass (sharded engine): among the query-dirty paths,
+        // find the distinct signatures the per-signature basis cache does
+        // not hold yet and price each **once** — instead of rebuilding a
+        // full cost model per path. Only signatures shared by ≥ 2 dirty
+        // paths are worth a basis (building one costs a full model pass;
+        // a lone path prices cheaper from scratch, and does so in the
+        // fallback arm of `reprice_compute`). Representatives are the
+        // first dirty path of each qualifying signature, in path order,
+        // and the merge installs in that same order, so the cache
+        // contents are executor-independent.
+        if self.sharding {
+            let reps: Vec<usize> = {
+                let mut members: HashMap<&PathSignature, (usize, usize)> = HashMap::new();
+                for &i in &dirty {
+                    let st = &self.paths[i];
+                    if st.dirty_query && !self.basis.contains_key(&st.signature) {
+                        members.entry(&st.signature).or_insert((i, 0)).1 += 1;
+                    }
+                }
+                let mut firsts: Vec<usize> = members
+                    .into_values()
+                    .filter(|&(_, count)| count >= 2)
+                    .map(|(first, _)| first)
+                    .collect();
+                firsts.sort_unstable();
+                firsts
+            };
+            let built: Vec<QueryBasis> = if self.exec.is_parallel() && reps.len() > 1 {
+                let paths = &self.paths;
+                let stats = &self.stats;
+                let (schema, params) = (self.schema, self.params);
+                self.exec.par_map(&reps, |_, &i| {
+                    QueryBasis::build(schema, params, stats, &paths[i])
+                })
+            } else {
+                reps.iter()
+                    .map(|&i| {
+                        QueryBasis::build(self.schema, self.params, &self.stats, &self.paths[i])
+                    })
+                    .collect()
+            };
+            for (b, &i) in built.into_iter().zip(&reps) {
+                self.basis.insert(self.paths[i].signature.clone(), b);
+            }
+        }
+
         if self.exec.is_parallel() && dirty.len() > 1 {
             let outs: Vec<RepriceOut> = {
                 let paths = &self.paths;
                 let space = &self.space;
                 let stats = &self.stats;
                 let maint = &self.maint;
+                let basis = self.sharding.then_some(&self.basis);
                 let (schema, params) = (self.schema, self.params);
                 self.exec.par_map(&dirty, |_, &i| {
-                    Self::reprice_compute(schema, params, stats, maint, space, &paths[i])
+                    Self::reprice_compute(schema, params, stats, maint, space, basis, &paths[i])
                 })
             };
             for (out, &i) in outs.into_iter().zip(&dirty) {
@@ -628,6 +892,47 @@ impl<'a> WorkloadAdvisor<'a> {
             }
         }
 
+        // Dominance pruning (sharded engine): refresh the per-rank prune
+        // masks of paths whose prices moved this epoch, or that never had
+        // one. Masks read the **installed** maintenance prices — exactly
+        // the values the best responses are priced from — so the strict
+        // dominance argument (DESIGN.md §5.15) holds bitwise.
+        let mut candidates_pruned = 0u64;
+        if self.sharding {
+            for i in 0..self.paths.len() {
+                if self.paths[i].pruned.is_none() || dirty.binary_search(&i).is_ok() {
+                    let mask = {
+                        let st = &self.paths[i];
+                        let maint: Vec<[f64; 3]> = st
+                            .cands
+                            .iter()
+                            .map(|&cand| {
+                                let mut m = [0.0; 3];
+                                for org in Org::ALL {
+                                    m[org.index()] = self
+                                        .space
+                                        .priced_maintenance(cand, org)
+                                        .expect("maintenance priced during reprice");
+                                }
+                                m
+                            })
+                            .collect();
+                        prune_dominated(&st.query_costs, &maint, st.path.len())
+                    };
+                    self.paths[i].pruned = Some(mask);
+                }
+            }
+            candidates_pruned = self
+                .paths
+                .iter()
+                .map(|st| {
+                    st.pruned
+                        .as_deref()
+                        .map_or(0, |m| m.iter().map(|b| u64::from(b.count_ones())).sum())
+                })
+                .sum();
+        }
+
         // Phase 2 — standalone optima (maintenance unshared). Per-path
         // independent DPs over the now-frozen memo: embarrassingly
         // parallel, results written back in path order.
@@ -640,15 +945,18 @@ impl<'a> WorkloadAdvisor<'a> {
             let results = {
                 let paths = &self.paths;
                 let space = &self.space;
-                self.exec
-                    .par_map(&stale, |_, &i| Self::best_response(&paths[i], space, None))
+                self.exec.par_map(&stale, |_, &i| {
+                    let st = &paths[i];
+                    Self::best_response(st, space, None, st.pruned.as_deref())
+                })
             };
             for (result, &i) in results.into_iter().zip(&stale) {
                 self.paths[i].standalone = Some(result);
             }
         } else {
             for &i in &stale {
-                let result = Self::best_response(&self.paths[i], &self.space, None);
+                let st = &self.paths[i];
+                let result = Self::best_response(st, &self.space, None, st.pruned.as_deref());
                 self.paths[i].standalone = Some(result);
             }
         }
@@ -658,23 +966,122 @@ impl<'a> WorkloadAdvisor<'a> {
             .map(|st| st.standalone.as_ref().expect("phase 2 filled it").1)
             .sum();
 
+        // Component decomposition — computed in both engines (the shape
+        // telemetry is plan content either way); only the sharded engine
+        // descends per component.
+        let comps = {
+            let live: Vec<(u32, &[CandidateId])> = self
+                .paths
+                .iter()
+                .map(|st| (st.id.0, st.cands.as_slice()))
+                .collect();
+            self.shards.components(&live)
+        };
+        let components = comps.len();
+        let largest_component = comps.iter().map(Vec::len).max().unwrap_or(0);
+
         // Phase 3 — coordinate-descent sweeps from the standalone seed.
         let mut selections: Vec<Vec<(SubpathId, Org)>> = self
             .paths
             .iter()
             .map(|st| st.standalone.as_ref().expect("phase 2 filled it").0.clone())
             .collect();
+        let mut sweeps = 0;
+        let mut dp_memo_hits = 0u64;
+        let mut speculation_skips = 0u64;
+        if self.sharding {
+            // Sharded descent (DESIGN.md §5.15): components share no
+            // candidate, so the descent decomposes exactly. A singleton's
+            // context is permanently all-zero — its standalone seed *is*
+            // the fixed point — so only multi-path components run; they
+            // fan out over the executor, weighted by member count, and
+            // merge in component order. Per component the member visit
+            // order is ascending, the same relative order the global loop
+            // uses, so selections and sweep memos land bitwise where the
+            // unsharded engine would put them.
+            let jobs: Vec<(Vec<usize>, Vec<Selection>)> = comps
+                .iter()
+                .filter(|c| c.len() > 1)
+                .map(|comp| {
+                    let seeds = comp.iter().map(|&i| selections[i].clone()).collect();
+                    (comp.clone(), seeds)
+                })
+                .collect();
+            speculation_skips = (components - jobs.len()) as u64;
+            let outs: Vec<CompOut> = if self.exec.is_parallel() && jobs.len() > 1 {
+                let paths = &self.paths;
+                let space = &self.space;
+                self.exec.par_map_chunked(
+                    &jobs,
+                    |(comp, _)| comp.len(),
+                    |_, (comp, seeds)| Self::descend_component(paths, space, comp, seeds.clone()),
+                )
+            } else {
+                jobs.iter()
+                    .map(|(comp, seeds)| {
+                        Self::descend_component(&self.paths, &self.space, comp, seeds.clone())
+                    })
+                    .collect()
+            };
+            for (out, (comp, _)) in outs.into_iter().zip(&jobs) {
+                for ((&i, sel), memo) in comp.iter().zip(out.sels).zip(out.memos) {
+                    selections[i] = sel;
+                    self.paths[i].sweep_memo = memo;
+                }
+                sweeps = sweeps.max(out.sweeps);
+                dp_runs += out.dp_runs;
+                dp_memo_hits += out.dp_memo_hits;
+            }
+            // An all-singleton (or empty) workload converges in the one
+            // no-change round the global loop would have run.
+            sweeps = sweeps.max(1);
+        } else {
+            self.global_descent(
+                &mut selections,
+                &mut sweeps,
+                &mut dp_runs,
+                &mut dp_memo_hits,
+            );
+        }
+        let mut plan = self.assemble_plan(&selections, independent_cost);
+        debug_assert!(
+            plan.total_cost <= independent_cost + 1e-6 * independent_cost.abs().max(1.0),
+            "sharing can only reduce the objective: {} vs {independent_cost}",
+            plan.total_cost
+        );
+        plan.epoch_pricings = self.space.maintenance_pricings() - pricings_before;
+        plan.sweeps = sweeps;
+        plan.mutations = mutations;
+        plan.repriced_paths = repriced;
+        plan.dp_runs = dp_runs;
+        plan.dp_memo_hits = dp_memo_hits;
+        plan.components = components;
+        plan.largest_component = largest_component;
+        plan.candidates_pruned = candidates_pruned;
+        plan.speculation_skips = speculation_skips;
+        plan
+    }
+
+    /// The legacy global coordinate-descent loop — every path revisited
+    /// each sweep over one workload-wide ownership map. This is the
+    /// unsharded engine's phase 3, kept verbatim as the baseline the
+    /// sharded descent is measured (and property-tested) against.
+    fn global_descent(
+        &mut self,
+        selections: &mut [Selection],
+        sweeps: &mut usize,
+        dp_runs: &mut u64,
+        dp_memo_hits: &mut u64,
+    ) {
         let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
-        for (st, sel) in self.paths.iter().zip(&selections) {
+        for (st, sel) in self.paths.iter().zip(selections.iter()) {
             let n = st.path.len();
             for &(sub, org) in sel {
                 *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
             }
         }
-        let mut sweeps = 0;
-        let mut dp_memo_hits = 0u64;
         for _ in 0..MAX_SWEEPS {
-            sweeps += 1;
+            *sweeps += 1;
             // Speculate the round's best responses in parallel against the
             // round-start ownership snapshot; the sequential commit below
             // adopts a speculation only when its predicted sharing context
@@ -682,7 +1089,7 @@ impl<'a> WorkloadAdvisor<'a> {
             // and the plan — is bit-identical to the sequential engine.
             let specs: Option<SpeculationRound> = if self.exec.is_parallel() && self.paths.len() > 1
             {
-                Some(self.speculate_round(&owned, &selections, None))
+                Some(self.speculate_round(&owned, selections, None))
             } else {
                 None
             };
@@ -701,17 +1108,25 @@ impl<'a> WorkloadAdvisor<'a> {
                 let context = Self::context_key(st, &owned);
                 let pairs = match &st.sweep_memo {
                     Some((key, pairs)) if *key == context => {
-                        dp_memo_hits += 1;
+                        *dp_memo_hits += 1;
                         pairs.clone()
                     }
                     _ => {
-                        dp_runs += 1;
+                        *dp_runs += 1;
                         let pairs = match specs.as_ref().and_then(|s| s[i].as_ref()) {
                             // The DP is a pure function of (path, memo,
                             // context): a context-matching speculation IS
                             // the sequential result.
                             Some((pred, pairs)) if *pred == context => pairs.clone(),
-                            _ => Self::best_response(st, &self.space, Some(&context)).0,
+                            _ => {
+                                Self::best_response(
+                                    st,
+                                    &self.space,
+                                    Some(&context),
+                                    st.pruned.as_deref(),
+                                )
+                                .0
+                            }
                         };
                         self.paths[i].sweep_memo = Some((context, pairs.clone()));
                         pairs
@@ -728,20 +1143,83 @@ impl<'a> WorkloadAdvisor<'a> {
                 break;
             }
         }
+    }
 
-        let mut plan = self.assemble_plan(&selections, independent_cost);
-        debug_assert!(
-            plan.total_cost <= independent_cost + 1e-6 * independent_cost.abs().max(1.0),
-            "sharing can only reduce the objective: {} vs {independent_cost}",
-            plan.total_cost
-        );
-        plan.epoch_pricings = self.space.maintenance_pricings() - pricings_before;
-        plan.sweeps = sweeps;
-        plan.mutations = mutations;
-        plan.repriced_paths = repriced;
-        plan.dp_runs = dp_runs;
-        plan.dp_memo_hits = dp_memo_hits;
-        plan
+    /// One candidate-disjoint component's coordinate descent,
+    /// self-contained: members share no candidate with any other path, so
+    /// a local ownership map over the members alone is the **exact**
+    /// sharing context. Sequential Gauss–Seidel in ascending member order
+    /// — the same relative order the global loop visits those paths in —
+    /// with no speculation: the component is one worker's job, so there is
+    /// nothing to overlap. Read-only against the advisor (runs on pool
+    /// workers); selections, sweep-memo updates and work counters are
+    /// buffered in the output and installed by the caller in component
+    /// order.
+    fn descend_component(
+        paths: &[PathState],
+        space: &CandidateSpace,
+        comp: &[usize],
+        seeds: Vec<Selection>,
+    ) -> CompOut {
+        let mut sels = seeds;
+        let mut memos: Vec<Option<(Vec<u8>, Selection)>> =
+            comp.iter().map(|&i| paths[i].sweep_memo.clone()).collect();
+        let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
+        for (k, &i) in comp.iter().enumerate() {
+            let st = &paths[i];
+            let n = st.path.len();
+            for &(sub, org) in &sels[k] {
+                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+            }
+        }
+        let mut sweeps = 0;
+        let mut dp_runs = 0u64;
+        let mut dp_memo_hits = 0u64;
+        for _ in 0..MAX_SWEEPS {
+            sweeps += 1;
+            let mut changed = false;
+            for (k, &i) in comp.iter().enumerate() {
+                let st = &paths[i];
+                let n = st.path.len();
+                for &(sub, org) in sels[k].iter() {
+                    let key = (st.cands[sub.rank(n)], org);
+                    let count = owned.get_mut(&key).expect("selection was registered");
+                    *count -= 1;
+                    if *count == 0 {
+                        owned.remove(&key);
+                    }
+                }
+                let context = Self::context_key(st, &owned);
+                let pairs = match &memos[k] {
+                    Some((key, pairs)) if *key == context => {
+                        dp_memo_hits += 1;
+                        pairs.clone()
+                    }
+                    _ => {
+                        dp_runs += 1;
+                        let pairs =
+                            Self::best_response(st, space, Some(&context), st.pruned.as_deref()).0;
+                        memos[k] = Some((context, pairs.clone()));
+                        pairs
+                    }
+                };
+                changed |= pairs != sels[k];
+                for &(sub, org) in &pairs {
+                    *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                }
+                sels[k] = pairs;
+            }
+            if !changed {
+                break;
+            }
+        }
+        CompOut {
+            sels,
+            memos,
+            sweeps,
+            dp_runs,
+            dp_memo_hits,
+        }
     }
 
     /// Assembles a [`WorkloadPlan`] from per-path selections: query shares
@@ -830,6 +1308,10 @@ impl<'a> WorkloadAdvisor<'a> {
             repriced_paths: 0,
             dp_runs: 0,
             dp_memo_hits: 0,
+            components: 0,
+            largest_component: 0,
+            candidates_pruned: 0,
+            speculation_skips: 0,
         }
     }
 
@@ -846,6 +1328,7 @@ impl<'a> WorkloadAdvisor<'a> {
             &self.stats,
             &self.maint,
             &self.space,
+            self.sharding.then_some(&self.basis),
             &self.paths[i],
         );
         for (cand, org, m, s) in out.cells {
@@ -867,17 +1350,67 @@ impl<'a> WorkloadAdvisor<'a> {
     /// merges buffers in path-id order, so a cell computed by several
     /// concurrent owners keeps the lowest-id owner's value — exactly the
     /// value the sequential first-owner walk installs.
+    ///
+    /// `basis` (sharded engine) short-circuits both planes: stale query
+    /// shares replay from the path's per-signature [`QueryBasis`] —
+    /// bitwise the from-scratch values — and the cost model is built
+    /// lazily, only when some maintenance/size cell is actually unpriced.
+    /// A signature the prepass left uncached (fewer than two dirty
+    /// members) prices from scratch, as does the legacy engine (`None`),
+    /// which rebuilds the model unconditionally.
     fn reprice_compute(
         schema: &Schema,
         params: CostParams,
         stats: &[ClassStats],
         maint: &[(f64, f64)],
         space: &CandidateSpace,
+        basis: Option<&HashMap<PathSignature, QueryBasis>>,
         st: &PathState,
     ) -> RepriceOut {
+        let n = st.path.len();
+        // A path whose signature has a basis replays its query costs from
+        // it; a query-clean path needs no query pricing at all. Either
+        // way the cost model is only built for unpriced maintenance
+        // cells. A query-dirty path with no basis (a signature the
+        // prepass judged not worth caching — fewer than two dirty
+        // members) prices from scratch below, exactly as the legacy
+        // engine does.
+        let hit = basis.and_then(|map| map.get(&st.signature));
+        if basis.is_some() && (hit.is_some() || !st.dirty_query) {
+            let query_costs = st.dirty_query.then(|| {
+                hit.expect("query-dirty branch requires a basis hit")
+                    .eval(&st.alphas, n)
+            });
+            let todo: Vec<(usize, Org)> = (0..SubpathId::count(n))
+                .flat_map(|r| Org::ALL.map(|org| (r, org)))
+                .filter(|&(r, org)| {
+                    let cand = st.cands[r];
+                    space.priced_maintenance(cand, org).is_none()
+                        || space.priced_size(cand, org).is_none()
+                })
+                .collect();
+            let mut cells = Vec::with_capacity(todo.len());
+            if !todo.is_empty() {
+                let chars = PathCharacteristics::build(schema, &st.path, |c| stats[c.index()]);
+                let model = CostModel::new(schema, &st.path, &chars, params);
+                let mld = LoadDistribution::build(schema, &st.path, |c| {
+                    let (beta, gamma) = maint[c.index()];
+                    Triplet::new(0.0, beta, gamma)
+                });
+                for (r, org) in todo {
+                    let sub = SubpathId::from_rank(n, r);
+                    cells.push((
+                        st.cands[r],
+                        org,
+                        pc::processing_cost(&model, &mld, sub, Choice::Index(org)),
+                        model.size_pages(org, sub),
+                    ));
+                }
+            }
+            return RepriceOut { query_costs, cells };
+        }
         let chars = PathCharacteristics::build(schema, &st.path, |c| stats[c.index()]);
         let model = CostModel::new(schema, &st.path, &chars, params);
-        let n = st.path.len();
         let query_costs = st.dirty_query.then(|| {
             let alphas = &st.alphas;
             let qld = LoadDistribution::build(schema, &st.path, |c| {
@@ -996,7 +1529,8 @@ impl<'a> WorkloadAdvisor<'a> {
                 None => match &st.sweep_memo {
                     Some((key, _)) if *key == pred => None,
                     _ => {
-                        let (pairs, _) = Self::best_response(st, space, Some(&pred));
+                        let (pairs, _) =
+                            Self::best_response(st, space, Some(&pred), st.pruned.as_deref());
                         Some((pred, pairs))
                     }
                 },
@@ -1015,12 +1549,19 @@ impl<'a> WorkloadAdvisor<'a> {
     /// rule serves the unconstrained and the budgeted machinery (`m +
     /// 0.0·s` is bit-identical to `m`, and the scalar DP never reads the
     /// size plane).
+    ///
+    /// `pruned` is the path's dominance mask
+    /// ([`crate::select::prune_dominated`]): pruned cells become
+    /// unselectable, which is sound **here only** — the mask certifies
+    /// cells absent from any λ = 0, unbanned optimum; λ-priced sweeps, the
+    /// eviction descent, and the frontier machinery must pass `None`.
     fn best_response(
         st: &PathState,
         space: &CandidateSpace,
         context: Option<&[u8]>,
+        pruned: Option<&[u8]>,
     ) -> (Vec<(SubpathId, Org)>, f64) {
-        let matrix = Self::priced_matrix(st, space, context, 0.0);
+        let matrix = Self::priced_matrix_inner(st, space, context, 0.0, None, pruned);
         let result = opt_ind_con_dp(&matrix);
         (Self::to_selection(&result.best), result.cost)
     }
@@ -1038,7 +1579,7 @@ impl<'a> WorkloadAdvisor<'a> {
         context: Option<&[u8]>,
         lambda: f64,
     ) -> CostMatrix {
-        Self::priced_matrix_inner(st, space, context, lambda, None)
+        Self::priced_matrix_inner(st, space, context, lambda, None, None)
     }
 
     /// [`Self::priced_matrix`] with a set of banned physical indexes whose
@@ -1050,7 +1591,7 @@ impl<'a> WorkloadAdvisor<'a> {
         context: Option<&[u8]>,
         banned: &std::collections::HashSet<(CandidateId, Org)>,
     ) -> CostMatrix {
-        Self::priced_matrix_inner(st, space, context, 0.0, Some(banned))
+        Self::priced_matrix_inner(st, space, context, 0.0, Some(banned), None)
     }
 
     fn priced_matrix_inner(
@@ -1059,12 +1600,14 @@ impl<'a> WorkloadAdvisor<'a> {
         context: Option<&[u8]>,
         lambda: f64,
         banned: Option<&std::collections::HashSet<(CandidateId, Org)>>,
+        pruned: Option<&[u8]>,
     ) -> CostMatrix {
         let n = st.path.len();
         let values: Vec<(SubpathId, [f64; 3], [f64; 3])> = (0..SubpathId::count(n))
             .map(|r| {
                 let sub = SubpathId::from_rank(n, r);
                 let covered = context.map_or(0, |ctx| ctx[r]);
+                let cut = pruned.map_or(0, |p| p[r]);
                 let mut cell = [0.0; 3];
                 let mut sizes = [0.0; 3];
                 for org in Org::ALL {
@@ -1073,8 +1616,14 @@ impl<'a> WorkloadAdvisor<'a> {
                         sizes[org.index()] = 0.0;
                         continue;
                     }
+                    // Coverage outranks the prune mask: a covered cell
+                    // costs its query share only — which can beat the
+                    // mask's uncovered-price dominance argument — so it
+                    // stays selectable.
                     let (m, s) = if covered & (1 << org.index()) != 0 {
                         (0.0, 0.0)
+                    } else if cut & (1 << org.index()) != 0 {
+                        (f64::INFINITY, 0.0)
                     } else {
                         (
                             space
@@ -1578,6 +2127,10 @@ impl<'a> WorkloadAdvisor<'a> {
         plan.repriced_paths = unconstrained.repriced_paths;
         plan.dp_runs = unconstrained.dp_runs;
         plan.dp_memo_hits = unconstrained.dp_memo_hits;
+        plan.components = unconstrained.components;
+        plan.largest_component = unconstrained.largest_component;
+        plan.candidates_pruned = unconstrained.candidates_pruned;
+        plan.speculation_skips = unconstrained.speculation_skips;
         debug_assert!(
             !feasible || plan.size_pages <= budget_pages * (1.0 + 1e-12) + 1e-9,
             "feasible plan exceeds budget: {} > {budget_pages}",
@@ -1643,6 +2196,78 @@ impl WorkloadPlan {
         );
         assert_eq!(self.dp_runs, other.dp_runs, "{ctx}: dp runs");
         assert_eq!(self.dp_memo_hits, other.dp_memo_hits, "{ctx}: dp memo hits");
+        assert_eq!(self.components, other.components, "{ctx}: components");
+        assert_eq!(
+            self.largest_component, other.largest_component,
+            "{ctx}: largest component"
+        );
+        assert_eq!(
+            self.candidates_pruned, other.candidates_pruned,
+            "{ctx}: candidates pruned"
+        );
+        assert_eq!(
+            self.speculation_skips, other.speculation_skips,
+            "{ctx}: speculation skips"
+        );
+        assert_eq!(self.paths.len(), other.paths.len(), "{ctx}: path count");
+        for (a, b) in self.paths.iter().zip(&other.paths) {
+            assert_eq!(a.id, b.id, "{ctx}");
+            assert_eq!(
+                a.selection.pairs(),
+                b.selection.pairs(),
+                "{ctx}: selections diverged for path {:?}",
+                a.id
+            );
+            assert_eq!(a.query_cost.to_bits(), b.query_cost.to_bits(), "{ctx}");
+            assert_eq!(
+                a.standalone_cost.to_bits(),
+                b.standalone_cost.to_bits(),
+                "{ctx}"
+            );
+        }
+        assert_eq!(self.shared.len(), other.shared.len(), "{ctx}: shared count");
+        for (a, b) in self.shared.iter().zip(&other.shared) {
+            assert_eq!(a.candidate, b.candidate, "{ctx}");
+            assert_eq!(a.org, b.org, "{ctx}");
+            assert_eq!(a.owners, b.owners, "{ctx}");
+            assert_eq!(a.maintenance.to_bits(), b.maintenance.to_bits(), "{ctx}");
+            assert_eq!(a.saving.to_bits(), b.saving.to_bits(), "{ctx}");
+        }
+    }
+
+    /// Asserts this plan selects the **same physical design** as `other`,
+    /// ignoring the work-audit counters — the cross-*engine* contract of
+    /// DESIGN.md §5.15: the sharded engine (component descent + dominance
+    /// pruning + query bases) and the legacy global engine produce the
+    /// same selections, costs (bitwise), footprint, shared-index outcomes
+    /// and shape telemetry, but legitimately differ in how much work they
+    /// did to get there (sweeps, DP runs, memo hits, pricings, pruning
+    /// counters). Panics with `ctx` on the first divergence.
+    pub fn assert_same_plan(&self, other: &WorkloadPlan, ctx: &str) {
+        assert_eq!(
+            self.total_cost.to_bits(),
+            other.total_cost.to_bits(),
+            "{ctx}: total_cost {} vs {}",
+            self.total_cost,
+            other.total_cost
+        );
+        assert_eq!(
+            self.independent_cost.to_bits(),
+            other.independent_cost.to_bits(),
+            "{ctx}: independent_cost"
+        );
+        assert_eq!(
+            self.size_pages.to_bits(),
+            other.size_pages.to_bits(),
+            "{ctx}: size_pages"
+        );
+        assert_eq!(self.physical_indexes, other.physical_indexes, "{ctx}");
+        assert_eq!(self.candidates, other.candidates, "{ctx}");
+        assert_eq!(self.components, other.components, "{ctx}: components");
+        assert_eq!(
+            self.largest_component, other.largest_component,
+            "{ctx}: largest component"
+        );
         assert_eq!(self.paths.len(), other.paths.len(), "{ctx}: path count");
         for (a, b) in self.paths.iter().zip(&other.paths) {
             assert_eq!(a.id, b.id, "{ctx}");
@@ -1714,6 +2339,11 @@ impl WorkloadPlan {
             self.epoch_pricings,
             self.dp_runs,
             self.dp_memo_hits
+        );
+        let _ = writeln!(
+            out,
+            "{} components (largest {}), {} cells pruned, {} speculation skips",
+            self.components, self.largest_component, self.candidates_pruned, self.speculation_skips
         );
         out
     }
@@ -2085,8 +2715,8 @@ mod tests {
         adv.update_rates(person, (0.4, 0.02));
         assert_costs_match(&adv.reoptimize(), &adv.rebuild().optimize());
         // Per-path query churn.
-        let ids = adv.path_ids();
-        adv.update_query_rates(ids[0], |_| 0.05);
+        let first = adv.path_ids().next().unwrap();
+        adv.update_query_rates(first, |_| 0.05);
         assert_costs_match(&adv.reoptimize(), &adv.rebuild().optimize());
         // Departure + re-arrival under a fresh handle, same signature.
         let removed = adv.remove_path(owns_id).expect("live handle");
@@ -2122,7 +2752,7 @@ mod tests {
         let mut adv = two_path_advisor(&schema);
         let plan = adv.optimize();
         assert_eq!(plan.candidates, 13);
-        let pexa_id = adv.path_ids()[0];
+        let pexa_id = adv.path_ids().next().unwrap();
         // Dropping Pexa frees its 7 exclusive candidates (3 are shared
         // with Pe).
         adv.remove_path(pexa_id);
@@ -2150,7 +2780,7 @@ mod tests {
             assert!(adv.candidate_space().priced_maintenance(*id, org).is_some());
         }
         // Removing the last path yields an empty plan, an empty space.
-        let pe_id = adv.path_ids()[0];
+        let pe_id = adv.path_ids().next().unwrap();
         adv.remove_path(pe_id);
         let plan = adv.reoptimize();
         assert!(plan.paths.is_empty());

@@ -441,6 +441,55 @@ impl Executor {
             })
             .collect()
     }
+
+    /// [`Executor::par_map`] with weight-aware contiguous chunking: items
+    /// are cut into contiguous runs of roughly equal total `weight`, each
+    /// run is claimed as one unit, and the flattened results come back in
+    /// input order. Use for many individually tiny but uneven items (e.g.
+    /// one task per candidate-sharing component of the sharded advisor):
+    /// per-item claiming pays an atomic round-trip per item, while
+    /// count-based chunks let one heavy chunk idle every other lane.
+    ///
+    /// The chunk boundaries never influence the output: `f` is applied per
+    /// item and results are reassembled in input order, so for a pure `f`
+    /// the result equals [`Executor::par_map`]'s for every thread count.
+    pub fn par_map_chunked<T, R, F, W>(&self, items: &[T], weight: W, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        W: Fn(&T) -> usize,
+    {
+        let n = items.len();
+        if self.pool.is_none() || n <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        // Deterministic greedy cuts: target a few chunks per lane so the
+        // tail self-balances, cutting once the accumulated weight reaches
+        // the per-chunk share. Zero-weight items count as 1 so every
+        // chunk makes progress.
+        let total: usize = items.iter().map(|t| weight(t).max(1)).sum();
+        let chunks = (self.lanes * 4).clamp(1, n);
+        let share = total.div_ceil(chunks).max(1);
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(chunks);
+        let mut start = 0;
+        let mut acc = 0usize;
+        for (i, t) in items.iter().enumerate() {
+            acc += weight(t).max(1);
+            if acc >= share {
+                ranges.push((start, i + 1));
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < n {
+            ranges.push((start, n));
+        }
+        let nested: Vec<Vec<R>> = self.par_map(&ranges, |_, &(lo, hi)| {
+            (lo..hi).map(|i| f(i, &items[i])).collect()
+        });
+        nested.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -492,6 +541,38 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn par_map_chunked_matches_par_map_for_any_weights() {
+        let items: Vec<u64> = (0..311).collect();
+        let f = |i: usize, &x: &u64| {
+            assert_eq!(i as u64, x);
+            (x as f64).ln_1p().to_bits()
+        };
+        let baseline = Executor::sequential().par_map(&items, f);
+        for lanes in [1, 2, 8] {
+            let exec = Executor::with_threads(lanes);
+            // Uniform, skewed, and degenerate all-zero weights must all
+            // reassemble identically in input order.
+            assert_eq!(exec.par_map_chunked(&items, |_| 1, f), baseline);
+            assert_eq!(
+                exec.par_map_chunked(&items, |&x| (x as usize) * (x as usize), f),
+                baseline
+            );
+            assert_eq!(exec.par_map_chunked(&items, |_| 0, f), baseline);
+        }
+    }
+
+    #[test]
+    fn par_map_chunked_handles_trivial_batches() {
+        let exec = Executor::with_threads(4);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(exec.par_map_chunked(&empty, |_| 1, |_, &x: &u64| x), vec![]);
+        assert_eq!(
+            exec.par_map_chunked(&[7u64], |_| 5, |_, &x| x * 2),
+            vec![14]
+        );
     }
 
     #[test]

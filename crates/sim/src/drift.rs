@@ -121,7 +121,7 @@ impl<'a> DriftSim<'a> {
         // Departures first (a production queue drains before it refills —
         // and this exercises candidate freeing before re-interning).
         for _ in 0..self.spec.departures {
-            let ids = advisor.path_ids();
+            let ids: Vec<_> = advisor.path_ids().collect();
             if ids.len() <= 1 {
                 break;
             }
@@ -160,7 +160,7 @@ impl<'a> DriftSim<'a> {
             }
         }
         for _ in 0..self.spec.query_drifts {
-            let ids = advisor.path_ids();
+            let ids: Vec<_> = advisor.path_ids().collect();
             if ids.is_empty() {
                 break;
             }

@@ -41,4 +41,4 @@ pub use drift::{DriftSim, DriftSpec, EpochChurn};
 pub use exec::ConfiguredDb;
 pub use gendb::{generate, scale_chars, GenSpec, GeneratedDb};
 pub use paged::PagedMirror;
-pub use workload_gen::{synth_workload, SynthWorkload, WorkloadSpec};
+pub use workload_gen::{synth_forest, synth_workload, ForestSpec, SynthWorkload, WorkloadSpec};

@@ -38,13 +38,50 @@ impl Default for WorkloadSpec {
     }
 }
 
+/// Parameters of a synthetic *forest* workload: `roots` disjoint class
+/// trees sharing one schema. Paths walk a single tree each, so paths in
+/// different trees can never share a candidate — the generated workload
+/// decomposes into at least `roots` candidate-sharing components, which is
+/// what the sharded-advisor experiments need (single-tree workloads
+/// usually collapse into one giant component through the shared root).
+#[derive(Debug, Clone)]
+pub struct ForestSpec {
+    /// Number of disjoint class trees.
+    pub roots: usize,
+    /// Number of paths to generate, spread round-robin across the trees.
+    pub paths: usize,
+    /// Depth of each class tree.
+    pub depth: usize,
+    /// Reference attributes per non-leaf class.
+    pub fanout: usize,
+    /// RNG seed; generation is fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for ForestSpec {
+    fn default() -> Self {
+        ForestSpec {
+            roots: 8,
+            paths: 200,
+            depth: 4,
+            fanout: 2,
+            seed: 42,
+        }
+    }
+}
+
 /// A generated workload: schema, paths, and the dense per-class tables a
 /// [`WorkloadAdvisor`] consumes.
 pub struct SynthWorkload {
-    /// The class tree.
+    /// The class tree (or forest).
     pub schema: Schema,
-    /// Root class of the tree (every generated path starts here).
+    /// Root class of the first tree (every [`synth_workload`] path starts
+    /// here; kept alongside [`SynthWorkload::roots`] for the single-tree
+    /// callers).
     pub root: ClassId,
+    /// Root of every tree in generation order — `vec![root]` for
+    /// [`synth_workload`], one per tree for [`synth_forest`].
+    pub roots: Vec<ClassId>,
     /// Children per class (dense by `ClassId`) — the adjacency the walks
     /// descend; exposed so drift simulators can generate arrival paths
     /// over the same tree.
@@ -102,6 +139,59 @@ pub fn synth_workload(spec: &WorkloadSpec) -> SynthWorkload {
     SynthWorkload {
         schema,
         root,
+        roots: vec![root],
+        children,
+        paths,
+        stats,
+        maint,
+        queries,
+    }
+}
+
+/// Generates a forest workload from `spec`: `spec.roots` disjoint trees,
+/// paths assigned round-robin (path `i` walks tree `i % roots`), so every
+/// tree holds ≥ 1 path when `paths ≥ roots` and the candidate-sharing
+/// components of the result partition at least per tree.
+pub fn synth_forest(spec: &ForestSpec) -> SynthWorkload {
+    assert!(spec.roots >= 1 && spec.depth >= 1 && spec.fanout >= 1 && spec.paths >= 1);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let mut b = SchemaBuilder::new();
+    let mut children: Vec<Vec<ClassId>> = Vec::new();
+    let mut counter = 0usize;
+    let roots: Vec<ClassId> = (0..spec.roots)
+        .map(|_| build_tree(&mut b, &mut children, spec.depth, spec.fanout, &mut counter))
+        .collect();
+    let schema = b.build().expect("generated forest is acyclic");
+
+    let class_count = schema.class_count();
+    let stats: Vec<ClassStats> = (0..class_count)
+        .map(|_| {
+            let n = rng.gen_range(1_000..100_000) as f64;
+            let d = (n / rng.gen_range(1..20) as f64).max(1.0).round();
+            ClassStats::new(n, d, 1.0)
+        })
+        .collect();
+    let maint: Vec<(f64, f64)> = (0..class_count)
+        .map(|_| {
+            (
+                rng.gen_range(0..200) as f64 / 1000.0,
+                rng.gen_range(0..200) as f64 / 1000.0,
+            )
+        })
+        .collect();
+
+    let mut paths = Vec::with_capacity(spec.paths);
+    let mut queries = Vec::with_capacity(spec.paths);
+    for i in 0..spec.paths {
+        let root = roots[i % roots.len()];
+        paths.push(random_walk(&schema, root, &children, &mut rng));
+        queries.push(random_query_rates(class_count, &mut rng));
+    }
+    SynthWorkload {
+        schema,
+        root: roots[0],
+        roots,
         children,
         paths,
         stats,
@@ -217,6 +307,31 @@ mod tests {
         // physical candidate (all walks leave the root by some reference,
         // but at least the interning dedupes repeats).
         assert!(a.subpath_instances() > 0);
+    }
+
+    #[test]
+    fn forest_paths_partition_across_disjoint_trees() {
+        let spec = ForestSpec {
+            roots: 4,
+            paths: 12,
+            depth: 3,
+            fanout: 2,
+            seed: 7,
+        };
+        let a = synth_forest(&spec);
+        let b = synth_forest(&spec);
+        assert_eq!(a.roots.len(), 4);
+        assert_eq!(a.root, a.roots[0]);
+        assert_eq!(a.schema.class_count(), 4 * 7, "4 binary trees of depth 3");
+        for (i, (pa, pb)) in a.paths.iter().zip(&b.paths).enumerate() {
+            assert_eq!(pa.display(), pb.display(), "deterministic per seed");
+            // Round-robin: path i starts at tree i % roots.
+            assert_eq!(pa.step(1).class, a.roots[i % 4]);
+        }
+        // Disjoint trees ⇒ an advisor over the forest has ≥ 4 components.
+        let mut adv = a.advisor(oic_cost::CostParams::default());
+        let plan = adv.optimize();
+        assert!(plan.components >= 4, "components: {}", plan.components);
     }
 
     #[test]

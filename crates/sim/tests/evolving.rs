@@ -11,7 +11,7 @@
 
 use oic_core::Choice;
 use oic_cost::CostParams;
-use oic_sim::{synth_workload, DriftSim, DriftSpec, WorkloadSpec};
+use oic_sim::{synth_forest, synth_workload, DriftSim, DriftSpec, ForestSpec, WorkloadSpec};
 use proptest::prelude::*;
 
 fn assert_plans_match(warm: &oic_core::WorkloadPlan, cold: &oic_core::WorkloadPlan, ctx: &str) {
@@ -97,6 +97,56 @@ proptest! {
                     prop_assert!(matches!(choice, Choice::Index(_)));
                 }
             }
+        }
+    }
+
+    /// The cross-engine warm anchor (DESIGN.md §5.15): a warm sharded
+    /// `reoptimize()` equals a warm **unsharded** one — same selections,
+    /// same cost bits — epoch after epoch, while both also keep equaling
+    /// their cold rebuilds. The sharded engine's incremental machinery
+    /// (union-find maintenance, basis eviction, prune-mask refresh) must
+    /// never let a stale artifact leak into a plan.
+    #[test]
+    fn sharded_warm_reoptimize_tracks_unsharded(
+        base_seed in 0u64..1_000,
+        drift_seed in 0u64..1_000,
+        roots in 1usize..=5,
+        paths in 2usize..=12,
+        epochs in 1usize..=4,
+    ) {
+        let w = synth_forest(&ForestSpec {
+            roots,
+            paths,
+            depth: 4,
+            fanout: 2,
+            seed: base_seed,
+        });
+        let mut sharded = w.advisor(CostParams::default()).with_sharding(true);
+        let mut unsharded = w.advisor(CostParams::default()).with_sharding(false);
+        sharded
+            .optimize()
+            .assert_same_plan(&unsharded.optimize(), "cold");
+        let spec = DriftSpec {
+            arrivals: 2,
+            departures: 2,
+            stat_drifts: 2,
+            rate_drifts: 2,
+            query_drifts: 3,
+            seed: drift_seed,
+        };
+        let mut sim_s = DriftSim::new(&w, spec.clone());
+        let mut sim_u = DriftSim::new(&w, spec);
+        for epoch in 0..epochs {
+            sim_s.step(&mut sharded);
+            sim_u.step(&mut unsharded);
+            let warm_s = sharded.reoptimize();
+            let warm_u = unsharded.reoptimize();
+            warm_s.assert_same_plan(&warm_u, &format!("epoch {epoch}"));
+            assert_plans_match(
+                &warm_s,
+                &sharded.rebuild().optimize(),
+                &format!("sharded warm-vs-cold, epoch {epoch}"),
+            );
         }
     }
 

@@ -13,7 +13,7 @@
 
 use oic_core::{BudgetedWorkloadPlan, WorkloadPlan};
 use oic_cost::CostParams;
-use oic_sim::{synth_workload, DriftSim, DriftSpec, WorkloadSpec};
+use oic_sim::{synth_forest, synth_workload, DriftSim, DriftSpec, ForestSpec, WorkloadSpec};
 use proptest::prelude::*;
 
 /// Thread counts under test: the sequential engine and two pool shapes.
@@ -102,6 +102,102 @@ proptest! {
         for (plan, &lanes) in budgeted.iter().zip(&LANES).skip(1) {
             budgeted[0].assert_bit_identical_to(
                 plan,
+                &format!("budget {budget:.0}, {lanes} lanes"),
+            );
+        }
+    }
+
+    /// Cross-**engine** determinism (DESIGN.md §5.15): the sharded engine
+    /// (component descent, dominance pruning, per-signature query bases)
+    /// selects the same plan — cost bits, selections, shared outcomes —
+    /// as the legacy global engine, across thread counts {1, 2, 8}, cold
+    /// and after churn. Forest workloads guarantee several components
+    /// (including singletons), so the decomposition actually engages.
+    #[test]
+    fn sharded_engine_plans_match_unsharded(
+        seed in 0u64..1_000,
+        drift_seed in 0u64..1_000,
+        roots in 1usize..=6,
+        paths in 2usize..=48,
+    ) {
+        let w = synth_forest(&ForestSpec { roots, paths, depth: 4, fanout: 2, seed });
+        // Per lane one advisor per engine; every advisor gets its own
+        // same-seeded drift simulator, so all see one mutation stream.
+        let mut advisors: Vec<_> = LANES
+            .iter()
+            .flat_map(|&lanes| {
+                [true, false].map(|sharding| {
+                    w.advisor(CostParams::default())
+                        .with_threads(lanes)
+                        .with_sharding(sharding)
+                })
+            })
+            .collect();
+        let mut sims: Vec<_> = advisors
+            .iter()
+            .map(|_| DriftSim::new(&w, DriftSpec { seed: drift_seed, ..DriftSpec::default() }))
+            .collect();
+
+        let check = |plans: &[WorkloadPlan], when: &str| {
+            for (k, &lanes) in LANES.iter().enumerate() {
+                let (sharded, unsharded) = (&plans[2 * k], &plans[2 * k + 1]);
+                sharded.assert_same_plan(unsharded, &format!("{when}, {lanes} lanes"));
+                // Within each engine, lanes are bit-identical.
+                plans[0].assert_bit_identical_to(sharded, &format!("{when}, sharded {lanes}"));
+                plans[1]
+                    .assert_bit_identical_to(unsharded, &format!("{when}, unsharded {lanes}"));
+                // The unsharded engine never prunes or skips.
+                prop_assert_eq!(unsharded.candidates_pruned, 0);
+                prop_assert_eq!(unsharded.speculation_skips, 0);
+            }
+            Ok(())
+        };
+        let plans: Vec<WorkloadPlan> = advisors.iter_mut().map(|a| a.optimize()).collect();
+        check(&plans, "cold optimize")?;
+        // Disjoint trees never merge: cold, every populated tree is at
+        // least one component. (Churn may empty a tree, so this bound is
+        // cold-only.)
+        prop_assert!(plans[0].components >= roots.min(paths));
+        for epoch in 0..2 {
+            let plans: Vec<WorkloadPlan> = advisors
+                .iter_mut()
+                .zip(&mut sims)
+                .map(|(adv, sim)| {
+                    sim.step(adv);
+                    adv.reoptimize()
+                })
+                .collect();
+            check(&plans, &format!("epoch {epoch} reoptimize"))?;
+        }
+    }
+
+    /// The budgeted search over both engines: λ sweeps, eviction and
+    /// repair run pruning-free, so the budgeted plan is the same plan
+    /// whichever engine produced the unconstrained seed.
+    #[test]
+    fn sharded_budgeted_selection_matches_unsharded(
+        seed in 0u64..1_000,
+        paths in 2usize..=12,
+        tightness in 0usize..=2,
+    ) {
+        let w = synth_forest(&ForestSpec { roots: 3, paths, depth: 4, fanout: 2, seed });
+        let unconstrained = w
+            .advisor(CostParams::default())
+            .with_threads(1)
+            .optimize();
+        let budget = unconstrained.size_pages * [1.0, 0.6, 0.05][tightness];
+        for &lanes in &LANES {
+            let plans: Vec<BudgetedWorkloadPlan> = [true, false]
+                .iter()
+                .map(|&sharding| {
+                    w.advisor(CostParams::default())
+                        .with_threads(lanes)
+                        .with_sharding(sharding)
+                        .optimize_with_budget(budget)
+                })
+                .collect();
+            plans[0].assert_same_plan(
+                &plans[1],
                 &format!("budget {budget:.0}, {lanes} lanes"),
             );
         }

@@ -51,6 +51,10 @@ run budgeted_workload "within budget"
 # and must verify the plans bit-identical.
 run parallel_workload "parallel plan == sequential plan"
 
+# large_workload races the sharded engine against the legacy global engine
+# on a 5000-path chain forest and must verify the plans are the same plan.
+run large_workload "sharded plan == unsharded plan"
+
 # paged_store builds a file-backed tree, drops every handle, and reopens
 # it cold from the file alone; run it under a tiny cache so the eviction
 # path is exercised too.
