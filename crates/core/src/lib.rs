@@ -31,6 +31,11 @@
 //!    re-optimizing incrementally as paths arrive/depart and statistics
 //!    drift (`add_path`/`remove_path`/`update_stats`/`update_rates` +
 //!    `reoptimize`).
+//! 6. Online tuning: [`tuner::OnlineTuner`] closes the loop from *captured*
+//!    traffic (`oic_workload::capture`) to the advisor — decayed rate
+//!    estimation, a drift-triggered `reoptimize()`, and a
+//!    [`workload_advisor::WorkloadAdvisor::what_if`] API pricing a
+//!    hypothetical candidate without adopting it (DESIGN.md §5.16).
 //!
 //! [`fig6`] reproduces the paper's hypothetical walkthrough matrix;
 //! [`Advisor`] is the one-call user-facing API.
@@ -48,6 +53,7 @@ pub mod select;
 mod shard;
 pub mod space;
 pub mod trace;
+pub mod tuner;
 pub mod workload_advisor;
 
 pub use advisor::{Advisor, Recommendation};
@@ -57,8 +63,10 @@ pub use select::{
     candidate_space_size, exhaustive, exhaustive_frontier, frontier_dp, opt_ind_con,
     opt_ind_con_dp, prune_dominated, FrontierPoint, FrontierResult, SelectionResult,
 };
-pub use space::{CandidateId, CandidateSpace};
+pub use space::{CandidateId, CandidateSpace, CandidateStep};
 pub use trace::{opt_ind_con_traced, TraceEvent};
+pub use tuner::{OnlineTuner, TuningPolicy};
 pub use workload_advisor::{
-    BudgetedWorkloadPlan, PathId, PathOutcome, SharedIndexOutcome, WorkloadAdvisor, WorkloadPlan,
+    BudgetedWorkloadPlan, PathId, PathOutcome, SharedIndexOutcome, WhatIfReport, WhatIfSubscriber,
+    WorkloadAdvisor, WorkloadPlan,
 };

@@ -230,6 +230,15 @@ impl CandidateSpace {
         touched
     }
 
+    /// Read-only lookup: the live candidate spelling `steps` in `embedded`
+    /// role, if any path currently exposes it. Unlike
+    /// [`CandidateSpace::intern`] this acquires **no** reference — it is
+    /// the what-if API's resolution primitive, safe to call without ever
+    /// releasing.
+    pub fn find(&self, steps: &[CandidateStep], embedded: bool) -> Option<CandidateId> {
+        self.lookup.get(&(Box::from(steps), embedded)).copied()
+    }
+
     /// Number of **live** candidates (refcount > 0).
     pub fn len(&self) -> usize {
         self.slots.len() - self.free.len()

@@ -1,0 +1,326 @@
+//! The closed tuning loop: captured traffic → decayed rate estimates →
+//! drift-triggered re-optimization (DESIGN.md §5.16).
+//!
+//! [`OnlineTuner`] sits between a capture source (`oic_workload::capture`)
+//! and a [`WorkloadAdvisor`]. It owns a [`RateEstimator`], knows which
+//! [`PathKey`]s correspond to which live [`PathId`]s, and decides — via a
+//! [`TuningPolicy`] watching estimator-vs-adopted divergence — when the
+//! estimates have drifted far enough from the rates the current plan was
+//! priced under to justify pushing them through the advisor's mutation API
+//! and firing [`WorkloadAdvisor::reoptimize`].
+//!
+//! The push path is the ordinary PR-3 mutation API
+//! ([`WorkloadAdvisor::update_rates`] / `update_query_rates`), so a
+//! value-equal estimate is a recognized no-op and the warm-equals-cold
+//! anchor of the incremental engine covers stream-driven epochs with no
+//! new machinery. Combined with the estimator's stationarity contract
+//! (first window adopted verbatim, stationary folds bit-stable), this
+//! yields the replay-equivalence property: a stationary captured stream
+//! re-tunes to **the same plan** as the exact declared rates
+//! (`oic-sim/tests/online.rs`).
+
+use crate::workload_advisor::{PathId, WorkloadAdvisor, WorkloadPlan};
+use oic_schema::ClassId;
+use oic_workload::capture::{EstimatorConfig, EventLog, PathKey, RateEstimator, WorkloadEvent};
+use std::collections::BTreeMap;
+
+/// When to fire a re-optimization: the estimate of some signal diverges
+/// from the adopted rate by more than `max(relative · |adopted|, floor)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningPolicy {
+    /// Relative divergence tolerated before a retune (`0.2` = 20%).
+    pub relative: f64,
+    /// Absolute divergence floor: changes smaller than this never trigger,
+    /// however large they are relative to a near-zero adopted rate. Keeps
+    /// estimation jitter on cold signals from thrashing the optimizer.
+    pub floor: f64,
+}
+
+impl Default for TuningPolicy {
+    fn default() -> Self {
+        TuningPolicy {
+            relative: 0.2,
+            floor: 0.005,
+        }
+    }
+}
+
+impl TuningPolicy {
+    /// Normalized divergence of one signal: `> 1.0` means "retune". The
+    /// scalar form lets callers report *how far* past the trigger the
+    /// workload has drifted, not just whether.
+    pub fn divergence(&self, adopted: f64, estimated: f64) -> f64 {
+        let tol = (self.relative * adopted.abs()).max(self.floor);
+        (estimated - adopted).abs() / tol
+    }
+}
+
+/// The advisor-side tuning loop: estimator + path registry + policy.
+///
+/// Lifecycle: [`OnlineTuner::track`] every live path (key ↔ handle),
+/// [`OnlineTuner::observe`] / [`OnlineTuner::replay`] the traffic,
+/// [`OnlineTuner::seal`] the observation window, then
+/// [`OnlineTuner::maybe_retune`]. Departed paths are
+/// [`OnlineTuner::untrack`]ed: later events carrying their key are
+/// **dropped** (counted, never panicking) — a capture pipeline may deliver
+/// a little stale traffic after a removal.
+#[derive(Debug)]
+pub struct OnlineTuner {
+    estimator: RateEstimator,
+    policy: TuningPolicy,
+    /// Live `PathKey → PathId`, in deterministic key order.
+    tracked: BTreeMap<PathKey, PathId>,
+    /// Query events whose key was not tracked at arrival.
+    dropped_events: u64,
+    /// Re-optimizations this tuner fired.
+    retunes: u64,
+}
+
+impl OnlineTuner {
+    /// New tuner with the given estimator and trigger configuration.
+    pub fn new(cfg: EstimatorConfig, policy: TuningPolicy) -> Self {
+        OnlineTuner {
+            estimator: RateEstimator::new(cfg),
+            policy,
+            tracked: BTreeMap::new(),
+            dropped_events: 0,
+            retunes: 0,
+        }
+    }
+
+    /// Registers a live path under its capture key. Re-tracking an already
+    /// tracked key just repoints the handle (key recycling after an
+    /// untrack is legal — the estimator state was dropped then).
+    pub fn track(&mut self, key: PathKey, id: PathId) {
+        self.tracked.insert(key, id);
+    }
+
+    /// Unregisters a departed path and drops its estimator state. Later
+    /// events under `key` are dropped silently (but counted).
+    pub fn untrack(&mut self, key: PathKey) {
+        self.tracked.remove(&key);
+        self.estimator.drop_path(key);
+    }
+
+    /// Whether `key` is currently tracked.
+    pub fn is_tracked(&self, key: PathKey) -> bool {
+        self.tracked.contains_key(&key)
+    }
+
+    /// Feeds one observed event. Query events for untracked keys are
+    /// dropped; class-level insert/delete traffic is always accepted
+    /// (maintenance rates are workload-wide, not per path).
+    pub fn observe(&mut self, tick: u64, event: &WorkloadEvent, weight: f64) {
+        if let WorkloadEvent::Query { path, .. } = event {
+            if !self.tracked.contains_key(path) {
+                self.dropped_events += 1;
+                return;
+            }
+        }
+        self.estimator.observe(tick, event, weight);
+    }
+
+    /// Replays a recorded log through [`OnlineTuner::observe`].
+    pub fn replay(&mut self, log: &EventLog) {
+        log.replay(|tick, event, weight| self.observe(tick, event, weight));
+    }
+
+    /// Closes the observation window: folds everything before `up_to` into
+    /// the estimates (see [`RateEstimator::seal`]).
+    pub fn seal(&mut self, up_to: u64) {
+        self.estimator.seal(up_to);
+    }
+
+    /// The estimator (read-only; fingerprints, estimates, diagnostics).
+    pub fn estimator(&self) -> &RateEstimator {
+        &self.estimator
+    }
+
+    /// The trigger policy.
+    pub fn policy(&self) -> TuningPolicy {
+        self.policy
+    }
+
+    /// Query events dropped because their key was not tracked.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// Re-optimizations fired so far.
+    pub fn retunes(&self) -> u64 {
+        self.retunes
+    }
+
+    /// Maximum normalized divergence between the estimates and the rates
+    /// `advisor` adopted, over every class `(β, γ)` signal and every
+    /// tracked path's per-class `α` vector. `0.0` when nothing was ever
+    /// observed (an empty stream is never a reason to retune). `> 1.0`
+    /// trips [`OnlineTuner::maybe_retune`].
+    pub fn drift(&self, advisor: &WorkloadAdvisor<'_>) -> f64 {
+        if !self.estimator.has_observations() {
+            return 0.0;
+        }
+        let mut worst = 0.0f64;
+        for c in 0..advisor.class_count() {
+            let class = ClassId(c as u32);
+            let (bi, gi) = self.estimator.class_rates(class);
+            let (ba, ga) = advisor.rates(class);
+            worst = worst
+                .max(self.policy.divergence(ba, bi))
+                .max(self.policy.divergence(ga, gi));
+        }
+        for (&key, &id) in &self.tracked {
+            let Some(adopted) = advisor.query_rates(id) else {
+                continue; // removed behind our back; step_traffic untracks
+            };
+            for (c, &a) in adopted.iter().enumerate() {
+                let est = self.estimator.query_rate(key, ClassId(c as u32));
+                worst = worst.max(self.policy.divergence(a, est));
+            }
+        }
+        worst
+    }
+
+    /// Fires [`WorkloadAdvisor::reoptimize`] iff the policy trips —
+    /// [`OnlineTuner::drift`] past `1.0` — after pushing every estimate
+    /// through the mutation API. `None` when the adopted rates still
+    /// describe the observed traffic (including the empty-stream case:
+    /// untouched rates, no spurious re-optimization).
+    pub fn maybe_retune(&mut self, advisor: &mut WorkloadAdvisor<'_>) -> Option<WorkloadPlan> {
+        if self.drift(advisor) <= 1.0 {
+            return None;
+        }
+        Some(self.force_retune(advisor))
+    }
+
+    /// Unconditionally pushes the estimates into the advisor and
+    /// re-optimizes. Estimates that equal the adopted rates are recognized
+    /// no-ops inside the mutation API, so a stationary stream's forced
+    /// retune replays the adopted plan.
+    pub fn force_retune(&mut self, advisor: &mut WorkloadAdvisor<'_>) -> WorkloadPlan {
+        for c in 0..advisor.class_count() {
+            let class = ClassId(c as u32);
+            advisor.update_rates(class, self.estimator.class_rates(class));
+        }
+        for (&key, &id) in &self.tracked {
+            let est = &self.estimator;
+            advisor.update_query_rates(id, |c| est.query_rate(key, c));
+        }
+        self.retunes += 1;
+        advisor.reoptimize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oic_cost::{ClassStats, CostParams};
+    use oic_schema::{fixtures, Path};
+
+    fn advisor(schema: &oic_schema::Schema) -> (WorkloadAdvisor<'_>, PathId, Path) {
+        let mut adv = WorkloadAdvisor::new(schema, CostParams::default())
+            .with_stats(|_| ClassStats::new(500.0, 50.0, 2.0))
+            .with_maintenance(|_| (0.05, 0.02));
+        let path = fixtures::paper_path_pexa(schema);
+        let id = adv.add_path(path.clone(), |_| 0.1);
+        (adv, id, path)
+    }
+
+    #[test]
+    fn empty_stream_never_retunes() {
+        let (schema, _) = fixtures::paper_schema();
+        let (mut adv, id, _) = advisor(&schema);
+        adv.optimize();
+        let mut tuner = OnlineTuner::new(EstimatorConfig::default(), TuningPolicy::default());
+        tuner.track(PathKey(id.raw() as u64), id);
+        tuner.seal(100);
+        assert_eq!(tuner.drift(&adv), 0.0);
+        assert!(tuner.maybe_retune(&mut adv).is_none());
+        // Rates untouched: still the constructor-declared values.
+        assert_eq!(adv.rates(ClassId(0)), (0.05, 0.02));
+    }
+
+    #[test]
+    fn stationary_traffic_matching_adoption_never_retunes() {
+        let (schema, _) = fixtures::paper_schema();
+        let (mut adv, id, _path) = advisor(&schema);
+        adv.optimize();
+        let key = PathKey(id.raw() as u64);
+        let mut tuner = OnlineTuner::new(EstimatorConfig::default(), TuningPolicy::default());
+        tuner.track(key, id);
+        for t in 0..4 {
+            for c in schema.class_ids() {
+                tuner.observe(t, &WorkloadEvent::Insert { class: c }, 0.05);
+                tuner.observe(t, &WorkloadEvent::Delete { class: c }, 0.02);
+                tuner.observe(
+                    t,
+                    &WorkloadEvent::Query {
+                        path: key,
+                        class: c,
+                    },
+                    0.1,
+                );
+            }
+        }
+        tuner.seal(4);
+        assert!(tuner.drift(&adv) <= 1.0, "drift {}", tuner.drift(&adv));
+        assert!(tuner.maybe_retune(&mut adv).is_none());
+    }
+
+    #[test]
+    fn drifted_traffic_trips_and_pushes_estimates() {
+        let (schema, _) = fixtures::paper_schema();
+        let (mut adv, id, _path) = advisor(&schema);
+        let before = adv.optimize().total_cost;
+        let key = PathKey(id.raw() as u64);
+        let mut tuner = OnlineTuner::new(EstimatorConfig::default(), TuningPolicy::default());
+        tuner.track(key, id);
+        // Ten times the declared update traffic, same query traffic.
+        for t in 0..4 {
+            for c in schema.class_ids() {
+                tuner.observe(t, &WorkloadEvent::Insert { class: c }, 0.5);
+                tuner.observe(t, &WorkloadEvent::Delete { class: c }, 0.2);
+                tuner.observe(
+                    t,
+                    &WorkloadEvent::Query {
+                        path: key,
+                        class: c,
+                    },
+                    0.1,
+                );
+            }
+        }
+        tuner.seal(4);
+        assert!(tuner.drift(&adv) > 1.0);
+        let plan = tuner.maybe_retune(&mut adv).expect("policy tripped");
+        assert_eq!(tuner.retunes(), 1);
+        assert_eq!(adv.rates(ClassId(0)), (0.5, 0.2), "estimates adopted");
+        assert!(
+            plan.total_cost > before,
+            "10× maintenance traffic must cost more: {} vs {before}",
+            plan.total_cost
+        );
+    }
+
+    #[test]
+    fn untracked_queries_are_dropped_not_panicking() {
+        let (schema, _) = fixtures::paper_schema();
+        let (mut adv, id, _) = advisor(&schema);
+        adv.optimize();
+        let key = PathKey(id.raw() as u64);
+        let mut tuner = OnlineTuner::new(EstimatorConfig::default(), TuningPolicy::default());
+        tuner.track(key, id);
+        tuner.untrack(key);
+        tuner.observe(
+            0,
+            &WorkloadEvent::Query {
+                path: key,
+                class: ClassId(0),
+            },
+            1.0,
+        );
+        assert_eq!(tuner.dropped_events(), 1);
+        tuner.seal(1);
+        assert!(tuner.maybe_retune(&mut adv).is_none());
+    }
+}

@@ -84,7 +84,7 @@
 
 use crate::select::{opt_ind_con_dp, prune_dominated};
 use crate::shard::ShardIndex;
-use crate::space::{CandidateId, CandidateSpace};
+use crate::space::{CandidateId, CandidateSpace, CandidateStep};
 use crate::{pc, Choice, CostMatrix, IndexConfiguration};
 use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
 use oic_exec::Executor;
@@ -187,6 +187,52 @@ pub struct SharedIndexOutcome {
     pub maintenance: f64,
     /// Maintenance avoided versus every owner paying separately.
     pub saving: f64,
+}
+
+/// The answer of [`WorkloadAdvisor::what_if`]: one candidate physical
+/// index priced *hypothetically* — query benefit per subscribing path plus
+/// maintenance and footprint per organization — without adopting anything.
+///
+/// When the candidate is live and fully priced (it belongs to the adopted
+/// workload and the last `(re)optimize` priced it), every number is read
+/// from the live memos, so the report reproduces the adopted pricing
+/// **bitwise** (`adopted = true`). Otherwise the candidate is priced
+/// standalone from the current statistics and rates — the same arithmetic
+/// the re-pricing phase would run if the candidate were interned — with no
+/// subscriber attribution (`adopted = false`, it is not part of any plan).
+#[derive(Debug, Clone)]
+pub struct WhatIfReport {
+    /// The candidate's step sequence.
+    pub steps: Vec<CandidateStep>,
+    /// Its role: embedded (more steps follow in the probing path) or
+    /// terminal. The two price differently (boundary `CMD`, key domain).
+    pub embedded: bool,
+    /// The live candidate id, when some path currently exposes this exact
+    /// `(steps, role)` spelling.
+    pub candidate: Option<CandidateId>,
+    /// `true` when every price below came from the adopted memos.
+    pub adopted: bool,
+    /// Maintenance price per organization (`Org::ALL` order), paid once
+    /// regardless of subscriber count.
+    pub maintenance: [f64; 3],
+    /// Footprint in pages per organization, counted once likewise.
+    pub size_pages: [f64; 3],
+    /// Live paths that expose this candidate, with their query shares —
+    /// the per-subscriber benefit side of the what-if ledger. Empty for a
+    /// hypothetical candidate.
+    pub subscribers: Vec<WhatIfSubscriber>,
+}
+
+/// One subscribing path in a [`WhatIfReport`].
+#[derive(Debug, Clone)]
+pub struct WhatIfSubscriber {
+    /// The subscribing path.
+    pub path: PathId,
+    /// Where the candidate sits in that path.
+    pub sub: SubpathId,
+    /// The path's query share per organization were this candidate
+    /// selected there (`Org::ALL` order).
+    pub query_costs: [f64; 3],
 }
 
 /// The workload-scale physical design, with the epoch telemetry that makes
@@ -747,6 +793,25 @@ impl<'a> WorkloadAdvisor<'a> {
     /// Completed re-optimizations.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Number of classes in the bound schema — the dense id range of the
+    /// per-class statistics and rate vectors.
+    pub fn class_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// The adopted `(insert, delete)` rates of a class — what the current
+    /// plan was priced under. The online tuner compares these against its
+    /// stream-derived estimates to detect drift.
+    pub fn rates(&self, class: ClassId) -> (f64, f64) {
+        self.maint[class.index()]
+    }
+
+    /// The adopted per-class query rates of a live path, dense by
+    /// `ClassId`; `None` for an unknown/removed handle.
+    pub fn query_rates(&self, id: PathId) -> Option<&[f64]> {
+        self.find(id).map(|i| self.paths[i].alphas.as_slice())
     }
 
     /// A cold copy: a fresh advisor over the same schema, parameters,
@@ -1602,6 +1667,15 @@ impl<'a> WorkloadAdvisor<'a> {
         banned: Option<&std::collections::HashSet<(CandidateId, Org)>>,
         pruned: Option<&[u8]>,
     ) -> CostMatrix {
+        // The dominance mask certifies cells absent from any λ = 0
+        // optimum; under a λ-priced objective the certificate does not
+        // transfer (a size-light cell can re-enter the optimum), so the
+        // budgeted machinery must never consult it (DESIGN.md §5.15, the
+        // PR-7 follow-up pinned by `oic-sim/tests/budgeted.rs`).
+        debug_assert!(
+            lambda == 0.0 || pruned.is_none(),
+            "dominance pruning is unsound under a λ-priced sweep (λ = {lambda})"
+        );
         let n = st.path.len();
         let values: Vec<(SubpathId, [f64; 3], [f64; 3])> = (0..SubpathId::count(n))
             .map(|r| {
@@ -2146,6 +2220,132 @@ impl<'a> WorkloadAdvisor<'a> {
             unconstrained_cost,
             unconstrained_size,
         }
+    }
+
+    // ---- what-if & cross-plan pricing -------------------------------------
+
+    /// Prices the hypothetical physical index over `sub` of `path` without
+    /// adopting it — AIM's core what-if primitive, nearly free here
+    /// because the advisor already prices candidates standalone.
+    ///
+    /// Resolution: the candidate identity is `path`'s step sequence over
+    /// `sub` in its role (embedded iff `sub` ends before the path does).
+    /// If that identity is live in the shared space **and** fully priced,
+    /// the report reads the adopted memos — maintenance, footprint and
+    /// every clean subscriber's query share reproduce the adopted pricing
+    /// bitwise. Otherwise the candidate is priced standalone under the
+    /// current statistics and rates, exactly the arithmetic the re-pricing
+    /// phase runs when a path exposes a new candidate (so probing first
+    /// and adopting later yields the same numbers).
+    ///
+    /// Values reflect the last completed `(re)optimize`; pending mutations
+    /// are visible only through the standalone arm. `path` need not be
+    /// registered with the advisor.
+    pub fn what_if(&self, path: &Path, sub: SubpathId) -> WhatIfReport {
+        let n = path.len();
+        assert!(
+            sub.start >= 1 && sub.start <= sub.end && sub.end <= n,
+            "subpath {sub:?} out of range for a path of {n} positions"
+        );
+        let steps = path.step_keys(sub);
+        let embedded = sub.end < n;
+        let candidate = self.space.find(&steps, embedded);
+        if let Some(id) = candidate {
+            let memo = (|| {
+                let mut m = [0.0; 3];
+                let mut s = [0.0; 3];
+                for org in Org::ALL {
+                    m[org.index()] = self.space.priced_maintenance(id, org)?;
+                    s[org.index()] = self.space.priced_size(id, org)?;
+                }
+                Some((m, s))
+            })();
+            if let Some((maintenance, size_pages)) = memo {
+                let mut subscribers = Vec::new();
+                for st in &self.paths {
+                    if st.dirty_query {
+                        continue; // stale shares never enter a report
+                    }
+                    for (r, &cand) in st.cands.iter().enumerate() {
+                        if cand == id {
+                            subscribers.push(WhatIfSubscriber {
+                                path: st.id,
+                                sub: SubpathId::from_rank(st.path.len(), r),
+                                query_costs: st.query_costs[r],
+                            });
+                        }
+                    }
+                }
+                return WhatIfReport {
+                    steps,
+                    embedded,
+                    candidate,
+                    adopted: true,
+                    maintenance,
+                    size_pages,
+                    subscribers,
+                };
+            }
+        }
+        // Hypothetical (or invalidated) candidate: one standalone pricing
+        // pass, installing nothing.
+        let chars = PathCharacteristics::build(self.schema, path, |c| self.stats[c.index()]);
+        let model = CostModel::new(self.schema, path, &chars, self.params);
+        let mld = LoadDistribution::build(self.schema, path, |c| {
+            let (beta, gamma) = self.maint[c.index()];
+            Triplet::new(0.0, beta, gamma)
+        });
+        let mut maintenance = [0.0; 3];
+        let mut size_pages = [0.0; 3];
+        for org in Org::ALL {
+            maintenance[org.index()] = pc::processing_cost(&model, &mld, sub, Choice::Index(org));
+            size_pages[org.index()] = model.size_pages(org, sub);
+        }
+        WhatIfReport {
+            steps,
+            embedded,
+            candidate,
+            adopted: false,
+            maintenance,
+            size_pages,
+            subscribers: Vec::new(),
+        }
+    }
+
+    /// The workload objective of **another advisor's plan** priced under
+    /// *this* advisor's adopted statistics and rates: per-path query
+    /// shares of the plan's selections plus each distinct physical index's
+    /// maintenance, once. This is the yardstick of the online-tuning
+    /// bench: the true cost of the estimator-driven plan is what the
+    /// oracle (exact-rate) advisor says it costs.
+    ///
+    /// Requires a completed `(re)optimize` on `self` (so every cell is
+    /// priced) and the same live path set (matched by [`PathId`], which
+    /// congruent mutation histories keep aligned).
+    pub fn price_plan(&self, plan: &WorkloadPlan) -> f64 {
+        assert_eq!(
+            plan.paths.len(),
+            self.paths.len(),
+            "price_plan: plan and advisor hold different path sets"
+        );
+        let by_id: HashMap<PathId, &PathOutcome> = plan.paths.iter().map(|p| (p.id, p)).collect();
+        let selections: Vec<Selection> = self
+            .paths
+            .iter()
+            .map(|st| {
+                let p = by_id
+                    .get(&st.id)
+                    .unwrap_or_else(|| panic!("price_plan: plan misses live path {:?}", st.id));
+                assert_eq!(
+                    p.path.signature(),
+                    st.signature,
+                    "price_plan: path {:?} changed identity",
+                    st.id
+                );
+                Self::to_selection(&p.selection)
+            })
+            .collect();
+        self.selection_totals(&selections).0
     }
 }
 

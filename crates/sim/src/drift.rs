@@ -24,11 +24,13 @@
 
 use crate::workload_gen::{random_query_rates, random_walk};
 use crate::SynthWorkload;
-use oic_core::WorkloadAdvisor;
+use oic_core::{OnlineTuner, WorkloadAdvisor, WorkloadPlan};
 use oic_cost::ClassStats;
 use oic_schema::ClassId;
+use oic_workload::{PathKey, WorkloadEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 /// Per-epoch churn volumes for a [`DriftSim`].
 #[derive(Debug, Clone)]
@@ -89,14 +91,33 @@ impl EpochChurn {
     }
 }
 
+/// Shadow ground truth for traffic mode ([`DriftSim::step_traffic`]): the
+/// *true* rates of the drifting workload, which the advisor only ever
+/// learns about through the captured event stream.
+#[derive(Debug, Clone)]
+struct TrafficState {
+    /// True per-class `(insert, delete)` rates.
+    true_maint: Vec<(f64, f64)>,
+    /// True per-path dense query-rate vectors, keyed by the raw capture
+    /// key (deterministic iteration order).
+    true_queries: BTreeMap<u64, Vec<f64>>,
+    /// The capture clock: ticks emitted so far.
+    clock: u64,
+}
+
 /// Deterministic workload-drift generator bound to a seed workload's class
-/// tree. Mutates an advisor in place, one epoch per [`DriftSim::step`].
+/// tree. Mutates an advisor in place, one epoch per [`DriftSim::step`] —
+/// or, in traffic mode ([`DriftSim::enable_traffic`] +
+/// [`DriftSim::step_traffic`]), keeps rate drift *hidden* from the advisor
+/// and emits it as a captured event stream for an [`OnlineTuner`] to
+/// rediscover.
 pub struct DriftSim<'a> {
     workload: &'a SynthWorkload,
     spec: DriftSpec,
     rng: StdRng,
     /// Shadow of the advisor's per-class stats, so drifts compound.
     stats: Vec<ClassStats>,
+    traffic: Option<TrafficState>,
 }
 
 impl<'a> DriftSim<'a> {
@@ -108,7 +129,170 @@ impl<'a> DriftSim<'a> {
             workload,
             spec,
             rng,
+            traffic: None,
         }
+    }
+
+    /// Switches this simulator into traffic mode: seeds the shadow ground
+    /// truth from the rates `advisor` currently adopts and registers every
+    /// live path with `tuner` (capture key = raw path id). From here on,
+    /// drive epochs with [`DriftSim::step_traffic`] instead of
+    /// [`DriftSim::step`].
+    pub fn enable_traffic(&mut self, advisor: &WorkloadAdvisor<'_>, tuner: &mut OnlineTuner) {
+        let class_count = self.workload.schema.class_count();
+        let true_maint = (0..class_count)
+            .map(|c| advisor.rates(ClassId(c as u32)))
+            .collect();
+        let mut true_queries = BTreeMap::new();
+        for id in advisor.path_ids().collect::<Vec<_>>() {
+            let key = id.raw() as u64;
+            tuner.track(PathKey(key), id);
+            let alphas = advisor.query_rates(id).expect("live path").to_vec();
+            true_queries.insert(key, alphas);
+        }
+        self.traffic = Some(TrafficState {
+            true_maint,
+            true_queries,
+            clock: 0,
+        });
+    }
+
+    /// One traffic-mode epoch: the same deterministic churn stream as
+    /// [`DriftSim::step`] (identical RNG consumption, so a same-seed oracle
+    /// run stays in lockstep), except that **rate and query drift never
+    /// touch the advisor** — they update the shadow ground truth, which is
+    /// then emitted as `ticks` stationary capture windows into `tuner`.
+    /// Structural churn (arrivals, departures, statistics drift) still goes
+    /// through the advisor's mutation API: a real system knows its schema
+    /// and path registry, it is the *rates* that must be estimated.
+    ///
+    /// Returns the epoch's churn and the re-optimized plan, if any: the
+    /// tuner's (if its policy tripped), else a structural `reoptimize()`
+    /// (if paths or statistics changed), else `None`.
+    pub fn step_traffic(
+        &mut self,
+        advisor: &mut WorkloadAdvisor<'_>,
+        tuner: &mut OnlineTuner,
+        ticks: u64,
+    ) -> (EpochChurn, Option<WorkloadPlan>) {
+        assert!(self.traffic.is_some(), "call enable_traffic first");
+        assert!(ticks > 0, "an epoch must emit at least one window");
+        let w = self.workload;
+        let class_count = w.schema.class_count();
+        let mut churn = EpochChurn::default();
+
+        // Phase 1: churn, consuming the RNG exactly like `step`.
+        for _ in 0..self.spec.departures {
+            let ids: Vec<_> = advisor.path_ids().collect();
+            if ids.len() <= 1 {
+                break;
+            }
+            let victim = ids[self.rng.gen_range(0..ids.len())];
+            advisor.remove_path(victim).expect("live handle");
+            let key = victim.raw() as u64;
+            tuner.untrack(PathKey(key));
+            let traffic = self.traffic.as_mut().expect("traffic mode");
+            traffic.true_queries.remove(&key);
+            churn.departed += 1;
+        }
+        for _ in 0..self.spec.arrivals {
+            let path = random_walk(&w.schema, w.root, &w.children, &mut self.rng);
+            let alphas = random_query_rates(class_count, &mut self.rng);
+            let id = advisor.add_path_dense(path, alphas.clone());
+            let key = id.raw() as u64;
+            tuner.track(PathKey(key), id);
+            let traffic = self.traffic.as_mut().expect("traffic mode");
+            traffic.true_queries.insert(key, alphas);
+            churn.arrived += 1;
+        }
+        for _ in 0..self.spec.stat_drifts {
+            let class = ClassId(self.rng.gen_range(0..class_count) as u32);
+            let old = self.stats[class.index()];
+            let scale = self.rng.gen_range(500..2000) as f64 / 1000.0;
+            let new = ClassStats::new(
+                (old.n * scale).max(1.0).round(),
+                (old.d * scale).max(1.0).round(),
+                old.nin,
+            );
+            self.stats[class.index()] = new;
+            if advisor.update_stats(class, new) {
+                churn.stats_changed += 1;
+            }
+        }
+        for _ in 0..self.spec.rate_drifts {
+            let class = ClassId(self.rng.gen_range(0..class_count) as u32);
+            let rates = (
+                self.rng.gen_range(0..200) as f64 / 1000.0,
+                self.rng.gen_range(0..200) as f64 / 1000.0,
+            );
+            let traffic = self.traffic.as_mut().expect("traffic mode");
+            let slot = &mut traffic.true_maint[class.index()];
+            if *slot != rates {
+                *slot = rates;
+                churn.rates_changed += 1;
+            }
+        }
+        for _ in 0..self.spec.query_drifts {
+            let ids: Vec<_> = advisor.path_ids().collect();
+            if ids.is_empty() {
+                break;
+            }
+            let target = ids[self.rng.gen_range(0..ids.len())];
+            let alphas = random_query_rates(class_count, &mut self.rng);
+            let traffic = self.traffic.as_mut().expect("traffic mode");
+            let slot = traffic
+                .true_queries
+                .get_mut(&(target.raw() as u64))
+                .expect("live path has a shadow");
+            if *slot != alphas {
+                *slot = alphas;
+                churn.queries_changed += 1;
+            }
+        }
+
+        // Phase 2: emit `ticks` stationary windows of the (new) ground
+        // truth. One weighted event per live signal per tick — the fluid
+        // expected-mass model the estimator's stationarity contract is
+        // stated over (DESIGN.md §5.16).
+        let traffic = self.traffic.as_mut().expect("traffic mode");
+        for t in 0..ticks {
+            let tick = traffic.clock + t;
+            for (c, &(beta, gamma)) in traffic.true_maint.iter().enumerate() {
+                let class = ClassId(c as u32);
+                if beta > 0.0 {
+                    tuner.observe(tick, &WorkloadEvent::Insert { class }, beta);
+                }
+                if gamma > 0.0 {
+                    tuner.observe(tick, &WorkloadEvent::Delete { class }, gamma);
+                }
+            }
+            for (&key, alphas) in &traffic.true_queries {
+                for (c, &alpha) in alphas.iter().enumerate() {
+                    if alpha > 0.0 {
+                        let event = WorkloadEvent::Query {
+                            path: PathKey(key),
+                            class: ClassId(c as u32),
+                        };
+                        tuner.observe(tick, &event, alpha);
+                    }
+                }
+            }
+        }
+        traffic.clock += ticks;
+        let clock = traffic.clock;
+        tuner.seal(clock);
+
+        // Phase 3: retune. Estimator drift beats structural churn (a
+        // drift-triggered retune folds the structural changes in anyway,
+        // because it ends in the same `reoptimize()`).
+        let plan = if let Some(plan) = tuner.maybe_retune(advisor) {
+            Some(plan)
+        } else if churn.arrived + churn.departed + churn.stats_changed > 0 {
+            Some(advisor.reoptimize())
+        } else {
+            None
+        };
+        (churn, plan)
     }
 
     /// Applies one epoch of churn to `advisor` through its mutation API.

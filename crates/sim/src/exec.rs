@@ -1,5 +1,12 @@
 //! The configured-index executor: one physical index per subpath,
 //! cross-subpath query chaining, and measured maintenance.
+//!
+//! When capture is enabled ([`ConfiguredDb::start_capture`]) every query,
+//! insert and delete additionally appends a weighted
+//! [`WorkloadEvent`](oic_workload::WorkloadEvent) to an in-executor
+//! [`EventLog`](oic_workload::EventLog), giving the online tuning loop
+//! (DESIGN.md §5.16) a ground-truth traffic stream recorded at the same
+//! layer that pays the page accesses.
 
 use crate::GeneratedDb;
 use oic_core::{Choice, IndexConfiguration};
@@ -9,6 +16,17 @@ use oic_index::{
 };
 use oic_schema::{ClassId, Path, Schema};
 use oic_storage::{Object, Oid, OpStats, Value};
+use oic_workload::{EventLog, PathKey, WorkloadEvent};
+use std::cell::RefCell;
+
+/// In-flight capture state: the log plus the logical clock events are
+/// stamped with. Lives behind a `RefCell` because queries take `&self`.
+#[derive(Debug)]
+struct CaptureState {
+    key: PathKey,
+    tick: u64,
+    log: EventLog,
+}
 
 enum SegmentExec {
     Indexed(Box<dyn PathIndex>),
@@ -32,6 +50,7 @@ pub struct ConfiguredDb<'a> {
     /// The database (public for stats and direct inspection).
     pub db: GeneratedDb,
     segments: Vec<SegmentExec>,
+    capture: RefCell<Option<CaptureState>>,
 }
 
 impl<'a> ConfiguredDb<'a> {
@@ -67,6 +86,39 @@ impl<'a> ConfiguredDb<'a> {
             path,
             db,
             segments,
+            capture: RefCell::new(None),
+        }
+    }
+
+    /// Starts recording the executor's operations as a weighted
+    /// [`WorkloadEvent`] stream under capture key `key` (the identity
+    /// queries against this path carry in the log). Restarting discards
+    /// any log not yet taken.
+    pub fn start_capture(&mut self, key: PathKey) {
+        *self.capture.get_mut() = Some(CaptureState {
+            key,
+            tick: 0,
+            log: EventLog::default(),
+        });
+    }
+
+    /// Advances the capture clock by one tick. Events recorded before the
+    /// first call land on tick 0. A no-op when capture is off.
+    pub fn advance_capture_tick(&mut self) {
+        if let Some(cap) = self.capture.get_mut().as_mut() {
+            cap.tick += 1;
+        }
+    }
+
+    /// Stops capturing and returns the recorded log, or `None` if capture
+    /// was never started.
+    pub fn take_capture_log(&mut self) -> Option<EventLog> {
+        self.capture.get_mut().take().map(|c| c.log)
+    }
+
+    fn record(&self, event: WorkloadEvent) {
+        if let Some(cap) = self.capture.borrow_mut().as_mut() {
+            cap.log.push(cap.tick, event, 1.0);
         }
     }
 
@@ -88,6 +140,17 @@ impl<'a> ConfiguredDb<'a> {
     ) -> (Vec<Oid>, OpStats) {
         self.db.store.begin_op();
         let oids = self.query_inner(value, target, with_subclasses);
+        if let Some(cap) = self.capture.borrow_mut().as_mut() {
+            let path = cap.key;
+            cap.log.push(
+                cap.tick,
+                WorkloadEvent::Query {
+                    path,
+                    class: target,
+                },
+                1.0,
+            );
+        }
         (oids, self.db.store.end_op())
     }
 
@@ -144,6 +207,7 @@ impl<'a> ConfiguredDb<'a> {
     /// Inserts an object: heap write plus maintenance of every subpath
     /// index. Returns the operation statistics.
     pub fn insert(&mut self, obj: Object) -> OpStats {
+        self.record(WorkloadEvent::Insert { class: obj.class() });
         self.db.store.begin_op();
         for seg in &mut self.segments {
             if let SegmentExec::Indexed(idx) = seg {
@@ -170,6 +234,7 @@ impl<'a> ConfiguredDb<'a> {
     pub fn delete(&mut self, oid: Oid) -> OpStats {
         self.db.store.begin_op();
         if let Ok(obj) = self.db.heap.delete(&mut self.db.store, oid) {
+            self.record(WorkloadEvent::Delete { class: obj.class() });
             for seg in &mut self.segments {
                 if let SegmentExec::Indexed(idx) = seg {
                     idx.on_delete(&mut self.db.store, &obj);

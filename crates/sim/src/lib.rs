@@ -26,6 +26,13 @@
 //!   statistic drift, rate and query churn) driving the online
 //!   `WorkloadAdvisor`'s incremental re-optimization, for the
 //!   `evolving_workload` bench and the warm-equals-cold property tests.
+//!   Its *traffic mode* (`enable_traffic`/`step_traffic`) hides rate drift
+//!   from the advisor and emits it as a captured
+//!   [`WorkloadEvent`](oic_workload::WorkloadEvent) stream instead, so an
+//!   [`OnlineTuner`](oic_core::OnlineTuner) must rediscover the rates from
+//!   observation — the closed loop of DESIGN.md §5.16. [`ConfiguredDb`]
+//!   can record the same event stream from real executed operations
+//!   (`start_capture`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,626 @@
+//! Workload capture: observed operation streams and decayed rate
+//! estimation — the observe half of the serve → observe → re-tune loop
+//! (DESIGN.md §5.16).
+//!
+//! The paper's advisor takes query/update rates as *given*; a production
+//! advisor derives them from traffic. This module is the derivation
+//! substrate, deliberately independent of the advisor so it can sit in
+//! front of any consumer:
+//!
+//! * [`WorkloadEvent`] — one observed operation: a query traversal against
+//!   a path's ending attribute with respect to a class, or an object
+//!   insertion/deletion on a class. Attribute updates are modeled as a
+//!   delete + insert pair, exactly like the paper's load model folds them
+//!   into `(β, γ)`.
+//! * [`EventLog`] — an append-only, deterministically replayable record of
+//!   weighted events, with a bit-exact text encoding for persistence.
+//! * [`RateEstimator`] — tick-bucketed exponential decay: events
+//!   accumulate into the current tick's bucket; advancing the clock folds
+//!   each completed window into per-class `(β, γ)` and per-(path, class)
+//!   `α` estimates.
+//!
+//! # Determinism contract
+//!
+//! Estimation is bitwise deterministic and **interleaving-invariant**
+//! within a tick: every `(signal, tick)` bucket is its own accumulator, so
+//! permuting the arrival order of one tick's events cannot change any
+//! estimate (summation order only moves *within* a bucket, where all
+//! contributions are applied to the same running sum in arrival order —
+//! and cross-bucket order never matters). Replaying the same [`EventLog`]
+//! twice therefore yields bit-identical estimator state, which
+//! [`RateEstimator::fingerprint`] makes checkable in one `u64`.
+//!
+//! # Stationarity contract
+//!
+//! The first completed window of a signal is adopted verbatim (`est =
+//! bucket`); later windows fold as `est ← est + a·(bucket − est)`. A
+//! *stationary* stream — every tick carries the same per-signal mass —
+//! thus reproduces its rates **bitwise**: the first window installs the
+//! exact value and every later fold adds `a·0.0`. This is what makes the
+//! replay-equivalence property of `oic-sim/tests/online.rs` exact rather
+//! than approximate.
+
+use oic_schema::ClassId;
+use std::collections::BTreeMap;
+
+/// Opaque identity of a path in a captured stream. Producers choose the
+/// value (the advisor-side tuner uses the advisor's raw path handle);
+/// the capture layer only requires that live paths have distinct keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathKey(pub u64);
+
+/// One observed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadEvent {
+    /// A query against `path`'s ending attribute with respect to `class` —
+    /// the α signal of the paper's load triplet.
+    Query {
+        /// The queried path.
+        path: PathKey,
+        /// The class the query targets (position in the path's scope).
+        class: ClassId,
+    },
+    /// An object insertion on `class` — the β signal.
+    Insert {
+        /// The inserted object's class.
+        class: ClassId,
+    },
+    /// An object deletion on `class` — the γ signal.
+    Delete {
+        /// The deleted object's class.
+        class: ClassId,
+    },
+}
+
+/// One recorded event: when it was observed and with what weight.
+///
+/// The weight is the event's rate mass: a live executor records `1.0` per
+/// operation (a count), while a fluid/expected-traffic generator may
+/// record fractional masses directly. The estimator is agnostic — it sums
+/// weights per window either way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogEntry {
+    /// Observation tick (window index). Non-decreasing within a log.
+    pub tick: u64,
+    /// The observed operation.
+    pub event: WorkloadEvent,
+    /// Rate mass carried by the event.
+    pub weight: f64,
+}
+
+/// Append-only record of a captured stream, replayable deterministically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLog {
+    entries: Vec<LogEntry>,
+}
+
+impl EventLog {
+    /// New, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one weighted event.
+    pub fn push(&mut self, tick: u64, event: WorkloadEvent, weight: f64) {
+        self.entries.push(LogEntry {
+            tick,
+            event,
+            weight,
+        });
+    }
+
+    /// The recorded entries, in arrival order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Replays every entry, in order, into `sink`. This is the one
+    /// replay primitive — the tuner's log replay and the property tests
+    /// both go through it, so "replayed twice ⇒ bit-identical" is a
+    /// statement about a single code path.
+    pub fn replay(&self, mut sink: impl FnMut(u64, &WorkloadEvent, f64)) {
+        for e in &self.entries {
+            sink(e.tick, &e.event, e.weight);
+        }
+    }
+
+    /// Bit-exact text encoding: one line per entry, weights spelled as the
+    /// hex of their IEEE-754 bits so decode → encode round-trips to the
+    /// identical stream (a decimal float print would not).
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let w = e.weight.to_bits();
+            match e.event {
+                WorkloadEvent::Query { path, class } => {
+                    let _ = writeln!(out, "q {} {} {} {w:016x}", e.tick, path.0, class.index());
+                }
+                WorkloadEvent::Insert { class } => {
+                    let _ = writeln!(out, "i {} {} {w:016x}", e.tick, class.index());
+                }
+                WorkloadEvent::Delete { class } => {
+                    let _ = writeln!(out, "d {} {} {w:016x}", e.tick, class.index());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the [`EventLog::encode`] format. Returns a description of
+    /// the first malformed line on failure.
+    pub fn decode(text: &str) -> Result<EventLog, String> {
+        let mut log = EventLog::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let fail = |what: &str| format!("line {}: {what}: {line:?}", no + 1);
+            let parse_u64 = |s: &str, what: &str| s.parse::<u64>().map_err(|_| fail(what));
+            let parse_bits = |s: &str| {
+                u64::from_str_radix(s, 16)
+                    .map(f64::from_bits)
+                    .map_err(|_| fail("bad weight bits"))
+            };
+            match fields.as_slice() {
+                ["q", tick, path, class, w] => {
+                    let class = ClassId(parse_u64(class, "bad class")? as u32);
+                    log.push(
+                        parse_u64(tick, "bad tick")?,
+                        WorkloadEvent::Query {
+                            path: PathKey(parse_u64(path, "bad path key")?),
+                            class,
+                        },
+                        parse_bits(w)?,
+                    );
+                }
+                [kind @ ("i" | "d"), tick, class, w] => {
+                    let class = ClassId(parse_u64(class, "bad class")? as u32);
+                    let event = if *kind == "i" {
+                        WorkloadEvent::Insert { class }
+                    } else {
+                        WorkloadEvent::Delete { class }
+                    };
+                    log.push(parse_u64(tick, "bad tick")?, event, parse_bits(w)?);
+                }
+                _ => return Err(fail("unrecognized entry")),
+            }
+        }
+        Ok(log)
+    }
+}
+
+/// Estimator tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    /// Exponential smoothing factor `a ∈ (0, 1]` of the per-window fold
+    /// `est ← est + a·(bucket − est)`. `1.0` trusts only the latest
+    /// window; small values average long horizons. The default `0.5`
+    /// halves the residue of a rate change every window — ~60 stationary
+    /// windows converge the estimate to the true rate *bitwise* (the
+    /// residue falls below half an ulp).
+    pub smoothing: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig { smoothing: 0.5 }
+    }
+}
+
+/// One signal's estimation state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Cell {
+    /// The decayed estimate (valid once `seen`).
+    est: f64,
+    /// Mass accumulated in the currently open window.
+    bucket: f64,
+    /// Whether any completed window ever observed this signal — the gate
+    /// of the adopt-first-window rule.
+    seen: bool,
+    /// Whether the open window observed it (an untouched bucket folds as
+    /// a decay step for seen signals and as nothing for unseen ones).
+    touched: bool,
+}
+
+impl Cell {
+    fn add(&mut self, weight: f64) {
+        self.bucket += weight;
+        self.touched = true;
+    }
+
+    /// Folds the completed window: adopt-first-window for fresh signals,
+    /// the exponential fold for established ones. Resets the bucket.
+    fn fold(&mut self, a: f64) {
+        if self.touched {
+            if self.seen {
+                self.est += a * (self.bucket - self.est);
+            } else {
+                self.est = self.bucket;
+                self.seen = true;
+            }
+        } else if self.seen {
+            self.est += a * (0.0 - self.est);
+        }
+        self.bucket = 0.0;
+        self.touched = false;
+    }
+
+    /// `ticks` empty windows in one call — the idle-gap decay. Applies the
+    /// same per-window arithmetic as [`Cell::fold`] with an empty bucket
+    /// (never a closed-form power, which would round differently), and
+    /// stops at the floating-point fixpoint so astronomically long gaps
+    /// terminate.
+    fn decay(&mut self, a: f64, ticks: u64) {
+        if !self.seen {
+            return;
+        }
+        for _ in 0..ticks {
+            let next = self.est + a * (0.0 - self.est);
+            if next == self.est {
+                break;
+            }
+            self.est = next;
+        }
+    }
+}
+
+/// Tick-bucketed exponentially-decayed rate estimation over a captured
+/// stream: per-class insert/delete rates and per-(path, class) query
+/// rates. See the module docs for the determinism and stationarity
+/// contracts.
+#[derive(Debug, Clone)]
+pub struct RateEstimator {
+    cfg: EstimatorConfig,
+    /// The tick whose bucket is currently open; `None` until the first
+    /// observation or seal.
+    cursor: Option<u64>,
+    /// β cells, dense by class index (grown on demand).
+    inserts: Vec<Cell>,
+    /// γ cells, dense by class index.
+    deletes: Vec<Cell>,
+    /// α cells per path, dense by class index. A `BTreeMap` so iteration
+    /// (and the fingerprint) is deterministic in the key order, never in
+    /// hash order.
+    queries: BTreeMap<PathKey, Vec<Cell>>,
+    /// Events accepted (diagnostics).
+    observed: u64,
+}
+
+impl RateEstimator {
+    /// New estimator. `cfg.smoothing` must be in `(0, 1]`.
+    pub fn new(cfg: EstimatorConfig) -> Self {
+        assert!(
+            cfg.smoothing > 0.0 && cfg.smoothing <= 1.0,
+            "smoothing must be in (0, 1], got {}",
+            cfg.smoothing
+        );
+        RateEstimator {
+            cfg,
+            cursor: None,
+            inserts: Vec::new(),
+            deletes: Vec::new(),
+            queries: BTreeMap::new(),
+            observed: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> EstimatorConfig {
+        self.cfg
+    }
+
+    /// Whether any event was ever accepted.
+    pub fn has_observations(&self) -> bool {
+        self.observed > 0
+    }
+
+    /// Events accepted so far.
+    pub fn observed_events(&self) -> u64 {
+        self.observed
+    }
+
+    /// Feeds one weighted event at `tick`.
+    ///
+    /// # Panics
+    /// Panics if `tick` precedes an already-folded window (ticks must be
+    /// non-decreasing — a replayed log satisfies this by construction).
+    pub fn observe(&mut self, tick: u64, event: &WorkloadEvent, weight: f64) {
+        self.roll_to(tick);
+        match *event {
+            WorkloadEvent::Query { path, class } => {
+                let cells = self.queries.entry(path).or_default();
+                Self::class_cell(cells, class).add(weight);
+            }
+            WorkloadEvent::Insert { class } => {
+                Self::class_cell(&mut self.inserts, class).add(weight);
+            }
+            WorkloadEvent::Delete { class } => {
+                Self::class_cell(&mut self.deletes, class).add(weight);
+            }
+        }
+        self.observed += 1;
+    }
+
+    /// Folds every window before `up_to` (the open one and any idle gap)
+    /// and leaves the cursor at `up_to` with an empty bucket. Call at the
+    /// end of an observation period so the final window enters the
+    /// estimates; a no-op when nothing was ever observed at an earlier
+    /// tick.
+    pub fn seal(&mut self, up_to: u64) {
+        if self.cursor.is_some() {
+            self.roll_to(up_to);
+        }
+    }
+
+    /// Removes every trace of `path` (a departed path's estimates must not
+    /// outlive it — its key may even be recycled by the producer).
+    pub fn drop_path(&mut self, path: PathKey) {
+        self.queries.remove(&path);
+    }
+
+    /// Estimated `(insert, delete)` rates of a class; `0.0` for signals no
+    /// completed window ever observed.
+    pub fn class_rates(&self, class: ClassId) -> (f64, f64) {
+        let get = |cells: &[Cell]| cells.get(class.index()).map_or(0.0, |c| c.est);
+        (get(&self.inserts), get(&self.deletes))
+    }
+
+    /// Estimated query rate of `(path, class)`; `0.0` when unobserved.
+    pub fn query_rate(&self, path: PathKey, class: ClassId) -> f64 {
+        self.queries
+            .get(&path)
+            .and_then(|cells| cells.get(class.index()))
+            .map_or(0.0, |c| c.est)
+    }
+
+    /// The paths with any recorded query state, in key order.
+    pub fn observed_paths(&self) -> impl Iterator<Item = PathKey> + '_ {
+        self.queries.keys().copied()
+    }
+
+    /// FNV-1a digest of the complete estimator state (cursor, every cell's
+    /// estimate/bucket bits and flags, in deterministic order) — the
+    /// one-number witness of the replay-twice bit-identity property.
+    pub fn fingerprint(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn eat(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn cells(&mut self, cells: &[Cell]) {
+                self.eat(&(cells.len() as u64).to_le_bytes());
+                for c in cells {
+                    self.eat(&c.est.to_bits().to_le_bytes());
+                    self.eat(&c.bucket.to_bits().to_le_bytes());
+                    self.eat(&[u8::from(c.seen), u8::from(c.touched)]);
+                }
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.eat(&self.cfg.smoothing.to_bits().to_le_bytes());
+        match self.cursor {
+            None => h.eat(&[0]),
+            Some(t) => {
+                h.eat(&[1]);
+                h.eat(&t.to_le_bytes());
+            }
+        }
+        h.cells(&self.inserts);
+        h.cells(&self.deletes);
+        for (key, cells) in &self.queries {
+            h.eat(&key.0.to_le_bytes());
+            h.cells(cells);
+        }
+        h.0
+    }
+
+    fn class_cell(cells: &mut Vec<Cell>, class: ClassId) -> &mut Cell {
+        let i = class.index();
+        if cells.len() <= i {
+            cells.resize(i + 1, Cell::default());
+        }
+        &mut cells[i]
+    }
+
+    /// Advances the cursor to `tick`, folding the open window and decaying
+    /// through any idle gap.
+    fn roll_to(&mut self, tick: u64) {
+        let Some(cur) = self.cursor else {
+            self.cursor = Some(tick);
+            return;
+        };
+        assert!(
+            tick >= cur,
+            "capture ticks must be non-decreasing: {tick} after {cur}"
+        );
+        if tick == cur {
+            return;
+        }
+        let a = self.cfg.smoothing;
+        let gap = tick - cur - 1;
+        let roll = |cells: &mut [Cell]| {
+            for c in cells {
+                c.fold(a);
+                if gap > 0 {
+                    c.decay(a, gap);
+                }
+            }
+        };
+        roll(&mut self.inserts);
+        roll(&mut self.deletes);
+        for cells in self.queries.values_mut() {
+            roll(cells);
+        }
+        self.cursor = Some(tick);
+    }
+}
+
+impl Default for RateEstimator {
+    fn default() -> Self {
+        Self::new(EstimatorConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(path: u64, class: u32) -> WorkloadEvent {
+        WorkloadEvent::Query {
+            path: PathKey(path),
+            class: ClassId(class),
+        }
+    }
+
+    #[test]
+    fn first_window_is_adopted_verbatim() {
+        let mut est = RateEstimator::default();
+        est.observe(0, &q(7, 2), 0.137);
+        est.observe(0, &WorkloadEvent::Insert { class: ClassId(1) }, 0.042);
+        est.seal(1);
+        assert_eq!(
+            est.query_rate(PathKey(7), ClassId(2)).to_bits(),
+            0.137f64.to_bits()
+        );
+        assert_eq!(est.class_rates(ClassId(1)).0.to_bits(), 0.042f64.to_bits());
+        assert_eq!(est.class_rates(ClassId(1)).1, 0.0, "no deletes observed");
+    }
+
+    #[test]
+    fn stationary_stream_is_bit_stable() {
+        let mut est = RateEstimator::new(EstimatorConfig { smoothing: 0.3 });
+        for t in 0..50 {
+            est.observe(t, &q(1, 0), 0.123);
+            est.observe(t, &WorkloadEvent::Delete { class: ClassId(0) }, 0.456);
+        }
+        est.seal(50);
+        assert_eq!(
+            est.query_rate(PathKey(1), ClassId(0)).to_bits(),
+            0.123f64.to_bits()
+        );
+        assert_eq!(est.class_rates(ClassId(0)).1.to_bits(), 0.456f64.to_bits());
+    }
+
+    #[test]
+    fn interleaving_within_a_tick_is_irrelevant() {
+        let events = [
+            (q(1, 0), 0.1),
+            (q(2, 0), 0.2),
+            (WorkloadEvent::Insert { class: ClassId(0) }, 0.3),
+            (q(1, 1), 0.4),
+            (WorkloadEvent::Delete { class: ClassId(1) }, 0.5),
+        ];
+        let run = |order: &[usize]| {
+            let mut est = RateEstimator::default();
+            for t in 0..3 {
+                for &i in order {
+                    let (e, w) = events[i];
+                    est.observe(t, &e, w);
+                }
+            }
+            est.seal(3);
+            est.fingerprint()
+        };
+        let base = run(&[0, 1, 2, 3, 4]);
+        assert_eq!(base, run(&[4, 3, 2, 1, 0]));
+        assert_eq!(base, run(&[2, 0, 4, 1, 3]));
+    }
+
+    #[test]
+    fn idle_gaps_decay_like_explicit_empty_windows() {
+        let mk = || {
+            let mut e = RateEstimator::default();
+            e.observe(0, &q(1, 0), 0.8);
+            e
+        };
+        // Jumping to tick 10 must equal stepping through ticks 1..=9.
+        let mut jumped = mk();
+        jumped.observe(10, &q(1, 0), 0.8);
+        jumped.seal(11);
+        let mut stepped = mk();
+        for t in 1..10 {
+            stepped.seal(t + 1);
+            let _ = t;
+        }
+        stepped.observe(10, &q(1, 0), 0.8);
+        stepped.seal(11);
+        assert_eq!(jumped.fingerprint(), stepped.fingerprint());
+        let r = jumped.query_rate(PathKey(1), ClassId(0));
+        assert!(r > 0.0 && r < 0.8, "decayed between windows: {r}");
+    }
+
+    #[test]
+    fn long_idle_gap_terminates_at_the_fixpoint() {
+        let mut est = RateEstimator::new(EstimatorConfig { smoothing: 0.01 });
+        est.observe(0, &q(1, 0), 0.9);
+        est.observe(u64::MAX - 1, &q(1, 0), 0.9);
+        est.seal(u64::MAX);
+        // The ancient window decayed to nothing; the estimate is dominated
+        // by the fresh one.
+        let r = est.query_rate(PathKey(1), ClassId(0));
+        assert!(r > 0.0 && r <= 0.9);
+    }
+
+    #[test]
+    fn dropped_paths_leave_no_state() {
+        let mut est = RateEstimator::default();
+        est.observe(0, &q(3, 0), 1.0);
+        est.seal(1);
+        est.drop_path(PathKey(3));
+        assert_eq!(est.query_rate(PathKey(3), ClassId(0)), 0.0);
+        assert_eq!(est.observed_paths().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn time_travel_panics() {
+        let mut est = RateEstimator::default();
+        est.observe(5, &q(1, 0), 1.0);
+        est.observe(4, &q(1, 0), 1.0);
+    }
+
+    #[test]
+    fn log_encode_decode_roundtrips_bitwise() {
+        let mut log = EventLog::new();
+        log.push(0, q(17, 2), 0.1 + 0.2); // a value with messy low bits
+        log.push(0, WorkloadEvent::Insert { class: ClassId(0) }, 1.0);
+        log.push(
+            3,
+            WorkloadEvent::Delete { class: ClassId(5) },
+            f64::MIN_POSITIVE,
+        );
+        let decoded = EventLog::decode(&log.encode()).expect("well-formed");
+        assert_eq!(log, decoded);
+        // Replaying either log yields the same estimator bits.
+        let feed = |log: &EventLog| {
+            let mut est = RateEstimator::default();
+            log.replay(|t, e, w| est.observe(t, e, w));
+            est.seal(4);
+            est.fingerprint()
+        };
+        assert_eq!(feed(&log), feed(&decoded));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(EventLog::decode("q 1 2").is_err());
+        assert!(EventLog::decode("x 1 2 3 0").is_err());
+        assert!(EventLog::decode("i 1 2 nothex!").is_err());
+    }
+}

@@ -13,13 +13,18 @@
 //!   the boundary deletion mass that drives the Section 4 `CMD` term.
 //! * [`ops`] — abstract operation streams sampled from a load distribution,
 //!   consumed by the `oic-sim` executor.
+//! * [`capture`] — the observed direction: weighted query/update event
+//!   streams, replayable logs, and decayed per-class / per-path rate
+//!   estimation feeding the advisor's online tuning loop (DESIGN.md §5.16).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capture;
 mod derive;
 mod load;
 pub mod ops;
 
+pub use capture::{EstimatorConfig, EventLog, LogEntry, PathKey, RateEstimator, WorkloadEvent};
 pub use derive::{derive_subpath_load, SubpathLoad};
 pub use load::{example51_load, LoadDistribution, Triplet};

@@ -55,6 +55,10 @@ run parallel_workload "parallel plan == sequential plan"
 # on a 5000-path chain forest and must verify the plans are the same plan.
 run large_workload "sharded plan == unsharded plan"
 
+# online_tuning re-learns hidden rate drift from a captured event stream
+# and must land on exactly the oracle's plan after the final retune.
+run online_tuning "tuned plan == oracle plan"
+
 # paged_store builds a file-backed tree, drops every handle, and reopens
 # it cold from the file alone; run it under a tiny cache so the eviction
 # path is exercised too.

@@ -21,7 +21,9 @@
 //! * [`index`] — real SIX/IIX/MX/MIX/NIX structures and a naive evaluator;
 //! * [`cost`] — the analytic page-access model (Yao, `CRL/CML/CRT/CMT`,
 //!   per-organization costs, `CMD`);
-//! * [`workload`] — load distributions and subpath load derivation;
+//! * [`workload`] — load distributions, subpath load derivation, and the
+//!   capture layer (replayable event logs, decayed rate estimation) behind
+//!   the online tuning loop;
 //! * [`exec`] — the offline-friendly work-stealing thread pool behind the
 //!   advisor's parallel stages (`OIC_THREADS`, bit-identical plans);
 //! * [`core`] — index configurations, the cost matrix, branch-and-bound and
@@ -79,8 +81,8 @@ pub mod prelude {
     pub use oic_core::{
         exhaustive, exhaustive_frontier, frontier_dp, opt_ind_con, opt_ind_con_dp, Advisor,
         BudgetedWorkloadPlan, CandidateId, CandidateSpace, Choice, CostMatrix, FrontierPoint,
-        FrontierResult, IndexConfiguration, PathId, Recommendation, SelectionResult,
-        WorkloadAdvisor, WorkloadPlan,
+        FrontierResult, IndexConfiguration, OnlineTuner, PathId, Recommendation, SelectionResult,
+        TuningPolicy, WhatIfReport, WorkloadAdvisor, WorkloadPlan,
     };
     pub use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
     pub use oic_exec::Executor;
@@ -90,5 +92,7 @@ pub mod prelude {
         SubpathId,
     };
     pub use oic_storage::{MemStore, Oid, Value};
-    pub use oic_workload::{LoadDistribution, Triplet};
+    pub use oic_workload::{
+        EstimatorConfig, EventLog, LoadDistribution, PathKey, RateEstimator, Triplet, WorkloadEvent,
+    };
 }
