@@ -516,61 +516,89 @@ pub fn exhaustive(matrix: &CostMatrix) -> SelectionResult {
 /// under **any** sharing context, because covered cells bypass the mask
 /// entirely (the advisor prices them before consulting it).
 ///
-/// `query[r][o]` / `maint[r][o]` are the query share and the maintenance
-/// price of rank `r` under organization `o`; `n` is the path length. Two
-/// strict arguments, both piece-local (the DP's transition reads one
-/// `choice_cost` per piece, so replacing a piece's cells never touches the
-/// rest of a configuration):
+/// `query[r][o]` / `maint[r][o]` / `sizes[r][o]` are the query share, the
+/// maintenance price and the page size of rank `r` under organization `o`;
+/// `n` is the path length. Two strict arguments, both piece-local (the
+/// DP's transition reads one `choice_cost` per piece, so replacing a
+/// piece's cells never touches the rest of a configuration):
 ///
-/// * **Org dominance** — prune `(r, o)` iff `query[r][o] >
-///   min_o'(query[r][o'] + maint[r][o'])`: even paying `o`'s query share
-///   alone beats nothing, since some other organization's *full* price is
-///   strictly below it. The argmin organization always survives (`q ≤ q +
-///   m` as `m ≥ 0`), so no rank is ever erased.
+/// * **Org dominance** — prune `(r, o)` iff some other organization `o'`
+///   at the same rank has `query[r][o] > query[r][o'] + maint[r][o']`
+///   **and** `sizes[r][o'] ≤ sizes[r][o]`: even paying `o`'s query share
+///   alone beats `o'`'s *full* price, and the swap never pays more pages.
+///   The `(q + m)`-argmin organization always survives (`q ≤ q + m` as
+///   `m ≥ 0`), so no rank is ever erased by this rule.
 /// * **Rank elimination** — for a non-singleton rank, prune all three
 ///   cells iff `min_o query[r][o]` strictly exceeds the summed
 ///   singleton-replacement floor `Σ_{l ∈ r} min_o(query + maint)` at each
-///   position's singleton rank: breaking the piece into singletons is
-///   strictly cheaper than its query share alone. The replacement's argmin
-///   cells survive org dominance by the first rule.
+///   position's singleton rank, **and** the replacement's summed argmin
+///   sizes fit under `min_o sizes[r][o]`: breaking the piece into
+///   singletons is strictly cheaper than its query share alone and never
+///   fatter. The replacement's argmin cells survive org dominance by the
+///   first rule, and only this rule ever yields `0b111`.
+///
+/// Both bounds are **λ-uniform**: a struck cell prices as `q + m + λ·s`
+/// for every `λ ≥ 0`, and its dominator's price `q' + m' + λ·s'` sits
+/// strictly below it (`q > q' + m'` strictly on the cost axis, `s' ≤ s`
+/// on the size axis) — so `cost + λ·size` can never win *or tie* for any
+/// non-negative λ. The same swap shrinks both coordinates of any Pareto
+/// label a struck cell could seed, so [`frontier_dp`]'s label sets are
+/// unchanged too. Covered dominators only get cheaper (they pay `q'`
+/// alone at size 0), which preserves the bound.
 ///
 /// Strictness is what preserves **bit-identity**: a pruned cell's every DP
 /// total is strictly above the prefix minimum at its column's position, so
 /// it can neither win nor *tie* any `parent`/`prefix_best` entry on the
 /// reconstruction chain — costs and tie-broken selections are unchanged,
-/// not merely cost-equal (property-tested below and in `oic-sim`).
+/// not merely cost-equal (property-tested below and in `oic-sim`), at
+/// λ = 0 and under every λ-priced sweep.
 ///
-/// Sound **only** for the unbanned, λ = 0 objective the arguments price:
-/// λ-weighted sweeps, eviction bans and the budget frontier must not
-/// apply these masks.
-pub fn prune_dominated(query: &[[f64; 3]], maint: &[[f64; 3]], n: usize) -> Vec<u8> {
+/// Bans are the one context the mask does not see: the advisor's eviction
+/// trials re-validate per rank that no banned candidate participates in a
+/// bound before applying it (`priced_matrix_inner`'s carve-outs).
+pub fn prune_dominated(
+    query: &[[f64; 3]],
+    maint: &[[f64; 3]],
+    sizes: &[[f64; 3]],
+    n: usize,
+) -> Vec<u8> {
     let ranks = SubpathId::count(n);
     debug_assert_eq!(query.len(), ranks);
     debug_assert_eq!(maint.len(), ranks);
-    // Full price floor of each position's singleton rank.
-    let mut single = vec![f64::INFINITY; n + 1];
-    for (l, floor) in single.iter_mut().enumerate().skip(1) {
+    debug_assert_eq!(sizes.len(), ranks);
+    // Full-price floor of each position's singleton rank, plus the size of
+    // the argmin cell realizing it (ties broken toward the thinner cell,
+    // then the first organization — deterministic, and the thinner the
+    // replacement the more ranks the size condition lets us strike).
+    let mut single = vec![(f64::INFINITY, f64::INFINITY); n + 1];
+    for (l, slot) in single.iter_mut().enumerate().skip(1) {
         let r = SubpathId { start: l, end: l }.rank(n);
         for o in 0..3 {
-            *floor = floor.min(query[r][o] + maint[r][o]);
+            let full = query[r][o] + maint[r][o];
+            if full < slot.0 || (full == slot.0 && sizes[r][o] < slot.1) {
+                *slot = (full, sizes[r][o]);
+            }
         }
     }
     (0..ranks)
         .map(|r| {
             let sub = SubpathId::from_rank(n, r);
-            let floor = (0..3)
-                .map(|o| query[r][o] + maint[r][o])
-                .fold(f64::INFINITY, f64::min);
             let mut mask = 0u8;
             for (o, &q) in query[r].iter().enumerate() {
-                if q > floor {
+                let dominated = (0..3).any(|alt| {
+                    alt != o && q > query[r][alt] + maint[r][alt] && sizes[r][alt] <= sizes[r][o]
+                });
+                if dominated {
                     mask |= 1 << o;
                 }
             }
             if sub.start < sub.end {
-                let replacement: f64 = (sub.start..=sub.end).map(|l| single[l]).sum();
+                let (repl_cost, repl_size) = (sub.start..=sub.end)
+                    .map(|l| single[l])
+                    .fold((0.0, 0.0), |(c, s), (fc, fs)| (c + fc, s + fs));
                 let cheapest = (0..3).map(|o| query[r][o]).fold(f64::INFINITY, f64::min);
-                if cheapest > replacement {
+                let thinnest = (0..3).map(|o| sizes[r][o]).fold(f64::INFINITY, f64::min);
+                if cheapest > repl_cost && repl_size <= thinnest {
                     mask = 0b111;
                 }
             }
@@ -1039,30 +1067,52 @@ mod tests {
             [1.0, 1.0, 1.0],
             [1.0, 1.0, 1.0],
         ];
-        let masks = prune_dominated(&query, &maint, 2);
+        let flat = vec![[1.0; 3]; 3];
+        let masks = prune_dominated(&query, &maint, &flat, 2);
         assert_eq!(masks[sid(1, 1).rank(2)], 0b010, "Mix dominated at (1,1)");
         assert_eq!(masks[sid(2, 2).rank(2)], 0, "three-way tie keeps all");
         assert_eq!(masks[sid(1, 2).rank(2)], 0b100, "Nix dominated at (1,2)");
+        // The λ guard: when every would-be dominator is *fatter* than the
+        // dominated cell, a large enough λ could flip the comparison, so
+        // the strike is withheld.
+        let fat_dominators = vec![
+            [9.0, 0.5, 9.0], // (1,1): Mix is the thinnest cell
+            [1.0, 1.0, 1.0],
+            [9.0, 9.0, 0.5], // (1,2): Nix is the thinnest cell
+        ];
+        let masks = prune_dominated(&query, &maint, &fat_dominators, 2);
+        assert_eq!(masks[sid(1, 1).rank(2)], 0, "thin Mix survives every λ");
+        assert_eq!(masks[sid(1, 2).rank(2)], 0, "thin Nix survives every λ");
     }
 
     #[test]
     fn prune_dominated_eliminates_ranks_beaten_by_singleton_floors() {
         // Singleton floors: 2.0 + 2.0 = 4.0. Rank (1,2)'s cheapest query
-        // share alone is 10.0 > 4.0: the whole rank is eliminated.
+        // share alone is 10.0 > 4.0, and the replacement pair's pages
+        // (1.0 + 1.0 = 2.0) fit under the rank's thinnest cell (2.0): the
+        // whole rank is eliminated for every λ ≥ 0.
         let query = vec![[1.0, 1.5, 1.2], [1.0, 1.1, 1.3], [10.0, 11.0, 12.0]];
         let maint = vec![[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [0.0, 0.0, 0.0]];
-        let masks = prune_dominated(&query, &maint, 2);
+        let sizes = vec![[1.0; 3], [1.0; 3], [2.0; 3]];
+        let masks = prune_dominated(&query, &maint, &sizes, 2);
         assert_eq!(masks[sid(1, 2).rank(2)], 0b111, "rank eliminated");
         // Singleton ranks are never rank-eliminated, whatever their price.
         assert_ne!(masks[sid(1, 1).rank(2)], 0b111);
         assert_ne!(masks[sid(2, 2).rank(2)], 0b111);
+        // The λ guard: a singleton replacement fatter than the rank's
+        // thinnest cell could lose at large λ, so elimination is withheld
+        // (the 2.0 + 2.0 = 4.0 replacement pages exceed the rank's 1.0).
+        let fat_singletons = vec![[2.0; 3], [2.0; 3], [1.0, 1.0, 1.0]];
+        let masks = prune_dominated(&query, &maint, &fat_singletons, 2);
+        assert_ne!(masks[sid(1, 2).rank(2)], 0b111, "fat replacement kept");
     }
 
     /// The advisor-facing contract: masking pruned cells to `INFINITY`
     /// leaves the DP's cost *bits* and its tie-broken selection unchanged
-    /// — on the uncovered pricing and under random coverage (covered
-    /// cells pay query only and bypass the mask, exactly as
-    /// `priced_matrix_inner` prices them).
+    /// — on the uncovered pricing, under random coverage (covered cells
+    /// pay query only and bypass the mask, exactly as
+    /// `priced_matrix_inner` prices them), and under every λ-priced
+    /// objective `q + m + λ·s` the budgeted sweeps construct.
     #[test]
     fn masked_dp_is_bit_identical_on_random_grids() {
         let mut seed = 0xDEC0DE_u64;
@@ -1077,48 +1127,52 @@ mod tests {
                 let ranks = SubpathId::count(n);
                 let mut query = Vec::with_capacity(ranks);
                 let mut maint = Vec::with_capacity(ranks);
+                let mut sizes = Vec::with_capacity(ranks);
                 for _ in 0..ranks {
                     let cell = |r: &mut dyn FnMut() -> u64| (r() % 1000) as f64 / 100.0;
                     query.push([cell(&mut rng), cell(&mut rng), cell(&mut rng)]);
                     maint.push([cell(&mut rng), cell(&mut rng), cell(&mut rng)]);
+                    sizes.push([cell(&mut rng), cell(&mut rng), cell(&mut rng)]);
                 }
-                let masks = prune_dominated(&query, &maint, n);
+                let masks = prune_dominated(&query, &maint, &sizes, n);
                 // Random coverage (none on even trials).
                 let covered: Vec<u8> = (0..ranks)
                     .map(|_| if trial % 2 == 0 { 0 } else { (rng() % 8) as u8 })
                     .collect();
-                let price = |with_mask: bool| {
-                    let values: Vec<(SubpathId, [f64; 3])> = (0..ranks)
-                        .map(|r| {
-                            let mut cell = [0.0; 3];
-                            for o in 0..3 {
-                                cell[o] = if covered[r] & (1 << o) != 0 {
-                                    query[r][o]
-                                } else if with_mask && masks[r] & (1 << o) != 0 {
-                                    f64::INFINITY
-                                } else {
-                                    query[r][o] + maint[r][o]
-                                };
-                            }
-                            (SubpathId::from_rank(n, r), cell)
-                        })
-                        .collect();
-                    opt_ind_con_dp(&CostMatrix::from_values(n, &values))
-                };
-                let full = price(false);
-                let masked = price(true);
-                assert_eq!(
-                    full.cost.to_bits(),
-                    masked.cost.to_bits(),
-                    "n={n} trial={trial}: cost {} vs {}",
-                    full.cost,
-                    masked.cost
-                );
-                assert_eq!(
-                    full.best.pairs(),
-                    masked.best.pairs(),
-                    "n={n} trial={trial}: selections diverged"
-                );
+                for lambda in [0.0, 0.7, 13.0] {
+                    let price = |with_mask: bool| {
+                        let values: Vec<(SubpathId, [f64; 3])> = (0..ranks)
+                            .map(|r| {
+                                let mut cell = [0.0; 3];
+                                for o in 0..3 {
+                                    cell[o] = if covered[r] & (1 << o) != 0 {
+                                        query[r][o]
+                                    } else if with_mask && masks[r] & (1 << o) != 0 {
+                                        f64::INFINITY
+                                    } else {
+                                        query[r][o] + maint[r][o] + lambda * sizes[r][o]
+                                    };
+                                }
+                                (SubpathId::from_rank(n, r), cell)
+                            })
+                            .collect();
+                        opt_ind_con_dp(&CostMatrix::from_values(n, &values))
+                    };
+                    let full = price(false);
+                    let masked = price(true);
+                    assert_eq!(
+                        full.cost.to_bits(),
+                        masked.cost.to_bits(),
+                        "n={n} trial={trial} λ={lambda}: cost {} vs {}",
+                        full.cost,
+                        masked.cost
+                    );
+                    assert_eq!(
+                        full.best.pairs(),
+                        masked.best.pairs(),
+                        "n={n} trial={trial} λ={lambda}: selections diverged"
+                    );
+                }
             }
         }
     }

@@ -189,6 +189,33 @@ impl CandidateSpace {
             .collect()
     }
 
+    /// [`CandidateSpace::intern_path`] under a mined admission verdict:
+    /// only ranks with `admitted[rank] == true` are interned (in the same
+    /// rank order, so the interning history — and thus every recycled id —
+    /// matches `intern_path` bitwise when everything is admitted). A
+    /// mined-out rank holds no reference and occupies no slot: the space,
+    /// the maintenance memo and the shard index never see it.
+    pub fn intern_path_admitted(
+        &mut self,
+        schema: &Schema,
+        path: &Path,
+        admitted: &[bool],
+    ) -> Vec<Option<CandidateId>> {
+        let n = path.len();
+        debug_assert_eq!(admitted.len(), SubpathId::count(n));
+        (0..SubpathId::count(n))
+            .map(|r| {
+                if !admitted[r] {
+                    return None;
+                }
+                let sub = SubpathId::from_rank(n, r);
+                Some(self.intern(&path.step_keys(sub), sub.end < n, || {
+                    oic_cost::invalidation::maintenance_dependencies(schema, path, sub)
+                }))
+            })
+            .collect()
+    }
+
     /// Releases one reference per id (the inverse of
     /// [`CandidateSpace::intern_path`]). A candidate whose last reference
     /// drops is freed: its memo is cleared, its identity leaves the lookup,

@@ -89,7 +89,7 @@ use crate::{pc, Choice, CostMatrix, IndexConfiguration};
 use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
 use oic_exec::Executor;
 use oic_schema::{ClassId, Path, PathSignature, Schema, SubpathId};
-use oic_workload::{LoadDistribution, Triplet};
+use oic_workload::{mining, LoadDistribution, MiningPolicy, Triplet};
 use std::collections::HashMap;
 
 /// Maximum coordinate-descent rounds; the objective is monotone, so this is
@@ -134,9 +134,17 @@ struct PathState {
     /// Sorted class set whose statistics this path's query shares read
     /// (`oic_cost::invalidation::query_dependencies`).
     scope: Vec<ClassId>,
-    /// Interned candidate per subpath rank; the path holds one reference
-    /// to each (released on removal).
-    cands: Vec<CandidateId>,
+    /// Interned candidate per subpath rank — `None` when the mining
+    /// admission policy dropped the rank (DESIGN.md §5.17): a mined-out
+    /// subpath is never interned, never priced, and never offered to any
+    /// DP. The path holds one reference to each live entry (released on
+    /// removal).
+    cands: Vec<Option<CandidateId>>,
+    /// The admitted entries of `cands`, flattened in rank order — the
+    /// slice the shard index, the release path and the component builder
+    /// consume without re-flattening per call. Kept in sync at intern and
+    /// re-mine time.
+    live_cands: Vec<CandidateId>,
     /// Query share per rank and organization; valid unless `dirty_query`.
     query_costs: Vec<[f64; 3]>,
     /// Standalone optimum (selection + cost, maintenance unshared); `None`
@@ -149,13 +157,24 @@ struct PathState {
     sweep_memo: Option<(Vec<u8>, Selection)>,
     /// Per-rank dominance prune mask (bit per organization; `0b111` = the
     /// whole rank is eliminated): cells provably absent from any best
-    /// response, under any sharing context (DESIGN.md §5.15). `None` when
-    /// stale — or always, in the unsharded engine.
+    /// response, under any sharing context **and any λ ≥ 0** — the mask is
+    /// size-aware, so it holds for every `cost + λ·size` pricing the
+    /// budgeted search runs (DESIGN.md §5.15/§5.17). `None` when stale —
+    /// or always, in the unsharded engine.
     pruned: Option<Vec<u8>>,
     /// Query shares stale (class statistics in scope, or own rates, moved).
     dirty_query: bool,
     /// Maintenance prices of this path's candidates possibly unpriced.
     dirty_maint: bool,
+}
+
+impl PathState {
+    /// The interned candidate at a *selected* rank. Selections only ever
+    /// cite admitted ranks — mined-out cells price at ∞, and singletons
+    /// are always admitted, so every DP has a finite tiling to pick.
+    fn cand(&self, sub: SubpathId) -> CandidateId {
+        self.cands[sub.rank(self.path.len())].expect("selected rank admitted")
+    }
 }
 
 /// One path's outcome in a [`WorkloadPlan`].
@@ -290,6 +309,21 @@ pub struct WorkloadPlan {
     /// standalone optimum *is* the fixed point (0 in the unsharded
     /// engine).
     pub speculation_skips: u64,
+    /// Candidate ranks the mining admission policy dropped across the
+    /// live workload (Σ per-path mined-out ranks): subpaths never
+    /// interned, priced, or offered to any DP. 0 when mining is off or
+    /// nothing falls below the support threshold (DESIGN.md §5.17).
+    pub candidates_mined_out: u64,
+    /// Matrix cells (rank × organization) the re-pricing phase never
+    /// visited this epoch because their rank was mined out — pricing work
+    /// the admission policy deleted before it existed. Counted over the
+    /// dirty (repriced) paths only, like `epoch_pricings`.
+    pub cells_skipped: u64,
+    /// Cells struck by the λ-uniform dominance mask while budgeted λ
+    /// sweeps actually ran — evidence the budgeted search priced under
+    /// pruning. 0 in an unconstrained plan, when the budget was slack, or
+    /// in the unsharded engine (which keeps no masks).
+    pub lambda_pruned: u64,
 }
 
 /// A [`WorkloadPlan`] selected under a shared page budget, with the
@@ -350,9 +384,12 @@ impl BudgetedWorkloadPlan {
 
     /// [`WorkloadPlan::assert_same_plan`] extended over the budget
     /// search's outcome. The λ sweeps, the eviction descent and the repair
-    /// pass run on bitwise-identical inputs in both engines (neither uses
-    /// pruning or the sharded descent), so everything except the inner
-    /// epoch's work counters must agree across engines.
+    /// pass see bitwise-identical prices in both engines: the sharded
+    /// engine's dominance mask is λ-uniform (a struck cell is beaten in
+    /// both cost and size, so no `cost + λ·size` pricing can ever select
+    /// it), which makes masked and unmasked sweeps agree bitwise — so
+    /// everything except the inner epoch's work counters must agree
+    /// across engines.
     pub fn assert_same_plan(&self, other: &BudgetedWorkloadPlan, ctx: &str) {
         self.plan.assert_same_plan(&other.plan, ctx);
         assert_eq!(self.feasible, other.feasible, "{ctx}: feasibility");
@@ -415,6 +452,14 @@ pub struct WorkloadAdvisor<'a> {
     /// verbatim. Plans are identical in content either way (DESIGN.md
     /// §5.15).
     sharding: bool,
+    /// The mined-admission policy: which candidate subpaths clear the
+    /// support threshold and get interned at all (DESIGN.md §5.17). The
+    /// default admits everything — today's space, bitwise.
+    mining: MiningPolicy,
+    /// Mining master switch: `OIC_MINE=0` in the environment forces
+    /// admit-all regardless of the policy — the escape hatch CI runs the
+    /// whole suite under.
+    mine_enabled: bool,
 }
 
 /// One dirty path's buffered re-pricing output, computed read-only on a
@@ -519,7 +564,11 @@ impl QueryBasis {
     /// last with the same guard (query-only loads never fire the
     /// insert/delete or boundary-deletion terms, so those contribute
     /// exactly nothing here as there).
-    fn eval(&self, alphas: &[f64], n: usize) -> Vec<[f64; 3]> {
+    ///
+    /// The basis is shared per signature but admission is per path, so
+    /// `cands` gates the replay: a mined-out rank has no cell to price
+    /// and its arithmetic is skipped wholesale.
+    fn eval(&self, alphas: &[f64], n: usize, cands: &[Option<CandidateId>]) -> Vec<[f64; 3]> {
         let mut upstream = vec![0.0; n + 1];
         let mut acc = 0.0;
         for (p, classes) in self.classes.iter().enumerate() {
@@ -530,6 +579,9 @@ impl QueryBasis {
         }
         (0..SubpathId::count(n))
             .map(|r| {
+                if cands[r].is_none() {
+                    return [0.0; 3];
+                }
                 let sub = SubpathId::from_rank(n, r);
                 let mut cell = [0.0; 3];
                 for org in Org::ALL {
@@ -578,6 +630,8 @@ impl<'a> WorkloadAdvisor<'a> {
             shards: ShardIndex::new(),
             basis: HashMap::new(),
             sharding: std::env::var("OIC_SHARDS").map_or(true, |v| v != "1"),
+            mining: MiningPolicy::default(),
+            mine_enabled: std::env::var("OIC_MINE").map_or(true, |v| v != "0"),
         }
     }
 
@@ -617,6 +671,31 @@ impl<'a> WorkloadAdvisor<'a> {
         self
     }
 
+    /// Sets the mined-admission policy (chainable) and re-mines every
+    /// live path under it: ranks below the support threshold are released
+    /// from the space, newly admitted ranks are interned, in rank order.
+    /// [`MiningPolicy::default`] (support 0) admits everything — the
+    /// unmined candidate space, and therefore the unmined plan, bitwise.
+    /// `OIC_MINE=0` in the environment forces admit-all regardless of the
+    /// policy.
+    pub fn with_mining(mut self, policy: MiningPolicy) -> Self {
+        self.mining = policy;
+        for i in 0..self.paths.len() {
+            self.remine_path(i);
+        }
+        self
+    }
+
+    /// The effective mined-admission policy: the adopted one, or
+    /// admit-all when `OIC_MINE=0` disabled mining wholesale.
+    pub fn mining_policy(&self) -> MiningPolicy {
+        if self.mine_enabled {
+            self.mining
+        } else {
+            MiningPolicy::default()
+        }
+    }
+
     /// Sets the shared per-class statistics (chainable; equivalent to
     /// [`Self::update_stats`] per class).
     pub fn with_stats(mut self, mut stats: impl FnMut(ClassId) -> ClassStats) -> Self {
@@ -650,8 +729,12 @@ impl<'a> WorkloadAdvisor<'a> {
         assert_eq!(alphas.len(), self.schema.class_count());
         let id = PathId(self.next_id);
         self.next_id += 1;
-        let cands = self.space.intern_path(self.schema, &path);
-        self.shards.add_path(id.0, &cands);
+        let admitted = Self::admitted_ranks(self.schema, self.mining_policy(), &path, &alphas);
+        let cands = self
+            .space
+            .intern_path_admitted(self.schema, &path, &admitted);
+        let live_cands: Vec<CandidateId> = cands.iter().filter_map(|&c| c).collect();
+        self.shards.add_path(id.0, &live_cands);
         let n = path.len();
         self.paths.push(PathState {
             id,
@@ -659,6 +742,7 @@ impl<'a> WorkloadAdvisor<'a> {
             scope: oic_cost::invalidation::query_dependencies(self.schema, &path),
             alphas,
             cands,
+            live_cands,
             query_costs: vec![[0.0; 3]; SubpathId::count(n)],
             standalone: None,
             sweep_memo: None,
@@ -678,7 +762,7 @@ impl<'a> WorkloadAdvisor<'a> {
     pub fn remove_path(&mut self, id: PathId) -> Option<Path> {
         let i = self.find(id)?;
         let st = self.paths.remove(i);
-        self.space.release_path(&st.cands);
+        self.space.release_path(&st.live_cands);
         self.shards.remove_path();
         self.mutations += 1;
         Some(st.path)
@@ -756,7 +840,70 @@ impl<'a> WorkloadAdvisor<'a> {
         st.standalone = None;
         st.sweep_memo = None;
         self.mutations += 1;
+        // Admission is a pure function of (policy, path, α): new rates can
+        // move ranks across the support threshold, so re-mine. Same
+        // verdict = recognized no-op, interning history untouched — which
+        // keeps a warm advisor's candidate ids aligned with its cold
+        // rebuild. Retunes re-mine through this same door: the tuner
+        // pushes its live-estimator rates path by path.
+        self.remine_path(i);
         true
+    }
+
+    /// The admission verdict of `path` under `policy` and per-class query
+    /// rates `alphas`: one bool per subpath rank. The all-true fast path
+    /// skips the miner entirely when the policy cannot gate.
+    fn admitted_ranks(
+        schema: &Schema,
+        policy: MiningPolicy,
+        path: &Path,
+        alphas: &[f64],
+    ) -> Vec<bool> {
+        if !policy.is_gating() {
+            return vec![true; SubpathId::count(path.len())];
+        }
+        let masses = mining::position_mass(schema, path, |c| alphas[c.index()]);
+        mining::mine(&policy, &masses).admitted
+    }
+
+    /// Recomputes path `i`'s admission under the effective policy and
+    /// re-interns its candidates when the verdict moved: dropped ranks
+    /// are released from the space (freed when this path was their last
+    /// owner), newly admitted ranks are interned in rank order, the shard
+    /// index is dirty-marked (its next `components()` call rebuilds from
+    /// the live slices), and every cached artifact of the path is
+    /// invalidated. An unchanged verdict is a recognized no-op.
+    fn remine_path(&mut self, i: usize) {
+        let admitted = {
+            let st = &self.paths[i];
+            Self::admitted_ranks(self.schema, self.mining_policy(), &st.path, &st.alphas)
+        };
+        if admitted
+            .iter()
+            .zip(&self.paths[i].cands)
+            .all(|(&a, c)| a == c.is_some())
+        {
+            return;
+        }
+        let old = std::mem::take(&mut self.paths[i].live_cands);
+        self.space.release_path(&old);
+        let cands = self
+            .space
+            .intern_path_admitted(self.schema, &self.paths[i].path, &admitted);
+        let live_cands: Vec<CandidateId> = cands.iter().filter_map(|&c| c).collect();
+        // The shard index keys components by candidate identity; a moved
+        // admission set invalidates it wholesale (dirty-mark — the
+        // rebuild happens lazily at the next components() call, against
+        // every path's live slice).
+        self.shards.remove_path();
+        let st = &mut self.paths[i];
+        st.cands = cands;
+        st.live_cands = live_cands;
+        st.dirty_query = true;
+        st.dirty_maint = true;
+        st.standalone = None;
+        st.sweep_memo = None;
+        st.pruned = None;
     }
 
     // ---- introspection ----------------------------------------------------
@@ -822,7 +969,8 @@ impl<'a> WorkloadAdvisor<'a> {
     pub fn rebuild(&self) -> WorkloadAdvisor<'a> {
         let mut adv = WorkloadAdvisor::new(self.schema, self.params)
             .with_executor(self.exec.clone())
-            .with_sharding(self.sharding);
+            .with_sharding(self.sharding)
+            .with_mining(self.mining);
         adv.stats.clone_from(&self.stats);
         adv.maint.clone_from(&self.maint);
         for st in &self.paths {
@@ -959,30 +1107,50 @@ impl<'a> WorkloadAdvisor<'a> {
 
         // Dominance pruning (sharded engine): refresh the per-rank prune
         // masks of paths whose prices moved this epoch, or that never had
-        // one. Masks read the **installed** maintenance prices — exactly
-        // the values the best responses are priced from — so the strict
-        // dominance argument (DESIGN.md §5.15) holds bitwise.
+        // one. Masks read the **installed** maintenance and size prices —
+        // exactly the values the best responses and the λ sweeps are
+        // priced from — so the strict dominance argument (DESIGN.md
+        // §5.15) holds bitwise, at λ = 0 and under every λ-priced sweep.
         let mut candidates_pruned = 0u64;
         if self.sharding {
             for i in 0..self.paths.len() {
                 if self.paths[i].pruned.is_none() || dirty.binary_search(&i).is_ok() {
                     let mask = {
                         let st = &self.paths[i];
-                        let maint: Vec<[f64; 3]> = st
-                            .cands
-                            .iter()
-                            .map(|&cand| {
-                                let mut m = [0.0; 3];
+                        let mut maint = Vec::with_capacity(st.cands.len());
+                        let mut sizes = Vec::with_capacity(st.cands.len());
+                        for &cand in &st.cands {
+                            // A mined-out rank prices at ∞ in both planes:
+                            // it can neither be struck nor serve as a
+                            // dominator or replacement (singleton ranks —
+                            // the replacement pool — are always admitted).
+                            let (mut m, mut s) = ([f64::INFINITY; 3], [f64::INFINITY; 3]);
+                            if let Some(cand) = cand {
                                 for org in Org::ALL {
                                     m[org.index()] = self
                                         .space
                                         .priced_maintenance(cand, org)
                                         .expect("maintenance priced during reprice");
+                                    s[org.index()] = self
+                                        .space
+                                        .priced_size(cand, org)
+                                        .expect("size priced during reprice");
                                 }
-                                m
-                            })
-                            .collect();
-                        prune_dominated(&st.query_costs, &maint, st.path.len())
+                            }
+                            maint.push(m);
+                            sizes.push(s);
+                        }
+                        let mut mask =
+                            prune_dominated(&st.query_costs, &maint, &sizes, st.path.len());
+                        // Mined-out ranks are absent, not pruned: zero
+                        // their bits so the pruning telemetry counts only
+                        // real strikes.
+                        for (m, c) in mask.iter_mut().zip(&st.cands) {
+                            if c.is_none() {
+                                *m = 0;
+                            }
+                        }
+                        mask
                     };
                     self.paths[i].pruned = Some(mask);
                 }
@@ -1038,7 +1206,7 @@ impl<'a> WorkloadAdvisor<'a> {
             let live: Vec<(u32, &[CandidateId])> = self
                 .paths
                 .iter()
-                .map(|st| (st.id.0, st.cands.as_slice()))
+                .map(|st| (st.id.0, st.live_cands.as_slice()))
                 .collect();
             self.shards.components(&live)
         };
@@ -1124,6 +1292,18 @@ impl<'a> WorkloadAdvisor<'a> {
         plan.largest_component = largest_component;
         plan.candidates_pruned = candidates_pruned;
         plan.speculation_skips = speculation_skips;
+        plan.candidates_mined_out = self
+            .paths
+            .iter()
+            .map(|st| st.cands.iter().filter(|c| c.is_none()).count() as u64)
+            .sum();
+        // Cells the admission policy deleted from this epoch's re-pricing:
+        // 3 organizations per mined-out rank, over the dirty paths the
+        // phase actually visited (clean paths priced nothing either way).
+        plan.cells_skipped = dirty
+            .iter()
+            .map(|&i| 3 * self.paths[i].cands.iter().filter(|c| c.is_none()).count() as u64)
+            .sum();
         plan
     }
 
@@ -1140,9 +1320,8 @@ impl<'a> WorkloadAdvisor<'a> {
     ) {
         let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
         for (st, sel) in self.paths.iter().zip(selections.iter()) {
-            let n = st.path.len();
             for &(sub, org) in sel {
-                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                *owned.entry((st.cand(sub), org)).or_default() += 1;
             }
         }
         for _ in 0..MAX_SWEEPS {
@@ -1161,9 +1340,8 @@ impl<'a> WorkloadAdvisor<'a> {
             let mut changed = false;
             for (i, sel) in selections.iter_mut().enumerate() {
                 let st = &self.paths[i];
-                let n = st.path.len();
                 for &(sub, org) in sel.iter() {
-                    let key = (st.cands[sub.rank(n)], org);
+                    let key = (st.cand(sub), org);
                     let count = owned.get_mut(&key).expect("selection was registered");
                     *count -= 1;
                     if *count == 0 {
@@ -1200,7 +1378,7 @@ impl<'a> WorkloadAdvisor<'a> {
                 let st = &self.paths[i];
                 changed |= pairs != *sel;
                 for &(sub, org) in &pairs {
-                    *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                    *owned.entry((st.cand(sub), org)).or_default() += 1;
                 }
                 *sel = pairs;
             }
@@ -1232,9 +1410,8 @@ impl<'a> WorkloadAdvisor<'a> {
         let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
         for (k, &i) in comp.iter().enumerate() {
             let st = &paths[i];
-            let n = st.path.len();
             for &(sub, org) in &sels[k] {
-                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                *owned.entry((st.cand(sub), org)).or_default() += 1;
             }
         }
         let mut sweeps = 0;
@@ -1245,9 +1422,8 @@ impl<'a> WorkloadAdvisor<'a> {
             let mut changed = false;
             for (k, &i) in comp.iter().enumerate() {
                 let st = &paths[i];
-                let n = st.path.len();
                 for &(sub, org) in sels[k].iter() {
-                    let key = (st.cands[sub.rank(n)], org);
+                    let key = (st.cand(sub), org);
                     let count = owned.get_mut(&key).expect("selection was registered");
                     *count -= 1;
                     if *count == 0 {
@@ -1270,7 +1446,7 @@ impl<'a> WorkloadAdvisor<'a> {
                 };
                 changed |= pairs != sels[k];
                 for &(sub, org) in &pairs {
-                    *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                    *owned.entry((st.cand(sub), org)).or_default() += 1;
                 }
                 sels[k] = pairs;
             }
@@ -1301,10 +1477,7 @@ impl<'a> WorkloadAdvisor<'a> {
             let mut pairs = Vec::with_capacity(sel.len());
             for &(sub, org) in sel {
                 query_cost += st.query_costs[sub.rank(n)][org.index()];
-                owners
-                    .entry((st.cands[sub.rank(n)], org))
-                    .or_default()
-                    .push(i);
+                owners.entry((st.cand(sub), org)).or_default().push(i);
                 pairs.push((sub, Choice::Index(org)));
             }
             paths_out.push(PathOutcome {
@@ -1377,6 +1550,9 @@ impl<'a> WorkloadAdvisor<'a> {
             largest_component: 0,
             candidates_pruned: 0,
             speculation_skips: 0,
+            candidates_mined_out: 0,
+            cells_skipped: 0,
+            lambda_pruned: 0,
         }
     }
 
@@ -1444,12 +1620,12 @@ impl<'a> WorkloadAdvisor<'a> {
         if basis.is_some() && (hit.is_some() || !st.dirty_query) {
             let query_costs = st.dirty_query.then(|| {
                 hit.expect("query-dirty branch requires a basis hit")
-                    .eval(&st.alphas, n)
+                    .eval(&st.alphas, n, &st.cands)
             });
-            let todo: Vec<(usize, Org)> = (0..SubpathId::count(n))
-                .flat_map(|r| Org::ALL.map(|org| (r, org)))
-                .filter(|&(r, org)| {
-                    let cand = st.cands[r];
+            let todo: Vec<(usize, CandidateId, Org)> = (0..SubpathId::count(n))
+                .filter_map(|r| st.cands[r].map(|cand| (r, cand)))
+                .flat_map(|(r, cand)| Org::ALL.map(move |org| (r, cand, org)))
+                .filter(|&(_, cand, org)| {
                     space.priced_maintenance(cand, org).is_none()
                         || space.priced_size(cand, org).is_none()
                 })
@@ -1462,10 +1638,10 @@ impl<'a> WorkloadAdvisor<'a> {
                     let (beta, gamma) = maint[c.index()];
                     Triplet::new(0.0, beta, gamma)
                 });
-                for (r, org) in todo {
+                for (r, cand, org) in todo {
                     let sub = SubpathId::from_rank(n, r);
                     cells.push((
-                        st.cands[r],
+                        cand,
                         org,
                         pc::processing_cost(&model, &mld, sub, Choice::Index(org)),
                         model.size_pages(org, sub),
@@ -1483,6 +1659,10 @@ impl<'a> WorkloadAdvisor<'a> {
             });
             (0..SubpathId::count(n))
                 .map(|r| {
+                    // Mined out: no cell to price.
+                    if st.cands[r].is_none() {
+                        return [0.0; 3];
+                    }
                     let sub = SubpathId::from_rank(n, r);
                     let mut cell = [0.0; 3];
                     for org in Org::ALL {
@@ -1499,9 +1679,11 @@ impl<'a> WorkloadAdvisor<'a> {
         });
         let mut cells = Vec::new();
         for r in 0..SubpathId::count(n) {
+            let Some(cand) = st.cands[r] else {
+                continue; // mined out: no cells exist for this rank
+            };
             let sub = SubpathId::from_rank(n, r);
             for org in Org::ALL {
-                let cand = st.cands[r];
                 // The footprint rides the maintenance memo discipline
                 // (priced once per (candidate, org), invalidated
                 // together), so one staleness check covers both planes.
@@ -1528,6 +1710,8 @@ impl<'a> WorkloadAdvisor<'a> {
         st.cands
             .iter()
             .map(|&cand| {
+                // A mined-out rank has no candidate anyone could cover.
+                let Some(cand) = cand else { return 0 };
                 let mut mask = 0u8;
                 for org in Org::ALL {
                     if owned.get(&(cand, org)).is_some_and(|&c| c > 0) {
@@ -1559,6 +1743,7 @@ impl<'a> WorkloadAdvisor<'a> {
             .iter()
             .enumerate()
             .map(|(r, &cand)| {
+                let Some(cand) = cand else { return 0 };
                 let mut mask = 0u8;
                 for org in Org::ALL {
                     let total = counts.get(&(cand, org)).copied().unwrap_or(0);
@@ -1600,7 +1785,7 @@ impl<'a> WorkloadAdvisor<'a> {
                     }
                 },
                 Some(l) => {
-                    let m = Self::priced_matrix(st, space, Some(&pred), l);
+                    let m = Self::priced_matrix(st, space, Some(&pred), l, st.pruned.as_deref());
                     Some((pred, Self::matrix_selection(&m)))
                 }
             }
@@ -1617,9 +1802,12 @@ impl<'a> WorkloadAdvisor<'a> {
     ///
     /// `pruned` is the path's dominance mask
     /// ([`crate::select::prune_dominated`]): pruned cells become
-    /// unselectable, which is sound **here only** — the mask certifies
-    /// cells absent from any λ = 0, unbanned optimum; λ-priced sweeps, the
-    /// eviction descent, and the frontier machinery must pass `None`.
+    /// unselectable. The mask is **λ-uniform** — a struck cell is beaten
+    /// in both cost and size, so it is absent from the optimum of `cost +
+    /// λ·size` for every λ ≥ 0 — which lets the λ-priced sweeps, the
+    /// eviction descent and the frontier machinery price under it too;
+    /// the eviction path additionally re-validates the mask against its
+    /// bans per rank (see `priced_matrix_inner`).
     fn best_response(
         st: &PathState,
         space: &CandidateSpace,
@@ -1643,8 +1831,9 @@ impl<'a> WorkloadAdvisor<'a> {
         space: &CandidateSpace,
         context: Option<&[u8]>,
         lambda: f64,
+        pruned: Option<&[u8]>,
     ) -> CostMatrix {
-        Self::priced_matrix_inner(st, space, context, lambda, None, None)
+        Self::priced_matrix_inner(st, space, context, lambda, None, pruned)
     }
 
     /// [`Self::priced_matrix`] with a set of banned physical indexes whose
@@ -1655,8 +1844,9 @@ impl<'a> WorkloadAdvisor<'a> {
         space: &CandidateSpace,
         context: Option<&[u8]>,
         banned: &std::collections::HashSet<(CandidateId, Org)>,
+        pruned: Option<&[u8]>,
     ) -> CostMatrix {
-        Self::priced_matrix_inner(st, space, context, 0.0, Some(banned), None)
+        Self::priced_matrix_inner(st, space, context, 0.0, Some(banned), pruned)
     }
 
     fn priced_matrix_inner(
@@ -1667,25 +1857,39 @@ impl<'a> WorkloadAdvisor<'a> {
         banned: Option<&std::collections::HashSet<(CandidateId, Org)>>,
         pruned: Option<&[u8]>,
     ) -> CostMatrix {
-        // The dominance mask certifies cells absent from any λ = 0
-        // optimum; under a λ-priced objective the certificate does not
-        // transfer (a size-light cell can re-enter the optimum), so the
-        // budgeted machinery must never consult it (DESIGN.md §5.15, the
-        // PR-7 follow-up pinned by `oic-sim/tests/budgeted.rs`).
-        debug_assert!(
-            lambda == 0.0 || pruned.is_none(),
-            "dominance pruning is unsound under a λ-priced sweep (λ = {lambda})"
-        );
         let n = st.path.len();
+        // The dominance mask is λ-uniform — a struck cell is beaten in
+        // both cost and size, so `cost + λ·size` loses for every λ ≥ 0
+        // (DESIGN.md §5.15/§5.17) — but it is *not* ban-aware: a bound
+        // whose dominating cells are banned proves nothing. Org-dominance
+        // bits lean on cells of their own rank, so they apply only when
+        // the rank is ban-free; the whole-rank (0b111) bound leans on
+        // singleton replacements anywhere in the span, so it applies only
+        // when the entire path is.
+        let ban_in_rank = |r: usize| {
+            banned.is_some_and(|b| {
+                st.cands[r].is_some_and(|cand| Org::ALL.iter().any(|&o| b.contains(&(cand, o))))
+            })
+        };
+        let ban_in_path = banned.is_some() && (0..SubpathId::count(n)).any(ban_in_rank);
         let values: Vec<(SubpathId, [f64; 3], [f64; 3])> = (0..SubpathId::count(n))
             .map(|r| {
                 let sub = SubpathId::from_rank(n, r);
+                // A mined-out rank is absent from the candidate space:
+                // never priced, never selectable, no pages.
+                let Some(cand) = st.cands[r] else {
+                    return (sub, [f64::INFINITY; 3], [0.0; 3]);
+                };
                 let covered = context.map_or(0, |ctx| ctx[r]);
-                let cut = pruned.map_or(0, |p| p[r]);
+                let cut = match pruned.map_or(0, |p| p[r]) {
+                    0b111 if ban_in_path => 0,
+                    cut if cut != 0b111 && ban_in_rank(r) => 0,
+                    cut => cut,
+                };
                 let mut cell = [0.0; 3];
                 let mut sizes = [0.0; 3];
                 for org in Org::ALL {
-                    if banned.is_some_and(|b| b.contains(&(st.cands[r], org))) {
+                    if banned.is_some_and(|b| b.contains(&(cand, org))) {
                         cell[org.index()] = f64::INFINITY;
                         sizes[org.index()] = 0.0;
                         continue;
@@ -1701,10 +1905,10 @@ impl<'a> WorkloadAdvisor<'a> {
                     } else {
                         (
                             space
-                                .priced_maintenance(st.cands[r], org)
+                                .priced_maintenance(cand, org)
                                 .expect("maintenance priced during reprice"),
                             space
-                                .priced_size(st.cands[r], org)
+                                .priced_size(cand, org)
                                 .expect("size priced during reprice"),
                         )
                     };
@@ -1726,7 +1930,7 @@ impl<'a> WorkloadAdvisor<'a> {
     /// bit-identical.
     fn lambda_sweep(&self, lambda: f64) -> Vec<Selection> {
         let seed = |_: usize, st: &PathState| {
-            let m = Self::priced_matrix(st, &self.space, None, lambda);
+            let m = Self::priced_matrix(st, &self.space, None, lambda, st.pruned.as_deref());
             Self::matrix_selection(&m)
         };
         let mut selections: Vec<Selection> = if self.exec.is_parallel() && self.paths.len() > 1 {
@@ -1740,9 +1944,8 @@ impl<'a> WorkloadAdvisor<'a> {
         };
         let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
         for (st, sel) in self.paths.iter().zip(&selections) {
-            let n = st.path.len();
             for &(sub, org) in sel {
-                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                *owned.entry((st.cand(sub), org)).or_default() += 1;
             }
         }
         for _ in 0..MAX_SWEEPS {
@@ -1755,9 +1958,8 @@ impl<'a> WorkloadAdvisor<'a> {
             let mut changed = false;
             for (i, sel) in selections.iter_mut().enumerate() {
                 let st = &self.paths[i];
-                let n = st.path.len();
                 for &(sub, org) in sel.iter() {
-                    let key = (st.cands[sub.rank(n)], org);
+                    let key = (st.cand(sub), org);
                     let count = owned.get_mut(&key).expect("selection was registered");
                     *count -= 1;
                     if *count == 0 {
@@ -1768,13 +1970,19 @@ impl<'a> WorkloadAdvisor<'a> {
                 let pairs = match specs.as_ref().and_then(|s| s[i].as_ref()) {
                     Some((pred, pairs)) if *pred == context => pairs.clone(),
                     _ => {
-                        let m = Self::priced_matrix(st, &self.space, Some(&context), lambda);
+                        let m = Self::priced_matrix(
+                            st,
+                            &self.space,
+                            Some(&context),
+                            lambda,
+                            st.pruned.as_deref(),
+                        );
                         Self::matrix_selection(&m)
                     }
                 };
                 changed |= pairs != *sel;
                 for &(sub, org) in &pairs {
-                    *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                    *owned.entry((st.cand(sub), org)).or_default() += 1;
                 }
                 *sel = pairs;
             }
@@ -1815,7 +2023,7 @@ impl<'a> WorkloadAdvisor<'a> {
             let n = st.path.len();
             for &(sub, org) in sel {
                 query += st.query_costs[sub.rank(n)][org.index()];
-                distinct.insert((st.cands[sub.rank(n)], org));
+                distinct.insert((st.cand(sub), org));
             }
         }
         let mut maint: Vec<f64> = distinct
@@ -1831,6 +2039,40 @@ impl<'a> WorkloadAdvisor<'a> {
         (query + maint.iter().sum::<f64>(), sizes.iter().sum::<f64>())
     }
 
+    /// The marginal `(cost, size)` of one path's *existing* selection
+    /// under a sharing context, read from the installed prices and never
+    /// through the dominance mask — bit-identical to summing the matching
+    /// unmasked matrix cells (the arithmetic mirrors
+    /// [`Self::priced_matrix_inner`] at λ = 0, in selection order).
+    fn true_marginal(
+        st: &PathState,
+        space: &CandidateSpace,
+        context: &[u8],
+        sel: &Selection,
+    ) -> (f64, f64) {
+        let n = st.path.len();
+        let mut cost = 0.0;
+        let mut size = 0.0;
+        for &(sub, org) in sel.iter() {
+            let r = sub.rank(n);
+            let (m, s) = if context[r] & (1 << org.index()) != 0 {
+                (0.0, 0.0)
+            } else {
+                (
+                    space
+                        .priced_maintenance(st.cand(sub), org)
+                        .expect("maintenance priced during reprice"),
+                    space
+                        .priced_size(st.cand(sub), org)
+                        .expect("size priced during reprice"),
+                )
+            };
+            cost += st.query_costs[r][org.index()] + m + 0.0 * s;
+            size += s;
+        }
+        (cost, size)
+    }
+
     /// Frontier-based greedy repair: round-robin over the paths, replacing
     /// each path's selection by the cheapest point of its *marginal*
     /// `(cost, size)` frontier that fits the budget slack the other paths
@@ -1842,18 +2084,16 @@ impl<'a> WorkloadAdvisor<'a> {
     fn repair(&self, selections: &mut [Selection], budget_pages: f64) -> usize {
         let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
         for (st, sel) in self.paths.iter().zip(selections.iter()) {
-            let n = st.path.len();
             for &(sub, org) in sel {
-                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                *owned.entry((st.cand(sub), org)).or_default() += 1;
             }
         }
         let mut repairs = 0;
         for _ in 0..MAX_SWEEPS {
             let mut changed = false;
             for (st, sel) in self.paths.iter().zip(selections.iter_mut()) {
-                let n = st.path.len();
                 for &(sub, org) in sel.iter() {
-                    let key = (st.cands[sub.rank(n)], org);
+                    let key = (st.cand(sub), org);
                     let count = owned.get_mut(&key).expect("selection was registered");
                     *count -= 1;
                     if *count == 0 {
@@ -1867,11 +2107,16 @@ impl<'a> WorkloadAdvisor<'a> {
                 other_sizes.sort_by(f64::total_cmp);
                 let slack = budget_pages - other_sizes.iter().sum::<f64>();
                 let context = Self::context_key(st, &owned);
-                let matrix = Self::priced_matrix(st, &self.space, Some(&context), 0.0);
+                let matrix =
+                    Self::priced_matrix(st, &self.space, Some(&context), 0.0, st.pruned.as_deref());
                 // Marginal (cost, size) of the current selection, for the
-                // strict-improvement guard.
-                let old_cost: f64 = sel.iter().map(|&(sub, org)| matrix.cost(sub, org)).sum();
-                let old_size: f64 = sel.iter().map(|&(sub, org)| matrix.size(sub, org)).sum();
+                // strict-improvement guard — priced mask-blind: the mask
+                // certifies a struck cell belongs to no *optimum*, not
+                // that the current selection avoids one (a cell adopted
+                // while covered can be struck once its sharer moved away),
+                // and an ∞ old price would turn the guard into an
+                // unconditional adoption.
+                let (old_cost, old_size) = Self::true_marginal(st, &self.space, &context, sel);
                 let frontier = crate::select::frontier_dp(&matrix);
                 if let Some(point) = frontier.within_budget(slack) {
                     let tol = 1e-9 * old_cost.abs().max(1.0);
@@ -1889,7 +2134,7 @@ impl<'a> WorkloadAdvisor<'a> {
                     }
                 }
                 for &(sub, org) in sel.iter() {
-                    *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                    *owned.entry((st.cand(sub), org)).or_default() += 1;
                 }
             }
             if !changed {
@@ -1924,12 +2169,8 @@ impl<'a> WorkloadAdvisor<'a> {
             }
             let mut owners_map: HashMap<(CandidateId, Org), Vec<usize>> = HashMap::new();
             for (i, (st, sel)) in self.paths.iter().zip(selections.iter()).enumerate() {
-                let n = st.path.len();
                 for &(sub, org) in sel {
-                    owners_map
-                        .entry((st.cands[sub.rank(n)], org))
-                        .or_default()
-                        .push(i);
+                    owners_map.entry((st.cand(sub), org)).or_default().push(i);
                 }
             }
             // Deterministic candidate order (hash maps iterate randomly).
@@ -1996,16 +2237,14 @@ impl<'a> WorkloadAdvisor<'a> {
         let mut trial = selections.to_vec();
         let mut owned: HashMap<(CandidateId, Org), usize> = HashMap::new();
         for (st, sel) in self.paths.iter().zip(trial.iter()) {
-            let n = st.path.len();
             for &(sub, org) in sel {
-                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                *owned.entry((st.cand(sub), org)).or_default() += 1;
             }
         }
         for &i in &owners_map[&pair] {
             let st = &self.paths[i];
-            let n = st.path.len();
             for &(sub, org) in &trial[i] {
-                let key = (st.cands[sub.rank(n)], org);
+                let key = (st.cand(sub), org);
                 let count = owned.get_mut(&key).expect("selection was registered");
                 *count -= 1;
                 if *count == 0 {
@@ -2013,7 +2252,13 @@ impl<'a> WorkloadAdvisor<'a> {
                 }
             }
             let context = Self::context_key(st, &owned);
-            let matrix = Self::priced_matrix_banned(st, &self.space, Some(&context), &banned);
+            let matrix = Self::priced_matrix_banned(
+                st,
+                &self.space,
+                Some(&context),
+                &banned,
+                st.pruned.as_deref(),
+            );
             // frontier_dp rather than the scalar DP, deliberately:
             // its empty point set detects a ban that left the path
             // uncoverable (the scalar DP panics there), and its
@@ -2023,7 +2268,7 @@ impl<'a> WorkloadAdvisor<'a> {
             let point = frontier.points.first()?;
             trial[i] = Self::to_selection(&point.config);
             for &(sub, org) in &trial[i] {
-                *owned.entry((st.cands[sub.rank(n)], org)).or_default() += 1;
+                *owned.entry((st.cand(sub), org)).or_default() += 1;
             }
         }
         let (cost, size) = self.selection_totals(&trial);
@@ -2205,6 +2450,22 @@ impl<'a> WorkloadAdvisor<'a> {
         plan.largest_component = unconstrained.largest_component;
         plan.candidates_pruned = unconstrained.candidates_pruned;
         plan.speculation_skips = unconstrained.speculation_skips;
+        plan.candidates_mined_out = unconstrained.candidates_mined_out;
+        plan.cells_skipped = unconstrained.cells_skipped;
+        // λ sweeps ran against the live masks: report the cells the
+        // budgeted search priced without (the λ-uniform dominance bound).
+        plan.lambda_pruned = if lambda_sweeps > 0 {
+            self.paths
+                .iter()
+                .map(|st| {
+                    st.pruned
+                        .as_deref()
+                        .map_or(0, |m| m.iter().map(|b| u64::from(b.count_ones())).sum())
+                })
+                .sum()
+        } else {
+            0
+        };
         debug_assert!(
             !feasible || plan.size_pages <= budget_pages * (1.0 + 1e-12) + 1e-9,
             "feasible plan exceeds budget: {} > {budget_pages}",
@@ -2267,7 +2528,7 @@ impl<'a> WorkloadAdvisor<'a> {
                         continue; // stale shares never enter a report
                     }
                     for (r, &cand) in st.cands.iter().enumerate() {
-                        if cand == id {
+                        if cand == Some(id) {
                             subscribers.push(WhatIfSubscriber {
                                 path: st.id,
                                 sub: SubpathId::from_rank(st.path.len(), r),
@@ -2347,6 +2608,50 @@ impl<'a> WorkloadAdvisor<'a> {
             .collect();
         self.selection_totals(&selections).0
     }
+
+    /// An upper bound on the workload-cost increase the mined admission
+    /// can cause, from the coverability guarantee (DESIGN.md §5.17): any
+    /// position a mined-out rank spans is still coverable by its admitted
+    /// singleton rank, so an unmined solution turns mined-feasible by
+    /// replacing each dropped piece with those singletons — at an extra
+    /// cost of at most the summed full price (query share plus unshared
+    /// maintenance, cheapest organization) of the replacement singletons.
+    /// The bound sums that replacement price over the union of every
+    /// mined-out rank's span, per path — generous, since real selections
+    /// drop far fewer pieces. 0 when nothing was mined out. Requires a
+    /// completed `(re)optimize` (every live cell priced).
+    pub fn mining_cost_bound(&self) -> f64 {
+        let mut bound = 0.0;
+        for st in &self.paths {
+            let n = st.path.len();
+            let mut dropped_span = vec![false; n + 1];
+            for (r, c) in st.cands.iter().enumerate() {
+                if c.is_none() {
+                    let sub = SubpathId::from_rank(n, r);
+                    dropped_span[sub.start..=sub.end].fill(true);
+                }
+            }
+            for (l, &dropped) in dropped_span.iter().enumerate().skip(1) {
+                if !dropped {
+                    continue;
+                }
+                let r = SubpathId { start: l, end: l }.rank(n);
+                let cand = st.cands[r].expect("singleton ranks are always admitted");
+                let cheapest = Org::ALL
+                    .iter()
+                    .map(|&org| {
+                        st.query_costs[r][org.index()]
+                            + self
+                                .space
+                                .priced_maintenance(cand, org)
+                                .expect("priced after (re)optimize")
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                bound += cheapest;
+            }
+        }
+        bound
+    }
 }
 
 impl WorkloadPlan {
@@ -2408,6 +2713,18 @@ impl WorkloadPlan {
         assert_eq!(
             self.speculation_skips, other.speculation_skips,
             "{ctx}: speculation skips"
+        );
+        assert_eq!(
+            self.candidates_mined_out, other.candidates_mined_out,
+            "{ctx}: candidates mined out"
+        );
+        assert_eq!(
+            self.cells_skipped, other.cells_skipped,
+            "{ctx}: cells skipped"
+        );
+        assert_eq!(
+            self.lambda_pruned, other.lambda_pruned,
+            "{ctx}: λ-pruned cells"
         );
         assert_eq!(self.paths.len(), other.paths.len(), "{ctx}: path count");
         for (a, b) in self.paths.iter().zip(&other.paths) {
@@ -2542,8 +2859,14 @@ impl WorkloadPlan {
         );
         let _ = writeln!(
             out,
-            "{} components (largest {}), {} cells pruned, {} speculation skips",
-            self.components, self.largest_component, self.candidates_pruned, self.speculation_skips
+            "{} components (largest {}), {} cells pruned, {} speculation skips, \
+             {} ranks mined out ({} cells skipped)",
+            self.components,
+            self.largest_component,
+            self.candidates_pruned,
+            self.speculation_skips,
+            self.candidates_mined_out,
+            self.cells_skipped
         );
         out
     }
@@ -2964,12 +3287,11 @@ mod tests {
         // maintenance price.
         let pe_state_cands: Vec<CandidateId> = {
             let st = &adv.paths[0];
-            let n = st.path.len();
             plan.paths[0]
                 .selection
                 .pairs()
                 .iter()
-                .map(|&(sub, _)| st.cands[sub.rank(n)])
+                .map(|&(sub, _)| st.cand(sub))
                 .collect()
         };
         for (id, &(_, choice)) in pe_state_cands.iter().zip(plan.paths[0].selection.pairs()) {

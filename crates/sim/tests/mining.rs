@@ -1,0 +1,249 @@
+//! The candidate-mining anchors (DESIGN.md §5.17).
+//!
+//! Three contracts pin the admission layer:
+//!
+//! * **Support 0 is the identity.** A `MiningPolicy` with `min_support`
+//!   0 admits every candidate, so the mined advisor's plan is *bitwise*
+//!   the unmined advisor's plan — same cost bits, same selections, same
+//!   work counters — across the sharded/unsharded and 1/8-lane engines
+//!   (the `OIC_SHARDS` ∈ {1, default} × `OIC_THREADS` ∈ {1, 8} matrix,
+//!   pinned here explicitly via the builder knobs).
+//! * **The λ-aware mask is invisible in the plan.** Budgeted solves on
+//!   the sharded engine price every λ sweep under the size-aware
+//!   dominance mask; the unsharded engine never prunes. For random
+//!   workloads and random budgets — including infeasible ones — the two
+//!   engines' budgeted plans agree bitwise in costs and selections.
+//! * **Mining is boundedly suboptimal.** Coverability keeps every mined
+//!   space feasible, and [`WorkloadAdvisor::mining_cost_bound`] converts
+//!   the dropped candidates into a provable price cap: the mined plan
+//!   never exceeds the unmined plan by more than the bound.
+
+use oic_core::WorkloadAdvisor;
+use oic_cost::CostParams;
+use oic_sim::{synth_workload, WorkloadSpec};
+use oic_workload::MiningPolicy;
+use proptest::prelude::*;
+
+/// The engine matrix the support-0 identity must hold on.
+const ENGINES: [(bool, usize); 4] = [(true, 1), (true, 8), (false, 1), (false, 8)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Support-0 mining reproduces today's candidate space — and
+    /// therefore today's plan — bitwise, on every engine configuration.
+    #[test]
+    fn support_zero_is_the_unmined_advisor_bitwise(
+        seed in 0u64..1_000,
+        paths in 2usize..=12,
+        always_admit_owned in any::<bool>(),
+    ) {
+        let w = synth_workload(&WorkloadSpec {
+            paths,
+            depth: 4,
+            fanout: 2,
+            seed,
+        });
+        for (sharding, threads) in ENGINES {
+            let mut unmined = w
+                .advisor(CostParams::default())
+                .with_sharding(sharding)
+                .with_threads(threads);
+            let mut mined = w
+                .advisor(CostParams::default())
+                .with_sharding(sharding)
+                .with_threads(threads)
+                .with_mining(MiningPolicy {
+                    min_support: 0.0,
+                    always_admit_owned,
+                });
+            let base = unmined.optimize();
+            let plan = mined.optimize();
+            plan.assert_bit_identical_to(
+                &base,
+                &format!("support 0, sharding={sharding} threads={threads}"),
+            );
+            prop_assert_eq!(plan.candidates_mined_out, 0);
+        }
+    }
+
+    /// Budgeted solves price λ sweeps under the size-aware mask on the
+    /// sharded engine and mask-free on the legacy engine, yet land on
+    /// the same plan bitwise — for random budgets, infeasible included,
+    /// in the full space *and* in a mined space (where struck-but-
+    /// covered cells that lose their sharer mid-search once tripped the
+    /// repair pass's improvement guard).
+    #[test]
+    fn masked_budgeted_plans_match_the_unpruned_engine(
+        seed in 0u64..1_000,
+        paths in 2usize..=64,
+        fraction in 0.01f64..1.2,
+        min_support in 0.0f64..0.8,
+    ) {
+        let w = synth_workload(&WorkloadSpec {
+            paths,
+            depth: 4,
+            fanout: 2,
+            seed,
+        });
+        for mined in [false, true] {
+            let policy = MiningPolicy {
+                min_support: if mined { min_support } else { 0.0 },
+                always_admit_owned: true,
+            };
+            let mut pruned = w
+                .advisor(CostParams::default())
+                .with_sharding(true)
+                .with_mining(policy);
+            let mut unpruned = w
+                .advisor(CostParams::default())
+                .with_sharding(false)
+                .with_mining(policy);
+            let unconstrained = pruned.optimize();
+            unpruned.optimize();
+            let budget = unconstrained.size_pages * fraction;
+            let b_p = pruned.optimize_with_budget(budget);
+            let b_u = unpruned.optimize_with_budget(budget);
+            prop_assert_eq!(b_p.feasible, b_u.feasible);
+            b_p.assert_same_plan(
+                &b_u,
+                &format!("budget {budget} ({fraction:.2}×, mined={mined})"),
+            );
+            // When the Lagrangian search engaged, it must have run masked
+            // (the mask can only be empty when dominance found nothing —
+            // tracked via the unconstrained pruning counter).
+            if b_p.lambda_sweeps > 0 && unconstrained.candidates_pruned > 0 {
+                prop_assert!(b_p.plan.lambda_pruned > 0, "λ sweeps ran unmasked");
+            }
+        }
+    }
+
+    /// Positive-support mining may drop candidates, but never costs more
+    /// than the miner's own replacement bound: coverability guarantees a
+    /// mined-feasible repair of the unmined optimum whose surcharge is
+    /// at most the summed full price of the replacement singletons.
+    #[test]
+    fn mined_cost_stays_within_the_dropped_support_bound(
+        seed in 0u64..1_000,
+        paths in 2usize..=16,
+        min_support in 0.0f64..1.5,
+    ) {
+        let w = synth_workload(&WorkloadSpec {
+            paths,
+            depth: 5,
+            fanout: 2,
+            seed,
+        });
+        let mut unmined = w.advisor(CostParams::default());
+        let mut mined = w.advisor(CostParams::default()).with_mining(MiningPolicy {
+            min_support,
+            always_admit_owned: true,
+        });
+        let base = unmined.optimize();
+        let plan = mined.optimize();
+        let bound = mined.mining_cost_bound();
+        let slack = 1e-9 * (1.0 + base.total_cost.abs() + bound);
+        prop_assert!(
+            plan.total_cost <= base.total_cost + bound + slack,
+            "mined {} > unmined {} + bound {} ({} ranks mined out)",
+            plan.total_cost,
+            base.total_cost,
+            bound,
+            plan.candidates_mined_out,
+        );
+        // The bound is exactly 0 ⇔ nothing was mined out, and an empty
+        // admission change keeps the plan bitwise.
+        if plan.candidates_mined_out == 0 {
+            prop_assert_eq!(bound, 0.0);
+            plan.assert_bit_identical_to(&base, "nothing mined out");
+        } else {
+            prop_assert!(bound > 0.0);
+        }
+    }
+}
+
+/// The miner's verdict is a pure function of (policy, path, rates), so a
+/// retune that lands on new rates re-mines: warm admission equals what a
+/// cold advisor built from the same rates would admit — same selections,
+/// same costs, same mined-out count. (Candidate *ids* may differ — the
+/// warm interner recycles slots — so the comparison follows the
+/// `evolving.rs` warm-vs-cold idiom rather than `assert_same_plan`.)
+#[test]
+fn remining_after_rate_updates_matches_a_cold_advisor() {
+    let w = synth_workload(&WorkloadSpec {
+        paths: 8,
+        depth: 5,
+        fanout: 2,
+        seed: 517,
+    });
+    let policy = MiningPolicy {
+        min_support: 0.4,
+        always_admit_owned: true,
+    };
+    let mut warm = w.advisor(CostParams::default()).with_mining(policy);
+    warm.optimize();
+    // Shift every path's query mass — some positions cross the support
+    // threshold in each direction.
+    let ids: Vec<_> = warm.path_ids().collect();
+    for (k, id) in ids.iter().enumerate() {
+        warm.update_query_rates(*id, |c| {
+            if (c.index() + k) % 2 == 0 {
+                0.05
+            } else {
+                0.45 + 0.01 * c.index() as f64
+            }
+        });
+    }
+    let warm_plan = warm.reoptimize();
+    let mut cold = warm.rebuild();
+    let cold_plan = cold.optimize();
+    let tol = 1e-9 * warm_plan.total_cost.abs().max(1.0);
+    assert!(
+        (warm_plan.total_cost - cold_plan.total_cost).abs() < tol,
+        "warm {} vs cold {}",
+        warm_plan.total_cost,
+        cold_plan.total_cost
+    );
+    assert_eq!(warm_plan.physical_indexes, cold_plan.physical_indexes);
+    assert_eq!(warm_plan.paths.len(), cold_plan.paths.len());
+    for (w, c) in warm_plan.paths.iter().zip(&cold_plan.paths) {
+        assert_eq!(
+            w.selection.pairs(),
+            c.selection.pairs(),
+            "selections diverged"
+        );
+    }
+    assert_eq!(
+        warm_plan.candidates_mined_out, cold_plan.candidates_mined_out,
+        "admission is a pure function of (policy, path, rates)"
+    );
+    // Under OIC_MINE=0 the policy resolves to admit-all and nothing can
+    // be mined out; the warm-vs-cold equivalence above still must hold.
+    if std::env::var("OIC_MINE").map_or(true, |v| v != "0") {
+        assert!(
+            warm_plan.candidates_mined_out > 0,
+            "support 0.4 against rates in [0.05, 0.5) must mine something out"
+        );
+    }
+}
+
+/// `OIC_MINE=0` (checked through the policy accessor) forces admit-all:
+/// the gate the CI lane relies on resolves to a non-gating policy.
+#[test]
+fn mine_kill_switch_reports_a_non_gating_policy() {
+    let w = synth_workload(&WorkloadSpec {
+        paths: 3,
+        depth: 4,
+        fanout: 2,
+        seed: 9,
+    });
+    let adv: WorkloadAdvisor<'_> = w.advisor(CostParams::default()).with_mining(MiningPolicy {
+        min_support: 0.7,
+        always_admit_owned: true,
+    });
+    let enabled = std::env::var("OIC_MINE").map_or(true, |v| v != "0");
+    assert_eq!(adv.mining_policy().is_gating(), enabled);
+    if !enabled {
+        assert_eq!(adv.mining_policy().min_support, 0.0);
+    }
+}

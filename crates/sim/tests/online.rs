@@ -491,16 +491,16 @@ fn executor_capture_round_trips_into_the_estimator() {
     assert_eq!(replay(&log), replay(&log), "replay is idempotent");
 }
 
-/// Regression for the PR-7 follow-up: dominance pruning is unsound under
-/// a λ-priced sweep and must stay bypassed there. A sharded budgeted
-/// solve whose Lagrangian search actually engages (λ ≠ 0) must equal the
-/// unsharded one — the sharded engine's pruning machinery (visibly active
-/// on the unconstrained solve) must never leak into λ-priced pricing,
-/// where a dominated row can become optimal once sizes are priced in.
-/// A `debug_assert` inside the sweep enforces `λ ≠ 0 ⇒ no pruning`
-/// structurally; this test pins the observable contract.
+/// Regression for the PR-7 follow-up, inverted by the λ-aware bound: the
+/// prune mask is now size-aware (a cell is struck only when beaten in
+/// both cost and pages, so `cost + λ·size` can never flip the verdict at
+/// any λ ≥ 0) and budgeted sweeps are REQUIRED to price under it. A
+/// sharded budgeted solve whose Lagrangian search actually engages must
+/// report a non-empty mask (`lambda_pruned > 0`) *and* still equal the
+/// unsharded, mask-free engine bitwise — masked λ-pricing changes how
+/// many cells are touched, never which plan wins.
 #[test]
-fn lambda_priced_sweeps_stay_unpruned_and_engine_agnostic() {
+fn lambda_priced_sweeps_run_masked_and_engine_agnostic() {
     let w = synth_workload(&WorkloadSpec {
         paths: 14,
         depth: 4,
@@ -522,11 +522,18 @@ fn lambda_priced_sweeps_stay_unpruned_and_engine_agnostic() {
         let b_s = sharded.optimize_with_budget(budget);
         let b_u = unsharded.optimize_with_budget(budget);
         // Every bracketing/bisection probe prices at λ > 0, so a positive
-        // sweep count proves λ-priced (prune-free) pricing actually ran —
-        // even when the eviction descent ends up winning (λ reported 0).
+        // sweep count proves λ-priced pricing actually ran — even when
+        // the eviction descent ends up winning (λ reported 0).
         assert!(
             b_s.lambda_sweeps > 0,
             "budget {budget} never priced a λ sweep; tighten the test"
+        );
+        // The satellite contract: those sweeps ran *masked*. The λ-aware
+        // bound guarantees the mask is sound at every λ, so the sharded
+        // engine must both engage it and agree with the mask-free engine.
+        assert!(
+            b_s.plan.lambda_pruned > 0,
+            "budget {budget} priced λ sweeps with an empty prune mask"
         );
         b_s.assert_same_plan(&b_u, &format!("λ = {} budget {budget}", b_s.lambda));
     }

@@ -16,6 +16,9 @@
 //! * [`capture`] — the observed direction: weighted query/update event
 //!   streams, replayable logs, and decayed per-class / per-path rate
 //!   estimation feeding the advisor's online tuning loop (DESIGN.md §5.16).
+//! * [`mining`] — frequent-subpath mining over captured or estimated query
+//!   mass: the Apriori-style admission layer that decides which candidate
+//!   subpaths the optimizer prices at all (DESIGN.md §5.17).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,8 +26,10 @@
 pub mod capture;
 mod derive;
 mod load;
+pub mod mining;
 pub mod ops;
 
 pub use capture::{EstimatorConfig, EventLog, LogEntry, PathKey, RateEstimator, WorkloadEvent};
 pub use derive::{derive_subpath_load, SubpathLoad};
 pub use load::{example51_load, LoadDistribution, Triplet};
+pub use mining::{MiningOutcome, MiningPolicy};

@@ -59,6 +59,10 @@ run large_workload "sharded plan == unsharded plan"
 # and must land on exactly the oracle's plan after the final retune.
 run online_tuning "tuned plan == oracle plan"
 
+# mined_workload gates candidate admission behind frequent-subpath mining
+# and must verify that support 0 reproduces the full plan bitwise.
+run mined_workload "mined plan == full plan"
+
 # paged_store builds a file-backed tree, drops every handle, and reopens
 # it cold from the file alone; run it under a tiny cache so the eviction
 # path is exercised too.

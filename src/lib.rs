@@ -21,9 +21,10 @@
 //! * [`index`] — real SIX/IIX/MX/MIX/NIX structures and a naive evaluator;
 //! * [`cost`] — the analytic page-access model (Yao, `CRL/CML/CRT/CMT`,
 //!   per-organization costs, `CMD`);
-//! * [`workload`] — load distributions, subpath load derivation, and the
+//! * [`workload`] — load distributions, subpath load derivation, the
 //!   capture layer (replayable event logs, decayed rate estimation) behind
-//!   the online tuning loop;
+//!   the online tuning loop, and the frequent-subpath miner gating
+//!   candidate admission;
 //! * [`exec`] — the offline-friendly work-stealing thread pool behind the
 //!   advisor's parallel stages (`OIC_THREADS`, bit-identical plans);
 //! * [`core`] — index configurations, the cost matrix, branch-and-bound and
@@ -93,6 +94,7 @@ pub mod prelude {
     };
     pub use oic_storage::{MemStore, Oid, Value};
     pub use oic_workload::{
-        EstimatorConfig, EventLog, LoadDistribution, PathKey, RateEstimator, Triplet, WorkloadEvent,
+        EstimatorConfig, EventLog, LoadDistribution, MiningOutcome, MiningPolicy, PathKey,
+        RateEstimator, Triplet, WorkloadEvent,
     };
 }
