@@ -559,7 +559,10 @@ impl<S: PageStore> PagedBTree<S> {
         }
         // The leaf chain must visit exactly the in-order leaves.
         let (mut chain, mut prev) = (Vec::new(), 0u64);
-        let mut page = *leaves.first().expect("nonempty tree has a leaf");
+        let Some(&first) = leaves.first() else {
+            return Err(Corrupt("nonzero root reached no leaf".into()));
+        };
+        let mut page = first;
         while page != 0 {
             chain.push(page);
             let Node::Leaf { next, prev: p, .. } = self.load(page)? else {
@@ -703,19 +706,29 @@ fn decode(buf: &[u8]) -> Result<Node, StoreError> {
             Ok(())
         }
     };
-    let u16_at = |off: usize| u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes"));
-    let u64_at = |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
+    // Corrupt pages must surface as errors, not slice panics: both
+    // readers bounds-check before decoding.
+    let u16_at = |off: usize| -> Result<u16, StoreError> {
+        need(off, 2)?;
+        Ok(u16::from_le_bytes([buf[off], buf[off + 1]]))
+    };
+    let u64_at = |off: usize| -> Result<u64, StoreError> {
+        need(off, 8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&buf[off..off + 8]);
+        Ok(u64::from_le_bytes(b))
+    };
     match buf.first() {
         Some(&LEAF_TAG) => {
-            let nrec = u16_at(1) as usize;
-            let next = u64_at(3);
-            let prev = u64_at(11);
+            let nrec = u16_at(1)? as usize;
+            let next = u64_at(3)?;
+            let prev = u64_at(11)?;
             let mut off = LEAF_HDR;
-            let mut recs = Vec::with_capacity(nrec);
+            let mut recs = Vec::with_capacity(nrec.min(buf.len() / LEAF_REC_HDR));
             for _ in 0..nrec {
                 need(off, LEAF_REC_HDR)?;
-                let klen = u16_at(off) as usize;
-                let vlen = u16_at(off + 2) as usize;
+                let klen = u16_at(off)? as usize;
+                let vlen = u16_at(off + 2)? as usize;
                 off += LEAF_REC_HDR;
                 need(off, klen + vlen)?;
                 recs.push((
@@ -727,16 +740,16 @@ fn decode(buf: &[u8]) -> Result<Node, StoreError> {
             Ok(Node::Leaf { next, prev, recs })
         }
         Some(&INT_TAG) => {
-            let nsep = u16_at(1) as usize;
-            let child0 = u64_at(3);
+            let nsep = u16_at(1)? as usize;
+            let child0 = u64_at(3)?;
             let mut off = INT_HDR;
-            let mut seps = Vec::with_capacity(nsep);
+            let mut seps = Vec::with_capacity(nsep.min(buf.len() / SEP_HDR));
             for _ in 0..nsep {
                 need(off, 2)?;
-                let klen = u16_at(off) as usize;
+                let klen = u16_at(off)? as usize;
                 off += 2;
                 need(off, klen + 8)?;
-                seps.push((buf[off..off + klen].to_vec(), u64_at(off + klen)));
+                seps.push((buf[off..off + klen].to_vec(), u64_at(off + klen)?));
                 off += klen + 8;
             }
             Ok(Node::Internal { child0, seps })
@@ -773,6 +786,60 @@ mod tests {
             assert_eq!(t.get(&key(i * 7 % 500)).unwrap().unwrap(), key(i));
         }
         assert!(t.get(&key(500)).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_pages_error_instead_of_panicking() {
+        // Every corruption pattern must surface as StoreError::Corrupt
+        // from decode's bounds checks — never as a slice panic.
+        type Corruptor = Box<dyn Fn(&mut [u8])>;
+        let patterns: [(&str, Corruptor); 4] = [
+            ("unknown tag", Box::new(|p: &mut [u8]| p[0] = 0xEE)),
+            (
+                "leaf record count beyond the page",
+                Box::new(|p: &mut [u8]| p[1..3].copy_from_slice(&u16::MAX.to_le_bytes())),
+            ),
+            (
+                "record key length beyond the page",
+                Box::new(|p: &mut [u8]| {
+                    p[LEAF_HDR..LEAF_HDR + 2].copy_from_slice(&u16::MAX.to_le_bytes())
+                }),
+            ),
+            (
+                "whole page filled with 0xFF",
+                Box::new(|p: &mut [u8]| p.fill(0xFF)),
+            ),
+        ];
+        for (what, corrupt) in patterns {
+            let mut t = tree(128);
+            for i in 0..200u32 {
+                t.insert(&key(i), &key(i)).unwrap();
+            }
+            // Corrupt the first leaf: reachable from both point lookups
+            // (of its keys) and the full scan's leaf chain.
+            let leaf = *t
+                .reachable_pages()
+                .unwrap()
+                .iter()
+                .find(|p| matches!(t.load(p.0), Ok(Node::Leaf { .. })))
+                .expect("multi-level tree has leaves");
+            let ps = t.store().page_size();
+            let mut img = vec![0u8; ps];
+            t.store_mut().read_page(leaf, &mut img).unwrap();
+            corrupt(&mut img);
+            t.store_mut().write_page(leaf, &img).unwrap();
+
+            let scan = t.scan();
+            assert!(
+                matches!(scan, Err(Corrupt(_))),
+                "{what}: scan returned {scan:?}"
+            );
+            let check = t.check_invariants();
+            assert!(
+                matches!(check, Err(Corrupt(_))),
+                "{what}: check_invariants returned {check:?}"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,10 @@
 //!    estimation, a drift-triggered `reoptimize()`, and a
 //!    [`workload_advisor::WorkloadAdvisor::what_if`] API pricing a
 //!    hypothetical candidate without adopting it (DESIGN.md §5.16).
+//! 7. Migration planning: [`migrate::MigrationPlanner`] turns a
+//!    `(current, target)` plan pair into an ordered build/drop schedule
+//!    under a concurrency-and-space envelope, every interim state priced
+//!    bit-consistently with `price_plan` (DESIGN.md §5.18).
 //!
 //! [`fig6`] reproduces the paper's hypothetical walkthrough matrix;
 //! [`Advisor`] is the one-call user-facing API.
@@ -48,6 +52,7 @@ mod config;
 pub mod extensions;
 pub mod fig6;
 mod matrix;
+pub mod migrate;
 pub mod pc;
 pub mod select;
 mod shard;
@@ -59,6 +64,10 @@ pub mod workload_advisor;
 pub use advisor::{Advisor, Recommendation};
 pub use config::{Choice, IndexConfiguration};
 pub use matrix::CostMatrix;
+pub use migrate::{
+    IndexKey, MigrationAction, MigrationEnvelope, MigrationError, MigrationPlanner,
+    MigrationSchedule, MigrationStep,
+};
 pub use select::{
     candidate_space_size, exhaustive, exhaustive_frontier, frontier_dp, opt_ind_con,
     opt_ind_con_dp, prune_dominated, FrontierPoint, FrontierResult, SelectionResult,

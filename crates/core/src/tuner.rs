@@ -21,7 +21,9 @@
 
 use crate::workload_advisor::{PathId, WorkloadAdvisor, WorkloadPlan};
 use oic_schema::ClassId;
-use oic_workload::capture::{EstimatorConfig, EventLog, PathKey, RateEstimator, WorkloadEvent};
+use oic_workload::capture::{
+    CaptureError, EstimatorConfig, EventLog, PathKey, RateEstimator, WorkloadEvent,
+};
 use std::collections::BTreeMap;
 
 /// When to fire a re-optimization: the estimate of some signal diverges
@@ -49,9 +51,21 @@ impl TuningPolicy {
     /// Normalized divergence of one signal: `> 1.0` means "retune". The
     /// scalar form lets callers report *how far* past the trigger the
     /// workload has drifted, not just whether.
+    ///
+    /// A zero tolerance (a `floor` of 0 against a zero adopted rate) is
+    /// handled explicitly: an exact match diverges by 0, any difference
+    /// diverges infinitely. The naive `diff / tol` would yield `0.0/0.0 =
+    /// NaN` there, and since `NaN > 1.0` is false (and `f64::max` absorbs
+    /// NaN), [`OnlineTuner::drift`] would silently report no drift and
+    /// [`OnlineTuner::maybe_retune`] would never fire on a cold signal
+    /// coming alive.
     pub fn divergence(&self, adopted: f64, estimated: f64) -> f64 {
+        let diff = (estimated - adopted).abs();
         let tol = (self.relative * adopted.abs()).max(self.floor);
-        (estimated - adopted).abs() / tol
+        if tol <= 0.0 {
+            return if diff > 0.0 { f64::INFINITY } else { 0.0 };
+        }
+        diff / tol
     }
 }
 
@@ -120,9 +134,11 @@ impl OnlineTuner {
         self.estimator.observe(tick, event, weight);
     }
 
-    /// Replays a recorded log through [`OnlineTuner::observe`].
-    pub fn replay(&mut self, log: &EventLog) {
-        log.replay(|tick, event, weight| self.observe(tick, event, weight));
+    /// Replays a recorded log through [`OnlineTuner::observe`]. A corrupt
+    /// log (rewinding ticks, non-finite or negative weights) is rejected
+    /// up front — the error is returned and no event is observed.
+    pub fn replay(&mut self, log: &EventLog) -> Result<(), CaptureError> {
+        log.replay(|tick, event, weight| self.observe(tick, event, weight))
     }
 
     /// Closes the observation window: folds everything before `up_to` into
@@ -300,6 +316,95 @@ mod tests {
             "10× maintenance traffic must cost more: {} vs {before}",
             plan.total_cost
         );
+    }
+
+    #[test]
+    fn zero_floor_divergence_never_yields_nan() {
+        // Regression: with floor = 0 and a zero adopted rate the old
+        // `diff / tol` was 0.0/0.0 = NaN; f64::max then absorbed it and
+        // drift() reported 0 — maybe_retune could never fire on a signal
+        // coming alive from zero.
+        let policy = TuningPolicy {
+            relative: 0.2,
+            floor: 0.0,
+        };
+        assert_eq!(policy.divergence(0.0, 0.0), 0.0);
+        assert!(policy.divergence(0.0, 0.3).is_infinite());
+        assert!(!policy.divergence(0.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn all_zero_rates_drift_is_zero_not_nan_and_can_still_trip() {
+        let (schema, _) = fixtures::paper_schema();
+        // A fully cold workload: zero maintenance, zero query rates.
+        let mut adv = WorkloadAdvisor::new(&schema, CostParams::default())
+            .with_stats(|_| ClassStats::new(500.0, 50.0, 2.0))
+            .with_maintenance(|_| (0.0, 0.0));
+        let id = adv.add_path(fixtures::paper_path_pexa(&schema), |_| 0.0);
+        adv.optimize();
+        let key = PathKey(id.raw() as u64);
+        let policy = TuningPolicy {
+            relative: 0.2,
+            floor: 0.0,
+        };
+        let mut tuner = OnlineTuner::new(EstimatorConfig::default(), policy);
+        tuner.track(key, id);
+
+        // Zero-weight traffic: observations exist, every estimate is 0,
+        // every adopted rate is 0 — the all-zero normalization case.
+        for c in schema.class_ids() {
+            tuner.observe(0, &WorkloadEvent::Insert { class: c }, 0.0);
+        }
+        tuner.seal(1);
+        let drift = tuner.drift(&adv);
+        assert!(!drift.is_nan(), "drift must never be NaN");
+        assert_eq!(drift, 0.0, "matching zeros are zero drift");
+        assert!(tuner.maybe_retune(&mut adv).is_none());
+
+        // The signal comes alive: any positive estimate against a zero
+        // adopted rate under a zero floor is infinite drift — it trips.
+        for c in schema.class_ids() {
+            tuner.observe(1, &WorkloadEvent::Insert { class: c }, 0.25);
+        }
+        tuner.seal(2);
+        assert!(tuner.drift(&adv).is_infinite());
+        assert!(tuner.maybe_retune(&mut adv).is_some());
+        assert!(adv.rates(ClassId(0)).0 > 0.0, "estimate was adopted");
+    }
+
+    #[test]
+    fn empty_tracked_set_drift_is_finite_and_nan_free() {
+        let (schema, _) = fixtures::paper_schema();
+        let (mut adv, _, _) = advisor(&schema);
+        adv.optimize();
+        // No tracked paths at all, zero floor: class-signal comparisons
+        // still run, and an empty estimator reports zero drift.
+        let mut tuner = OnlineTuner::new(
+            EstimatorConfig::default(),
+            TuningPolicy {
+                relative: 0.2,
+                floor: 0.0,
+            },
+        );
+        tuner.seal(5);
+        let drift = tuner.drift(&adv);
+        assert_eq!(drift, 0.0);
+        assert!(!drift.is_nan());
+        assert!(tuner.maybe_retune(&mut adv).is_none());
+    }
+
+    #[test]
+    fn replay_of_a_corrupt_log_is_an_error_not_a_panic() {
+        let mut tuner = OnlineTuner::new(EstimatorConfig::default(), TuningPolicy::default());
+        let mut log = EventLog::new();
+        log.push(3, WorkloadEvent::Insert { class: ClassId(0) }, 1.0);
+        log.push(1, WorkloadEvent::Insert { class: ClassId(0) }, 1.0);
+        assert!(tuner.replay(&log).is_err());
+        assert!(!tuner.estimator().has_observations(), "nothing was fed");
+        let mut ok = EventLog::new();
+        ok.push(0, WorkloadEvent::Insert { class: ClassId(0) }, 1.0);
+        tuner.replay(&ok).expect("well-formed");
+        assert!(tuner.estimator().has_observations());
     }
 
     #[test]

@@ -961,6 +961,20 @@ impl<'a> WorkloadAdvisor<'a> {
         self.find(id).map(|i| self.paths[i].alphas.as_slice())
     }
 
+    /// The adopted query share of one `(subpath, organization)` cell of a
+    /// live path — the exact memo value [`Self::selection_totals`] folds,
+    /// read without any recomputation. `None` for an unknown handle or
+    /// while the path's shares are stale (pending mutations not yet
+    /// repriced). The migration planner captures interim prices through
+    /// this so its endpoint costs equal [`Self::price_plan`] bitwise.
+    pub(crate) fn query_share(&self, id: PathId, sub: SubpathId, org: Org) -> Option<f64> {
+        let st = &self.paths[self.find(id)?];
+        if st.dirty_query {
+            return None;
+        }
+        Some(st.query_costs[sub.rank(st.path.len())][org.index()])
+    }
+
     /// A cold copy: a fresh advisor over the same schema, parameters,
     /// statistics, rates, live paths (same order) and executor, with every
     /// cache empty. `rebuild().optimize()` is the from-scratch baseline

@@ -146,7 +146,8 @@ proptest! {
         };
         let replay = |log: &EventLog| {
             let mut est = RateEstimator::new(EstimatorConfig::default());
-            log.replay(|tick, event, weight| est.observe(tick, event, weight));
+            log.replay(|tick, event, weight| est.observe(tick, event, weight))
+                .expect("well-formed log");
             est.seal(windows);
             est.fingerprint()
         };
@@ -476,13 +477,15 @@ fn executor_capture_round_trips_into_the_estimator() {
             WorkloadEvent::Query { .. } => q += 1,
             WorkloadEvent::Insert { .. } => i += 1,
             WorkloadEvent::Delete { .. } => d += 1,
-        });
+        })
+        .expect("well-formed log");
         (q, i, d)
     };
     assert_eq!(kinds(&log), (4, 0, 1), "3 + 1 queries and one delete");
     let replay = |log: &EventLog| {
         let mut est = RateEstimator::new(EstimatorConfig::default());
-        log.replay(|tick, event, weight| est.observe(tick, event, weight));
+        log.replay(|tick, event, weight| est.observe(tick, event, weight))
+            .expect("well-formed log");
         est.seal(2);
         est.fingerprint()
     };

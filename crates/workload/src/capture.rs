@@ -42,6 +42,74 @@
 
 use oic_schema::ClassId;
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a captured log failed to decode or to replay.
+///
+/// The position (`line` / `at`) is the 1-based text line for errors found
+/// by [`EventLog::decode`] and the 0-based entry index for errors found by
+/// [`EventLog::validate`] / [`EventLog::replay`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaptureError {
+    /// A text line does not parse as any entry kind.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What failed to parse.
+        reason: String,
+    },
+    /// A class index exceeds the `u32` id domain of [`ClassId`].
+    ClassRange {
+        /// 1-based line number.
+        line: usize,
+        /// The out-of-range value.
+        class: u64,
+    },
+    /// An entry's tick precedes an earlier entry's — a log must replay in
+    /// non-decreasing tick order (the estimator's clock never rewinds).
+    NonMonotonicTick {
+        /// Entry position (see type docs).
+        at: usize,
+        /// The offending tick.
+        tick: u64,
+        /// The latest tick seen before it.
+        prev: u64,
+    },
+    /// An entry's weight is not a finite, non-negative rate mass. The text
+    /// codec carries raw IEEE-754 bits, so a hand-edited line can spell
+    /// NaN, an infinity, or a negative mass — none of which the estimator
+    /// accepts.
+    BadWeight {
+        /// Entry position (see type docs).
+        at: usize,
+        /// The decoded weight.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            CaptureError::ClassRange { line, class } => {
+                write!(f, "line {line}: class {class} exceeds the u32 id domain")
+            }
+            CaptureError::NonMonotonicTick { at, tick, prev } => {
+                write!(f, "entry {at}: tick {tick} precedes tick {prev}")
+            }
+            CaptureError::BadWeight { at, weight } => {
+                write!(
+                    f,
+                    "entry {at}: weight {weight} is not a finite non-negative mass"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
 
 /// Opaque identity of a path in a captured stream. Producers choose the
 /// value (the advisor-side tuner uses the advisor's raw path handle);
@@ -124,14 +192,52 @@ impl EventLog {
         self.entries.is_empty()
     }
 
+    /// Checks the invariants replay relies on — non-decreasing ticks and
+    /// finite, non-negative weights — without feeding anything. A log
+    /// built through [`EventLog::push`] can violate them (push never
+    /// validates: a live recorder must stay infallible on its hot path),
+    /// and a decoded log cannot (decode runs the same checks).
+    pub fn validate(&self) -> Result<(), CaptureError> {
+        let mut prev: Option<u64> = None;
+        for (at, e) in self.entries.iter().enumerate() {
+            if let Some(prev) = prev {
+                if e.tick < prev {
+                    return Err(CaptureError::NonMonotonicTick {
+                        at,
+                        tick: e.tick,
+                        prev,
+                    });
+                }
+            }
+            prev = Some(e.tick);
+            if !e.weight.is_finite() || e.weight < 0.0 {
+                return Err(CaptureError::BadWeight {
+                    at,
+                    weight: e.weight,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Replays every entry, in order, into `sink`. This is the one
     /// replay primitive — the tuner's log replay and the property tests
     /// both go through it, so "replayed twice ⇒ bit-identical" is a
     /// statement about a single code path.
-    pub fn replay(&self, mut sink: impl FnMut(u64, &WorkloadEvent, f64)) {
+    ///
+    /// The log is [`EventLog::validate`]d up front: on a corrupt log
+    /// (rewinding ticks, NaN/infinite/negative weights) the error is
+    /// returned and **nothing** is fed — a sink never observes a prefix
+    /// of a stream that would later have poisoned its clock.
+    pub fn replay(
+        &self,
+        mut sink: impl FnMut(u64, &WorkloadEvent, f64),
+    ) -> Result<(), CaptureError> {
+        self.validate()?;
         for e in &self.entries {
             sink(e.tick, &e.event, e.weight);
         }
+        Ok(())
     }
 
     /// Bit-exact text encoding: one line per entry, weights spelled as the
@@ -157,43 +263,80 @@ impl EventLog {
         out
     }
 
-    /// Parses the [`EventLog::encode`] format. Returns a description of
-    /// the first malformed line on failure.
-    pub fn decode(text: &str) -> Result<EventLog, String> {
+    /// Parses the [`EventLog::encode`] format, validating everything a
+    /// hand-edited or truncated file can get wrong: field shapes, class
+    /// ids beyond the `u32` domain, weight bits spelling NaN/infinite/
+    /// negative masses, and ticks that rewind. A decoded log therefore
+    /// always [`EventLog::replay`]s cleanly. The first offending line is
+    /// reported; nothing is returned from a corrupt file.
+    pub fn decode(text: &str) -> Result<EventLog, CaptureError> {
         let mut log = EventLog::new();
+        let mut prev_tick: Option<u64> = None;
         for (no, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
             }
+            let no = no + 1;
             let fields: Vec<&str> = line.split_whitespace().collect();
-            let fail = |what: &str| format!("line {}: {what}: {line:?}", no + 1);
+            let fail = |what: &str| CaptureError::Malformed {
+                line: no,
+                reason: format!("{what}: {line:?}"),
+            };
             let parse_u64 = |s: &str, what: &str| s.parse::<u64>().map_err(|_| fail(what));
-            let parse_bits = |s: &str| {
-                u64::from_str_radix(s, 16)
+            let parse_class = |s: &str| {
+                let raw = parse_u64(s, "bad class")?;
+                u32::try_from(raw)
+                    .map(ClassId)
+                    .map_err(|_| CaptureError::ClassRange {
+                        line: no,
+                        class: raw,
+                    })
+            };
+            let parse_tick = |s: &str, prev: &mut Option<u64>| {
+                let tick = parse_u64(s, "bad tick")?;
+                if let Some(prev) = *prev {
+                    if tick < prev {
+                        return Err(CaptureError::NonMonotonicTick { at: no, tick, prev });
+                    }
+                }
+                *prev = Some(tick);
+                Ok(tick)
+            };
+            let parse_weight = |s: &str| {
+                // The encoder always emits exactly 16 hex digits; a shorter
+                // field is a truncated line, not a smaller weight.
+                if s.len() != 16 {
+                    return Err(fail("bad weight bits"));
+                }
+                let w = u64::from_str_radix(s, 16)
                     .map(f64::from_bits)
-                    .map_err(|_| fail("bad weight bits"))
+                    .map_err(|_| fail("bad weight bits"))?;
+                if !w.is_finite() || w < 0.0 {
+                    return Err(CaptureError::BadWeight { at: no, weight: w });
+                }
+                Ok(w)
             };
             match fields.as_slice() {
                 ["q", tick, path, class, w] => {
-                    let class = ClassId(parse_u64(class, "bad class")? as u32);
+                    let class = parse_class(class)?;
                     log.push(
-                        parse_u64(tick, "bad tick")?,
+                        parse_tick(tick, &mut prev_tick)?,
                         WorkloadEvent::Query {
                             path: PathKey(parse_u64(path, "bad path key")?),
                             class,
                         },
-                        parse_bits(w)?,
+                        parse_weight(w)?,
                     );
                 }
                 [kind @ ("i" | "d"), tick, class, w] => {
-                    let class = ClassId(parse_u64(class, "bad class")? as u32);
+                    let class = parse_class(class)?;
                     let event = if *kind == "i" {
                         WorkloadEvent::Insert { class }
                     } else {
                         WorkloadEvent::Delete { class }
                     };
-                    log.push(parse_u64(tick, "bad tick")?, event, parse_bits(w)?);
+                    log.push(parse_tick(tick, &mut prev_tick)?, event, parse_weight(w)?);
                 }
                 _ => return Err(fail("unrecognized entry")),
             }
@@ -610,7 +753,8 @@ mod tests {
         // Replaying either log yields the same estimator bits.
         let feed = |log: &EventLog| {
             let mut est = RateEstimator::default();
-            log.replay(|t, e, w| est.observe(t, e, w));
+            log.replay(|t, e, w| est.observe(t, e, w))
+                .expect("well-formed");
             est.seal(4);
             est.fingerprint()
         };
@@ -622,5 +766,98 @@ mod tests {
         assert!(EventLog::decode("q 1 2").is_err());
         assert!(EventLog::decode("x 1 2 3 0").is_err());
         assert!(EventLog::decode("i 1 2 nothex!").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_rewinding_ticks() {
+        let one = 1.0f64.to_bits();
+        let text = format!("i 5 0 {one:016x}\ni 4 0 {one:016x}\n");
+        assert!(matches!(
+            EventLog::decode(&text),
+            Err(CaptureError::NonMonotonicTick {
+                at: 2,
+                tick: 4,
+                prev: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_classes() {
+        let one = 1.0f64.to_bits();
+        let text = format!("i 0 4294967296 {one:016x}\n");
+        assert!(matches!(
+            EventLog::decode(&text),
+            Err(CaptureError::ClassRange { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_nan_infinite_and_negative_weights() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let text = format!("i 0 0 {:016x}\n", bad.to_bits());
+            assert!(
+                matches!(
+                    EventLog::decode(&text),
+                    Err(CaptureError::BadWeight { at: 1, .. })
+                ),
+                "weight {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_tail_line_is_an_error_not_a_panic() {
+        // Chop the last line of a valid encoding mid-field: the decoder
+        // must report it, never panic or silently drop it.
+        let mut log = EventLog::new();
+        log.push(0, q(1, 0), 0.25);
+        log.push(1, WorkloadEvent::Insert { class: ClassId(2) }, 0.5);
+        let text = log.encode();
+        let truncated = &text[..text.len() - 10];
+        assert!(matches!(
+            EventLog::decode(truncated),
+            Err(CaptureError::Malformed { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_log_replay_is_fallible_and_feeds_nothing() {
+        // A pushed (never-validated) log can rewind its clock; before this
+        // was fallible, replay panicked inside the estimator's roll_to.
+        let mut log = EventLog::new();
+        log.push(5, q(1, 0), 1.0);
+        log.push(4, q(1, 0), 1.0);
+        let mut est = RateEstimator::default();
+        let before = est.fingerprint();
+        let err = log
+            .replay(|t, e, w| est.observe(t, e, w))
+            .expect_err("rewinding ticks");
+        assert!(matches!(err, CaptureError::NonMonotonicTick { at: 1, .. }));
+        assert_eq!(est.fingerprint(), before, "nothing fed from a bad log");
+
+        let mut log = EventLog::new();
+        log.push(0, q(1, 0), f64::NAN);
+        assert!(matches!(
+            log.replay(|_, _, _| {}),
+            Err(CaptureError::BadWeight { at: 0, .. })
+        ));
+        assert!(log.validate().is_err());
+        assert!(EventLog::new().validate().is_ok());
+    }
+
+    #[test]
+    fn capture_error_displays_and_sources() {
+        use std::error::Error as _;
+        let e = CaptureError::NonMonotonicTick {
+            at: 3,
+            tick: 1,
+            prev: 2,
+        };
+        assert!(e.to_string().contains("precedes"));
+        assert!(e.source().is_none());
+        let text = "i 0 0 zz\n";
+        let e = EventLog::decode(text).expect_err("bad hex");
+        assert!(e.to_string().contains("bad weight bits"));
     }
 }

@@ -29,7 +29,9 @@ mod load;
 pub mod mining;
 pub mod ops;
 
-pub use capture::{EstimatorConfig, EventLog, LogEntry, PathKey, RateEstimator, WorkloadEvent};
+pub use capture::{
+    CaptureError, EstimatorConfig, EventLog, LogEntry, PathKey, RateEstimator, WorkloadEvent,
+};
 pub use derive::{derive_subpath_load, SubpathLoad};
 pub use load::{example51_load, LoadDistribution, Triplet};
 pub use mining::{MiningOutcome, MiningPolicy};

@@ -236,6 +236,8 @@ pub fn mine(policy: &MiningPolicy, masses: &[f64]) -> MiningOutcome {
 /// [`mine`] straight from a captured [`EventLog`]: replay the log into a
 /// fresh decayed estimator, seal past the last recorded tick, and score
 /// `path`'s spans from the resulting per-class estimates under `key`.
+/// A corrupt log (rewinding ticks, non-finite or negative weights) is
+/// reported instead of panicking mid-replay.
 pub fn mine_log(
     schema: &Schema,
     path: &Path,
@@ -243,18 +245,18 @@ pub fn mine_log(
     log: &EventLog,
     cfg: EstimatorConfig,
     policy: &MiningPolicy,
-) -> MiningOutcome {
+) -> Result<MiningOutcome, crate::capture::CaptureError> {
     let mut estimator = RateEstimator::new(cfg);
     let mut last_tick = 0u64;
     log.replay(|tick, event, weight| {
         last_tick = last_tick.max(tick);
         estimator.observe(tick, event, weight);
-    });
+    })?;
     estimator.seal(last_tick + 1);
-    mine(
+    Ok(mine(
         policy,
         &position_mass_from_estimator(schema, path, &estimator, key),
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -383,7 +385,8 @@ mod tests {
                 min_support: 0.1,
                 always_admit_owned: true,
             },
-        );
+        )
+        .expect("well-formed log");
         // Uniform stationary traffic: every position is warm, nothing is
         // mined out.
         assert_eq!(out.mined_out, 0);

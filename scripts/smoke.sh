@@ -63,6 +63,10 @@ run online_tuning "tuned plan == oracle plan"
 # and must verify that support 0 reproduces the full plan bitwise.
 run mined_workload "mined plan == full plan"
 
+# migration schedules the deployment from a re-targeted plan and must beat
+# (or tie) the naive build-all-then-drop ordering on interim cost.
+run migration "interim cost ≤ naive ordering"
+
 # paged_store builds a file-backed tree, drops every handle, and reopens
 # it cold from the file alone; run it under a tiny cache so the eviction
 # path is exercised too.

@@ -82,8 +82,9 @@ pub mod prelude {
     pub use oic_core::{
         exhaustive, exhaustive_frontier, frontier_dp, opt_ind_con, opt_ind_con_dp, Advisor,
         BudgetedWorkloadPlan, CandidateId, CandidateSpace, Choice, CostMatrix, FrontierPoint,
-        FrontierResult, IndexConfiguration, OnlineTuner, PathId, Recommendation, SelectionResult,
-        TuningPolicy, WhatIfReport, WorkloadAdvisor, WorkloadPlan,
+        FrontierResult, IndexConfiguration, MigrationAction, MigrationEnvelope, MigrationError,
+        MigrationPlanner, MigrationSchedule, MigrationStep, OnlineTuner, PathId, Recommendation,
+        SelectionResult, TuningPolicy, WhatIfReport, WorkloadAdvisor, WorkloadPlan,
     };
     pub use oic_cost::{ClassStats, CostModel, CostParams, Org, PathCharacteristics};
     pub use oic_exec::Executor;
@@ -94,7 +95,7 @@ pub mod prelude {
     };
     pub use oic_storage::{MemStore, Oid, Value};
     pub use oic_workload::{
-        EstimatorConfig, EventLog, LoadDistribution, MiningOutcome, MiningPolicy, PathKey,
-        RateEstimator, Triplet, WorkloadEvent,
+        CaptureError, EstimatorConfig, EventLog, LoadDistribution, MiningOutcome, MiningPolicy,
+        PathKey, RateEstimator, Triplet, WorkloadEvent,
     };
 }
